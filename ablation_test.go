@@ -1,0 +1,142 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out. These
+// are not paper artefacts; they quantify the extensions and implementation
+// choices of this reproduction:
+//
+//   - size-class clustering (the paper's §V-B future work) on the
+//     input-dependent benchmarks it targets,
+//   - TaskPoint's robustness to the runtime's scheduling order, and
+//   - the parallelism-trigger patience on phase-structured workloads.
+package taskpoint_test
+
+import (
+	"testing"
+
+	"taskpoint/internal/bench"
+	"taskpoint/internal/core"
+	"taskpoint/internal/results"
+	"taskpoint/internal/sched"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/stats"
+)
+
+// mustSpec resolves a Table I benchmark or fails the benchmark.
+func mustSpec(b *testing.B, name string) *bench.Spec {
+	b.Helper()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// BenchmarkAblationSizeClassing compares plain per-type sampling against
+// the size-class extension on dedup and freqmine — the two benchmarks the
+// paper names as victims of input-dependent instance sizes.
+func BenchmarkAblationSizeClassing(b *testing.B) {
+	r := results.NewRunner(benchScale, 42, 2)
+	names := []string{"dedup", "freqmine", "sparse-matrix-vector-multiplication"}
+	var plain, classed []float64
+	for i := 0; i < b.N; i++ {
+		plain, classed = nil, nil
+		for _, name := range names {
+			p := core.DefaultParams()
+			row, err := r.Sampled(name, results.HighPerf, 8, p, core.Lazy{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain = append(plain, row.ErrPct)
+			p.SizeClasses = true
+			row, err = r.Sampled(name, results.HighPerf, 8, p, core.Lazy{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			classed = append(classed, row.ErrPct)
+		}
+	}
+	b.ReportMetric(stats.Mean(plain), "err_pct_plain")
+	b.ReportMetric(stats.Mean(classed), "err_pct_classed")
+}
+
+// BenchmarkAblationSchedulerPolicy measures TaskPoint's accuracy under
+// FIFO vs LIFO ready-queue orders. Dynamic scheduling reshuffles which
+// thread executes which instance — the property that breaks classical
+// sampling (paper §I) — so the error should stay in the same band for
+// both orders.
+func BenchmarkAblationSchedulerPolicy(b *testing.B) {
+	var errs [2]float64
+	for i := 0; i < b.N; i++ {
+		for pi, pol := range []sched.Policy{sched.FIFO, sched.LIFO} {
+			spec := mustSpec(b, "cholesky")
+			p := spec.MustBuild(benchScale, 42)
+			cfg := sim.HighPerfConfig(8)
+			cfg.Policy = pol
+			det, err := sim.Simulate(cfg, p, sim.DetailedController{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.MustNew(core.DefaultParams(), core.Lazy{})
+			samp, err := sim.Simulate(cfg, p, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			errs[pi] = stats.AbsPctError(samp.Cycles, det.Cycles)
+		}
+	}
+	b.ReportMetric(errs[0], "err_pct_fifo")
+	b.ReportMetric(errs[1], "err_pct_lifo")
+}
+
+// BenchmarkAblationPatience measures the parallelism-trigger patience on
+// kmeans (a serial convergence check between parallel phases) and
+// reduction (a genuinely shrinking tree): patience 1 resamples on every
+// transient; patience 2 absorbs them.
+func BenchmarkAblationPatience(b *testing.B) {
+	r1 := results.NewRunner(benchScale, 42, 2)
+	var resamples [2]float64
+	var errs [2]float64
+	for i := 0; i < b.N; i++ {
+		for pi, patience := range []int{1, 2} {
+			p := core.DefaultParams()
+			p.ConcurrencyPatience = patience
+			var errSum, resSum float64
+			for _, name := range []string{"kmeans", "reduction"} {
+				row, err := r1.Sampled(name, results.HighPerf, 8, p, core.Lazy{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				errSum += row.ErrPct
+				resSum += float64(row.Sampler.Resamples)
+			}
+			errs[pi] = errSum / 2
+			resamples[pi] = resSum / 2
+		}
+	}
+	b.ReportMetric(errs[0], "err_pct_pat1")
+	b.ReportMetric(errs[1], "err_pct_pat2")
+	b.ReportMetric(resamples[0], "resamples_pat1")
+	b.ReportMetric(resamples[1], "resamples_pat2")
+}
+
+// BenchmarkAblationQuantum measures sensitivity of the detailed baseline
+// to the engine's time-slice length: cycles must be stable (within a few
+// percent) across quantum sizes, showing the conservative interleaving
+// converges.
+func BenchmarkAblationQuantum(b *testing.B) {
+	var cycles [3]float64
+	quanta := []int64{500, 2000, 8000}
+	for i := 0; i < b.N; i++ {
+		for qi, q := range quanta {
+			spec := mustSpec(b, "histogram")
+			p := spec.MustBuild(benchScale, 42)
+			cfg := sim.HighPerfConfig(8)
+			cfg.Quantum = q
+			det, err := sim.Simulate(cfg, p, sim.DetailedController{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles[qi] = det.Cycles
+		}
+	}
+	b.ReportMetric(stats.AbsPctError(cycles[0], cycles[1]), "drift_pct_q500")
+	b.ReportMetric(stats.AbsPctError(cycles[2], cycles[1]), "drift_pct_q8000")
+}

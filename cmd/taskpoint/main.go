@@ -1,0 +1,83 @@
+// Command taskpoint runs one benchmark under detailed and sampled
+// simulation and reports execution-time error and speedup.
+//
+// Usage:
+//
+//	taskpoint -bench cholesky -threads 8 -arch hp -policy lazy -scale 0.125
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskpoint"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "cholesky", "benchmark name (see -list)")
+		threads   = flag.Int("threads", 8, "simulated threads (1-64)")
+		arch      = flag.String("arch", "hp", "architecture: hp (high-performance) or lp (low-power)")
+		policy    = flag.String("policy", "lazy", "sampling policy: lazy or periodic")
+		period    = flag.Int("period", 250, "sampling period P for -policy periodic")
+		scale     = flag.Float64("scale", 1.0/8, "benchmark scale (1.0 = Table I instance counts)")
+		seed      = flag.Uint64("seed", 42, "workload generation seed")
+		w         = flag.Int("W", 2, "warm-up instances per thread")
+		h         = flag.Int("H", 4, "sample history size per task type")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range taskpoint.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	prog, err := taskpoint.LookupBenchmark(*benchName, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskpoint:", err)
+		os.Exit(1)
+	}
+	cfg := taskpoint.HighPerf(*threads)
+	if *arch == "lp" {
+		cfg = taskpoint.LowPower(*threads)
+	}
+
+	params := taskpoint.DefaultParams()
+	params.W = *w
+	params.H = *h
+	var pol taskpoint.Policy = taskpoint.LazyPolicy()
+	if *policy == "periodic" {
+		pol = taskpoint.PeriodicPolicy(*period)
+	}
+
+	fmt.Printf("benchmark  %s (%d types, %d instances, %.1fM instructions)\n",
+		prog.Name, prog.NumTypes(), prog.NumTasks(), float64(prog.TotalInstructions())/1e6)
+	fmt.Printf("machine    %s, %d threads\n", cfg.Name, cfg.Cores)
+
+	det, err := taskpoint.SimulateDetailed(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskpoint: detailed simulation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("detailed   %.0f cycles in %v\n", det.Cycles, det.Wall.Round(1e6))
+
+	samp, st, err := taskpoint.SimulateSampled(cfg, prog, params, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskpoint: sampled simulation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sampled    %.0f cycles in %v (%s, W=%d H=%d)\n",
+		samp.Cycles, samp.Wall.Round(1e6), pol.Name(), params.W, params.H)
+	fmt.Printf("error      %.2f%%\n", taskpoint.ErrorPct(samp, det))
+	fmt.Printf("speedup    %.1fx wall, %.1fx instructions (%.1f%% simulated in detail)\n",
+		float64(det.Wall)/float64(samp.Wall),
+		float64(samp.TotalInstructions)/float64(samp.DetailedInstructions),
+		100*samp.DetailFraction())
+	fmt.Printf("sampling   %d detailed, %d fast, %d valid samples, %d resamples (periodic %d, new-type %d, parallelism %d)\n",
+		st.DetailedStarted, st.FastStarted, st.ValidSamples,
+		st.Resamples, st.ResamplesPeriodic, st.ResamplesNewType, st.ResamplesParallelism)
+}

@@ -1,0 +1,77 @@
+// Command tracegen generates benchmark traces as binary trace files and
+// inspects existing ones, playing the role of the paper's tracing
+// infrastructure for the simulator's trace-driven operation.
+//
+// Usage:
+//
+//	tracegen -bench dedup -scale 0.125 -o dedup.tpt
+//	tracegen -info dedup.tpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskpoint"
+	"taskpoint/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to generate")
+		scale     = flag.Float64("scale", 1.0/8, "benchmark scale (1.0 = Table I)")
+		seed      = flag.Uint64("seed", 42, "generation seed")
+		out       = flag.String("o", "", "output trace file")
+		info      = flag.String("info", "", "print a summary of an existing trace file")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		prog, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace      %s\n", prog.Name)
+		fmt.Printf("types      %d\n", prog.NumTypes())
+		for i, ti := range prog.Types {
+			fmt.Printf("  [%d] %s (%d instances)\n", i, ti.Name, len(prog.InstancesOf(trace.TypeID(i))))
+		}
+		fmt.Printf("instances  %d\n", prog.NumTasks())
+		fmt.Printf("instr      %.2fM\n", float64(prog.TotalInstructions())/1e6)
+
+	case *benchName != "" && *out != "":
+		prog, err := taskpoint.LookupBenchmark(*benchName, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, prog); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("wrote %s: %d instances, %d bytes\n", *out, prog.NumTasks(), st.Size())
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracegen -bench NAME -o FILE | tracegen -info FILE")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Design-space exploration: the paper's recommended use of lazy sampling
+// (§V-C — "we advocate the use of lazy sampling for evaluations requiring a
+// large number of simulations, e.g. during the early phase of design space
+// exploration").
+//
+// This example sweeps core counts on both Table II architectures for one
+// workload and reports how the workload scales — dozens of simulations that
+// would be impractical in full detail, completed with sampled runs, with
+// one detailed run kept as a spot check.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskpoint"
+)
+
+func main() {
+	const workload = "vector-operation" // memory bound: scaling saturates
+
+	fmt.Printf("design-space exploration of %q with lazy sampling\n\n", workload)
+	fmt.Printf("%-18s %8s %14s %10s %9s\n", "architecture", "threads", "cycles", "scaling", "wall")
+
+	for _, arch := range []struct {
+		name string
+		cfg  func(int) taskpoint.Config
+		max  int
+	}{
+		{"high-performance", taskpoint.HighPerf, 64},
+		{"low-power", taskpoint.LowPower, 8},
+	} {
+		base := 0.0
+		for threads := 1; threads <= arch.max; threads *= 2 {
+			prog := taskpoint.Benchmark(workload, 1.0/16, 7)
+			res, _, err := taskpoint.SimulateSampled(arch.cfg(threads), prog,
+				taskpoint.DefaultParams(), taskpoint.LazyPolicy())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = res.Cycles
+			}
+			fmt.Printf("%-18s %8d %14.0f %9.2fx %9v\n",
+				arch.name, threads, res.Cycles, base/res.Cycles, res.Wall.Round(1e6))
+		}
+		fmt.Println()
+	}
+
+	// Spot check one configuration against full detail, as the paper
+	// recommends before narrowing the design space.
+	prog := taskpoint.Benchmark(workload, 1.0/16, 7)
+	cfg := taskpoint.HighPerf(8)
+	det, err := taskpoint.SimulateDetailed(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog2 := taskpoint.Benchmark(workload, 1.0/16, 7)
+	samp, _, err := taskpoint.SimulateSampled(cfg, prog2,
+		taskpoint.DefaultParams(), taskpoint.LazyPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spot check @ high-performance, 8 threads: sampled vs detailed error %.2f%% (%.0fx wall speedup)\n",
+		taskpoint.ErrorPct(samp, det), float64(det.Wall)/float64(samp.Wall))
+}

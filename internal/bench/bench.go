@@ -1,0 +1,242 @@
+// Package bench provides synthetic workload generators reproducing the 19
+// task-based benchmarks of the paper's Table I. The original applications
+// are OmpSs programs traced on native hardware; here each generator emits a
+// trace.Program with the same task-type count, a dependency structure
+// matching the algorithm, and per-type performance characters matching the
+// paper's description (strided/irregular/atomic access, load imbalance,
+// control-flow divergence, input dependence, shrinking parallelism).
+//
+// Instance counts reproduce Table I at Scale=1; smaller scales shrink the
+// instance count while preserving the task-type structure, so the sampling
+// dynamics per thread stay intact at CI-friendly runtimes.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"taskpoint/internal/trace"
+)
+
+// Spec describes one benchmark of Table I.
+type Spec struct {
+	// Name is the benchmark name as printed in the paper.
+	Name string
+	// Types is the task-type count of Table I.
+	Types int
+	// Instances is the task-instance count of Table I (Scale = 1).
+	Instances int
+	// Properties quotes the paper's characterisation.
+	Properties string
+	// build generates a program with roughly n instances.
+	build func(n int, seed uint64) *trace.Program
+}
+
+// Build generates the benchmark at the given scale (0 < scale <= 1) with a
+// deterministic seed. At scale 1 the instance count matches Table I.
+func (s *Spec) Build(scale float64, seed uint64) (*trace.Program, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("bench: scale %v out of (0,1]", scale)
+	}
+	n := int(math.Round(float64(s.Instances) * scale))
+	if n < 64 {
+		n = 64
+	}
+	if n > s.Instances {
+		n = s.Instances
+	}
+	p := s.build(n, seed)
+	p.Name = s.Name
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", s.Name, err)
+	}
+	if len(p.Types) != s.Types {
+		return nil, fmt.Errorf("bench: %s built %d types, want %d", s.Name, len(p.Types), s.Types)
+	}
+	return p, nil
+}
+
+// MustBuild is Build for callers with statically valid arguments.
+func (s *Spec) MustBuild(scale float64, seed uint64) *trace.Program {
+	p, err := s.Build(scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Registry returns the 19 benchmarks in Table I order.
+func Registry() []*Spec {
+	return []*Spec{
+		{Name: "2d-convolution", Types: 1, Instances: 16384,
+			Properties: "Kernel: strided memory accesses", build: build2DConvolution},
+		{Name: "3d-stencil", Types: 1, Instances: 16370,
+			Properties: "Kernel: strided memory accesses", build: build3DStencil},
+		{Name: "atomic-monte-carlo-dynamics", Types: 1, Instances: 16384,
+			Properties: "Kernel: embarrassingly parallel", build: buildAtomicMonteCarlo},
+		{Name: "dense-matrix-multiplication", Types: 1, Instances: 17576,
+			Properties: "Kernel: high data reuse, compute bound", build: buildDenseMatMul},
+		{Name: "histogram", Types: 1, Instances: 16384,
+			Properties: "Kernel: atomic operations", build: buildHistogram},
+		{Name: "n-body", Types: 2, Instances: 25000,
+			Properties: "Kernel: irregular memory accesses", build: buildNBody},
+		{Name: "reduction", Types: 2, Instances: 16384,
+			Properties: "Kernel: parallelism decreases over time", build: buildReduction},
+		{Name: "sparse-matrix-vector-multiplication", Types: 1, Instances: 1024,
+			Properties: "Kernel: load imbalance, memory bound", build: buildSpMV},
+		{Name: "vector-operation", Types: 1, Instances: 16400,
+			Properties: "Kernel: regular, memory bound", build: buildVectorOp},
+		{Name: "checkSparseLU", Types: 11, Instances: 22058,
+			Properties: "Decomposition of large, sparse matrices", build: buildCheckSparseLU},
+		{Name: "cholesky", Types: 4, Instances: 19600,
+			Properties: "Decomposition of Hermitian positive-definite matrices", build: buildCholesky},
+		{Name: "kmeans", Types: 6, Instances: 16337,
+			Properties: "Clustering based on Lloyd's algorithm", build: buildKMeans},
+		{Name: "knn", Types: 2, Instances: 18400,
+			Properties: "Instance-based machine learning algorithm", build: buildKNN},
+		{Name: "blackscholes", Types: 2, Instances: 24500,
+			Properties: "Option price calculation", build: buildBlackScholes},
+		{Name: "bodytrack", Types: 7, Instances: 21439,
+			Properties: "Human body tracking with multiple cameras", build: buildBodytrack},
+		{Name: "canneal", Types: 1, Instances: 16384,
+			Properties: "Cache-aware simulated annealing", build: buildCanneal},
+		{Name: "dedup", Types: 4, Instances: 15738,
+			Properties: "Deduplication: global and local compression", build: buildDedup},
+		{Name: "freqmine", Types: 7, Instances: 1932,
+			Properties: "Frequent Pattern Growth for Frequent Item Mining", build: buildFreqmine},
+		{Name: "swaptions", Types: 1, Instances: 16384,
+			Properties: "Monte-Carlo simulation of swaption prices", build: buildSwaptions},
+	}
+}
+
+// ByName returns the benchmark with the given Table I name.
+func ByName(name string) (*Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in Table I order.
+func Names() []string {
+	specs := Registry()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SensitivityNames returns the benchmarks the paper uses for its parameter
+// sensitivity analysis (§V-A): those with error above 5% for at least one
+// history size.
+func SensitivityNames() []string {
+	return []string{
+		"2d-convolution", "3d-stencil", "atomic-monte-carlo-dynamics",
+		"knn", "blackscholes",
+	}
+}
+
+// --- generator plumbing ----------------------------------------------------
+
+// Address-space layout: private per-instance blocks are spaced 1 MiB apart
+// from privateBase; shared regions get 1 GiB slots from sharedBase.
+const (
+	privateBase   = uint64(1) << 32
+	privateSpace  = uint64(1) << 20
+	sharedBase    = uint64(1) << 44
+	sharedSpace   = uint64(1) << 30
+	tokenKindBits = 40
+)
+
+// builder accumulates a program under construction.
+type builder struct {
+	prog       *trace.Program
+	rng        *rand.Rand
+	nextPriv   uint64
+	nextShared uint64
+}
+
+func newBuilder(seed uint64, typeNames ...string) *builder {
+	b := &builder{
+		prog: &trace.Program{},
+		rng:  rand.New(rand.NewPCG(seed, 0x5851f42d4c957f2d)),
+	}
+	for _, n := range typeNames {
+		b.prog.Types = append(b.prog.Types, trace.TypeInfo{Name: n})
+	}
+	return b
+}
+
+// private returns a fresh private data block base address.
+func (b *builder) private() uint64 {
+	a := privateBase + b.nextPriv*privateSpace
+	b.nextPriv++
+	return a
+}
+
+// shared returns a fresh shared region base address.
+func (b *builder) shared() uint64 {
+	a := sharedBase + b.nextShared*sharedSpace
+	b.nextShared++
+	return a
+}
+
+// tok builds a dependency token from a kind and two indices.
+func tok(kind, i, j int) uint64 {
+	return uint64(kind)<<tokenKindBits | uint64(i)<<20 | uint64(j)
+}
+
+// add appends a task instance and returns its ID.
+func (b *builder) add(typ trace.TypeID, segs []trace.Segment, in, out, inout []uint64) int32 {
+	id := int32(len(b.prog.Instances))
+	b.prog.Instances = append(b.prog.Instances, trace.Instance{
+		ID: id, Type: typ, Seed: b.rng.Uint64(),
+		Segments: segs, In: in, Out: out, InOut: inout,
+	})
+	return id
+}
+
+// jitter returns a deterministic multiplicative factor in [1-j, 1+j].
+func (b *builder) jitter(j float64) float64 {
+	return 1 + j*(2*b.rng.Float64()-1)
+}
+
+// logUniform returns a value log-uniformly distributed in [lo, hi].
+func (b *builder) logUniform(lo, hi float64) float64 {
+	return lo * math.Exp(b.rng.Float64()*math.Log(hi/lo))
+}
+
+// typeHistogram returns instance counts per type, for tests and reports.
+func typeHistogram(p *trace.Program) map[trace.TypeID]int {
+	h := make(map[trace.TypeID]int)
+	for i := range p.Instances {
+		h[p.Instances[i].Type]++
+	}
+	return h
+}
+
+// dominantShare returns the fraction of total instructions contributed by
+// the single heaviest task type.
+func dominantShare(p *trace.Program) float64 {
+	perType := make(map[trace.TypeID]int64)
+	var total int64
+	for i := range p.Instances {
+		n := p.Instances[i].Instructions()
+		perType[p.Instances[i].Type] += n
+		total += n
+	}
+	var counts []int64
+	for _, n := range perType {
+		counts = append(counts, n)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	if total == 0 || len(counts) == 0 {
+		return 0
+	}
+	return float64(counts[0]) / float64(total)
+}

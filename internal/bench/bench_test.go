@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"taskpoint/internal/taskgraph"
+	"taskpoint/internal/trace"
+)
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 19 {
+		t.Fatalf("registry has %d benchmarks, Table I lists 19", len(specs))
+	}
+	// Exact Table I rows.
+	want := map[string][2]int{ // name -> {types, instances}
+		"2d-convolution":                      {1, 16384},
+		"3d-stencil":                          {1, 16370},
+		"atomic-monte-carlo-dynamics":         {1, 16384},
+		"dense-matrix-multiplication":         {1, 17576},
+		"histogram":                           {1, 16384},
+		"n-body":                              {2, 25000},
+		"reduction":                           {2, 16384},
+		"sparse-matrix-vector-multiplication": {1, 1024},
+		"vector-operation":                    {1, 16400},
+		"checkSparseLU":                       {11, 22058},
+		"cholesky":                            {4, 19600},
+		"kmeans":                              {6, 16337},
+		"knn":                                 {2, 18400},
+		"blackscholes":                        {2, 24500},
+		"bodytrack":                           {7, 21439},
+		"canneal":                             {1, 16384},
+		"dedup":                               {4, 15738},
+		"freqmine":                            {7, 1932},
+		"swaptions":                           {1, 16384},
+	}
+	for _, s := range specs {
+		row, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", s.Name)
+			continue
+		}
+		if s.Types != row[0] || s.Instances != row[1] {
+			t.Errorf("%s: types/instances = %d/%d, Table I says %d/%d",
+				s.Name, s.Types, s.Instances, row[0], row[1])
+		}
+	}
+}
+
+func TestAllBenchmarksBuildSmallScale(t *testing.T) {
+	for _, s := range Registry() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p, err := s.Build(1.0/16, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			if len(p.Types) != s.Types {
+				t.Errorf("types = %d, want %d", len(p.Types), s.Types)
+			}
+			if _, err := taskgraph.Build(p); err != nil {
+				t.Errorf("graph: %v", err)
+			}
+			if p.TotalInstructions() <= 0 {
+				t.Error("no instructions")
+			}
+			// Every declared type must actually be instantiated.
+			hist := typeHistogram(p)
+			for typ := range p.Types {
+				if hist[trace.TypeID(typ)] == 0 {
+					t.Errorf("type %d (%s) has no instances", typ, p.Types[typ].Name)
+				}
+			}
+		})
+	}
+}
+
+func TestFullScaleInstanceCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	for _, s := range Registry() {
+		p, err := s.Build(1, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		got := p.NumTasks()
+		diff := math.Abs(float64(got-s.Instances)) / float64(s.Instances)
+		if diff > 0.05 {
+			t.Errorf("%s: %d instances at scale 1, Table I says %d (%.1f%% off)",
+				s.Name, got, s.Instances, diff*100)
+		}
+	}
+}
+
+func TestCholeskyExactCount(t *testing.T) {
+	s, err := ByName("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.MustBuild(1, 1)
+	if p.NumTasks() != 19600 {
+		t.Errorf("cholesky at scale 1 has %d tasks, want exactly 19600 (K=48)", p.NumTasks())
+	}
+	// Type population: K potrf, K(K-1)/2 trsm, K(K-1)/2 syrk, rest gemm.
+	hist := typeHistogram(p)
+	if hist[0] != 48 || hist[1] != 1128 || hist[2] != 1128 || hist[3] != 17296 {
+		t.Errorf("cholesky type histogram = %v", hist)
+	}
+}
+
+func TestFreqmineDominantType(t *testing.T) {
+	s, _ := ByName("freqmine")
+	p := s.MustBuild(1, 3)
+	if share := dominantShare(p); share < 0.85 {
+		t.Errorf("dominant type share = %.2f, paper says ~93%%", share)
+	}
+	// Size spread of the dominant type spans orders of magnitude.
+	var lo, hi int64 = math.MaxInt64, 0
+	for i := range p.Instances {
+		if p.Instances[i].Type != 3 { // mine_subtree
+			continue
+		}
+		n := p.Instances[i].Instructions()
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi < 50*lo {
+		t.Errorf("mine_subtree size spread %d..%d too narrow (want >50x)", lo, hi)
+	}
+}
+
+func TestDedupDominantAndSpread(t *testing.T) {
+	s, _ := ByName("dedup")
+	p := s.MustBuild(1, 3)
+	if share := dominantShare(p); share < 0.8 {
+		t.Errorf("dominant share = %.2f, paper says chunk type dominates", share)
+	}
+	var lo, hi int64 = math.MaxInt64, 0
+	for i := range p.Instances {
+		if p.Instances[i].Type != 1 { // chunk_hash
+			continue
+		}
+		n := p.Instances[i].Instructions()
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi < 5*lo {
+		t.Errorf("chunk size spread %d..%d too narrow (paper: ~7x)", lo, hi)
+	}
+}
+
+func TestReductionParallelismDecreases(t *testing.T) {
+	s, _ := ByName("reduction")
+	p := s.MustBuild(1.0/16, 5)
+	g, err := taskgraph.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := g.WidthProfile()
+	if len(width) < 3 {
+		t.Fatalf("reduction tree too shallow: %v", width)
+	}
+	for l := 1; l < len(width); l++ {
+		if width[l] > width[l-1] {
+			t.Errorf("parallelism grows from level %d (%d) to %d (%d)",
+				l-1, width[l-1], l, width[l])
+		}
+	}
+	if width[len(width)-1] != 1 {
+		t.Errorf("reduction should end in a single task, got %d", width[len(width)-1])
+	}
+}
+
+func TestSpMVLoadImbalance(t *testing.T) {
+	s, _ := ByName("sparse-matrix-vector-multiplication")
+	p := s.MustBuild(1, 9)
+	var lo, hi int64 = math.MaxInt64, 0
+	for i := range p.Instances {
+		n := p.Instances[i].Instructions()
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi < 3*lo {
+		t.Errorf("spmv block sizes %d..%d lack load imbalance", lo, hi)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, name := range []string{"cholesky", "dedup", "freqmine"} {
+		s, _ := ByName(name)
+		a := s.MustBuild(1.0/16, 11)
+		b := s.MustBuild(1.0/16, 11)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different programs", name)
+		}
+		c := s.MustBuild(1.0/16, 12)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical programs", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("cholesky"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 19 || names[0] != "2d-convolution" || names[18] != "swaptions" {
+		t.Errorf("names wrong or out of Table I order: %v", names)
+	}
+}
+
+func TestSensitivityNamesExist(t *testing.T) {
+	for _, n := range SensitivityNames() {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("sensitivity benchmark %q not in registry", n)
+		}
+	}
+}
+
+func TestBuildRejectsBadScale(t *testing.T) {
+	s, _ := ByName("cholesky")
+	for _, scale := range []float64{0, -1, 1.5} {
+		if _, err := s.Build(scale, 1); err == nil {
+			t.Errorf("scale %v accepted", scale)
+		}
+	}
+}
+
+func TestHistogramUsesAtomics(t *testing.T) {
+	s, _ := ByName("histogram")
+	p := s.MustBuild(1.0/16, 2)
+	found := false
+	for i := range p.Instances {
+		for _, seg := range p.Instances[i].Segments {
+			if seg.Atomic {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("histogram has no atomic segments")
+	}
+}
+
+func TestSharedRegionsAreShared(t *testing.T) {
+	// dmm uses one shared B panel per accumulation step, each reused by
+	// every tile task of that step: far fewer panels than instances.
+	s, _ := ByName("dense-matrix-multiplication")
+	p := s.MustBuild(1.0/16, 2)
+	bases := map[uint64]int{}
+	for i := range p.Instances {
+		bases[p.Instances[i].Segments[0].Base]++
+	}
+	if len(bases) >= p.NumTasks()/4 {
+		t.Errorf("gemm B panels are not shared: %d bases for %d tasks", len(bases), p.NumTasks())
+	}
+	for base, uses := range bases {
+		if uses < 2 {
+			t.Errorf("panel %#x used once, expected reuse", base)
+		}
+	}
+}

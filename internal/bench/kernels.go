@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"math"
+
+	"taskpoint/internal/trace"
+)
+
+// Kernel benchmarks (Table I, upper block). Each models the memory and ILP
+// character the paper names for it. Per-type IPC regularity (Fig 1: within
+// ±5% for these kernels) comes from over-decomposition: every instance
+// works on its own data block with the same access pattern, so instances
+// differ only by the seed-driven instruction mix.
+
+// build2DConvolution: one type, tile-parallel convolution with strided
+// reads of the image block and a private output tile.
+func build2DConvolution(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "conv2d_tile")
+	for i := 0; i < n; i++ {
+		instr := int64(2800 * b.jitter(0.02))
+		b.add(0, []trace.Segment{
+			{
+				N: instr * 3 / 4, MemRatio: 0.12, StoreFrac: 0.2,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 48 << 10,
+				Stride: 8, DepDist: 4.5, FPFrac: 0.35,
+			},
+			{
+				N: instr / 4, MemRatio: 0.08, StoreFrac: 0.5,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 16 << 10,
+				Stride: 8, DepDist: 3.5, FPFrac: 0.3,
+			},
+		}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// build3DStencil: one type, tiles swept over timesteps; a tile at step t
+// depends on its neighbourhood at step t-1, keeping parallelism wide and
+// constant. Strided plane-walking accesses.
+func build3DStencil(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "stencil_tile")
+	steps := 10
+	tiles := n / steps
+	if tiles < 4 {
+		tiles = 4
+	}
+	for t := 0; t < steps; t++ {
+		for i := 0; i < tiles; i++ {
+			var in []uint64
+			if t > 0 {
+				for _, d := range []int{-1, 0, 1} {
+					j := i + d
+					if j >= 0 && j < tiles {
+						in = append(in, tok(1, t-1, j))
+					}
+				}
+			}
+			instr := int64(2600 * b.jitter(0.03))
+			b.add(0, []trace.Segment{{
+				N: instr, MemRatio: 0.13, StoreFrac: 0.25,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 64 << 10,
+				Stride: 8, DepDist: 5, FPFrac: 0.3,
+			}}, in, []uint64{tok(1, t, i)}, nil)
+		}
+	}
+	return b.prog
+}
+
+// buildAtomicMonteCarlo: one type, embarrassingly parallel compute-bound
+// particles with negligible memory traffic.
+func buildAtomicMonteCarlo(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "mc_particle_block")
+	for i := 0; i < n; i++ {
+		instr := int64(3000 * b.jitter(0.04))
+		b.add(0, []trace.Segment{{
+			N: instr, MemRatio: 0.05, StoreFrac: 0.3,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 8 << 10,
+			Stride: 8, DepDist: 3, FPFrac: 0.55,
+		}}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// buildDenseMatMul: one type, blocked GEMM. Each task multiplies into a C
+// tile (inout chains over k) while reading a shared B panel with high
+// reuse (Gaussian hot-spot pattern) — compute bound.
+func buildDenseMatMul(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "gemm_tile")
+	// n = K^3 tiles for a K x K blocked matrix with K accumulation steps.
+	k := int(math.Cbrt(float64(n)))
+	if k < 2 {
+		k = 2
+	}
+	// One shared read-only B panel reused by every tile task; it becomes
+	// cache resident during warm-up and stays hot (high data reuse).
+	panel := b.shared()
+	for kk := 0; kk < k; kk++ {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				instr := int64(3200 * b.jitter(0.02))
+				b.add(0, []trace.Segment{
+					{
+						N: instr * 2 / 3, MemRatio: 0.1, StoreFrac: 0,
+						Pat: trace.PatGaussian, Base: panel, Footprint: 16 << 10,
+						DepDist: 2.8, FPFrac: 0.6,
+					},
+					{
+						N: instr / 3, MemRatio: 0.1, StoreFrac: 0.4,
+						Pat: trace.PatStride, Base: b.private(), Footprint: 32 << 10,
+						Stride: 8, DepDist: 3, FPFrac: 0.5,
+					},
+				}, nil, nil, []uint64{tok(2, i, j)})
+			}
+		}
+	}
+	return b.prog
+}
+
+// buildHistogram: one type, private input scan plus atomic increments into
+// a small shared bin array (coherence traffic between threads).
+func buildHistogram(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "hist_block")
+	bins := b.shared()
+	for i := 0; i < n; i++ {
+		instr := int64(2400 * b.jitter(0.03))
+		b.add(0, []trace.Segment{
+			{
+				N: instr * 3 / 4, MemRatio: 0.12, StoreFrac: 0,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 48 << 10,
+				Stride: 8, DepDist: 6,
+			},
+			{
+				N: instr / 4, MemRatio: 0.2, StoreFrac: 1,
+				Pat: trace.PatRandom, Base: bins, Footprint: 16 << 10,
+				Atomic: true, DepDist: 8,
+			},
+		}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// buildNBody: two types. Force tasks chase a shared neighbour list
+// (irregular accesses); update tasks integrate positions and gate the next
+// step's forces.
+func buildNBody(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "nbody_forces", "nbody_update")
+	steps := 10
+	forces := n * 4 / 5 / steps
+	updates := n / 5 / steps
+	if forces < 4 {
+		forces = 4
+	}
+	if updates < 1 {
+		updates = 1
+	}
+	positions := b.shared()
+	for t := 0; t < steps; t++ {
+		for f := 0; f < forces; f++ {
+			var in []uint64
+			if t > 0 {
+				in = append(in, tok(3, t-1, f%updates))
+			}
+			instr := int64(2800 * b.jitter(0.04))
+			b.add(0, []trace.Segment{
+				{
+					// Each force task chases its own neighbour list.
+					N: instr * 3 / 4, MemRatio: 0.08, StoreFrac: 0.1,
+					Pat: trace.PatChase, Base: b.private(), Footprint: 64 << 10,
+					DepDist: 4, FPFrac: 0.5,
+				},
+				{
+					// Read-only gathers from the small shared position
+					// array, cache resident after the first tasks.
+					N: instr / 4, MemRatio: 0.12, StoreFrac: 0,
+					Pat: trace.PatGaussian, Base: positions, Footprint: 24 << 10,
+					DepDist: 4, FPFrac: 0.4,
+				},
+			}, in, []uint64{tok(4, t, f)}, nil)
+		}
+		for u := 0; u < updates; u++ {
+			var in []uint64
+			for f := 0; f < forces; f++ {
+				if f%updates == u {
+					in = append(in, tok(4, t, f))
+				}
+			}
+			instr := int64(1200 * b.jitter(0.03))
+			b.add(1, []trace.Segment{{
+				N: instr, MemRatio: 0.12, StoreFrac: 0.5,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 16 << 10,
+				Stride: 8, DepDist: 5, FPFrac: 0.4,
+			}}, in, []uint64{tok(3, t, u)}, nil)
+		}
+	}
+	return b.prog
+}
+
+// buildReduction: two types forming a binary combining tree; available
+// parallelism halves level by level, exercising TaskPoint's resampling on
+// parallelism change (paper Fig 4a).
+func buildReduction(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "reduce_leaf", "reduce_combine")
+	// leaves + (leaves-1) combines ~= n; round leaves to a power of two.
+	leaves := 1
+	for leaves*2 <= (n+1)/2 {
+		leaves *= 2
+	}
+	for i := 0; i < leaves; i++ {
+		instr := int64(2200 * b.jitter(0.03))
+		b.add(0, []trace.Segment{{
+			N: instr, MemRatio: 0.15, StoreFrac: 0.1,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 64 << 10,
+			Stride: 8, DepDist: 7, FPFrac: 0.25,
+		}}, nil, []uint64{tok(5, 0, i)}, nil)
+	}
+	level := 0
+	width := leaves
+	for width > 1 {
+		for i := 0; i < width/2; i++ {
+			instr := int64(1100 * b.jitter(0.03))
+			b.add(1, []trace.Segment{{
+				N: instr, MemRatio: 0.1, StoreFrac: 0.3,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 8 << 10,
+				Stride: 8, DepDist: 4, FPFrac: 0.35,
+			}},
+				[]uint64{tok(5, level, 2*i), tok(5, level, 2*i+1)},
+				[]uint64{tok(5, level+1, i)}, nil)
+		}
+		width /= 2
+		level++
+	}
+	return b.prog
+}
+
+// buildSpMV: one type, memory bound with load imbalance — the dynamic
+// instruction count of a row block depends on its nonzero count, and the
+// gather from the shared x vector is irregular.
+func buildSpMV(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "spmv_rowblock")
+	xvec := b.shared()
+	for i := 0; i < n; i++ {
+		// Row-block populations are heavily skewed (load imbalance).
+		instr := int64(2600 * b.logUniform(0.4, 2.5))
+		memRatio := 0.25 // memory bound; imbalance comes from block sizes
+		b.add(0, []trace.Segment{
+			{
+				N: instr / 2, MemRatio: memRatio, StoreFrac: 0.05,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 96 << 10,
+				Stride: 8, DepDist: 6, FPFrac: 0.3,
+			},
+			{
+				// The source vector is small enough to cache; it warms
+				// during the first instances and stays resident.
+				N: instr / 2, MemRatio: memRatio, StoreFrac: 0,
+				Pat: trace.PatRandom, Base: xvec, Footprint: 32 << 10,
+				DepDist: 6, FPFrac: 0.3,
+			},
+		}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// buildVectorOp: one type, regular streaming, memory bound: saturates DRAM
+// bandwidth as thread counts grow.
+func buildVectorOp(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "vec_block")
+	for i := 0; i < n; i++ {
+		instr := int64(2500 * b.jitter(0.01))
+		b.add(0, []trace.Segment{{
+			N: instr, MemRatio: 0.3, StoreFrac: 0.35,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 256 << 10,
+			Stride: 8, DepDist: 10, FPFrac: 0.25,
+		}}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// buildSwaptions: one type, Monte-Carlo pricing — floating-point compute
+// with tiny working sets and very regular behaviour.
+func buildSwaptions(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "swaption_sim")
+	for i := 0; i < n; i++ {
+		instr := int64(3400 * b.jitter(0.02))
+		b.add(0, []trace.Segment{{
+			N: instr, MemRatio: 0.08, StoreFrac: 0.3,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 12 << 10,
+			Stride: 8, DepDist: 3.2, FPFrac: 0.6,
+		}}, nil, nil, nil)
+	}
+	return b.prog
+}

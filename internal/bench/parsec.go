@@ -1,0 +1,315 @@
+package bench
+
+import "taskpoint/internal/trace"
+
+// Task-based PARSEC benchmarks (Table I, lower block). These reproduce the
+// paper's OmpSs ports: blackscholes, bodytrack, canneal, dedup, freqmine,
+// swaptions (swaptions lives in kernels.go with the other Monte-Carlo
+// kernel).
+
+// buildBlackScholes: option batches priced independently (dominant type)
+// with one aggregation task per batch group — floating-point heavy and
+// very regular.
+func buildBlackScholes(n int, seed uint64) *trace.Program {
+	const (
+		tPrice = iota
+		tAggregate
+	)
+	b := newBuilder(seed, "price_chunk", "aggregate")
+	group := 48
+	groups := n / (group + 1)
+	if groups < 1 {
+		groups = 1
+	}
+	for g := 0; g < groups; g++ {
+		var in []uint64
+		for c := 0; c < group; c++ {
+			ct := tok(50, g, c)
+			in = append(in, ct)
+			b.add(tPrice, []trace.Segment{{
+				N: int64(2900 * b.jitter(0.02)), MemRatio: 0.08, StoreFrac: 0.3,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 16 << 10,
+				Stride: 8, DepDist: 3, FPFrac: 0.65,
+			}}, nil, []uint64{ct}, nil)
+		}
+		b.add(tAggregate, []trace.Segment{{
+			N: int64(500 * b.jitter(0.05)), MemRatio: 0.12, StoreFrac: 0.4,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 8 << 10,
+			Stride: 8, DepDist: 5, FPFrac: 0.2,
+		}}, in, []uint64{tok(51, g, 0)}, nil)
+	}
+	return b.prog
+}
+
+// buildBodytrack: per-frame pipeline of seven phases (read, edge detect,
+// gradient, particle weights, resample, annealing update, pose estimate);
+// phases synchronise within a frame and frames chain, so different types
+// dominate different intervals.
+func buildBodytrack(n int, seed uint64) *trace.Program {
+	const (
+		tRead = iota
+		tEdge
+		tGradient
+		tWeights
+		tResample
+		tAnneal
+		tEstimate
+	)
+	b := newBuilder(seed, "read_frame", "edge_detect", "gradient",
+		"particle_weights", "resample", "anneal_update", "estimate_pose")
+	const perFrame = 1 + 60 + 60 + 160 + 20 + 40 + 1
+	frames := n / perFrame
+	if frames < 1 {
+		frames = 1
+	}
+	for f := 0; f < frames; f++ {
+		var prev []uint64
+		if f > 0 {
+			prev = []uint64{tok(60, f-1, 6)}
+		}
+		read := tok(60, f, 0)
+		b.add(tRead, []trace.Segment{{
+			N: 900, MemRatio: 0.18, StoreFrac: 0.6, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 96 << 10, Stride: 8, DepDist: 9,
+		}}, prev, []uint64{read}, nil)
+
+		// Edge detection and gradient over image tiles.
+		var edgeToks, gradToks, weightToks, resToks, annToks []uint64
+		for i := 0; i < 60; i++ {
+			et := tok(61, f, i)
+			edgeToks = append(edgeToks, et)
+			b.add(tEdge, []trace.Segment{{
+				N: int64(1700 * b.jitter(0.04)), MemRatio: 0.13, StoreFrac: 0.3,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 48 << 10,
+				Stride: 8, DepDist: 5, FPFrac: 0.25,
+			}}, []uint64{read}, []uint64{et}, nil)
+		}
+		for i := 0; i < 60; i++ {
+			gt := tok(62, f, i)
+			gradToks = append(gradToks, gt)
+			b.add(tGradient, []trace.Segment{{
+				N: int64(1500 * b.jitter(0.04)), MemRatio: 0.12, StoreFrac: 0.3,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 48 << 10,
+				Stride: 8, DepDist: 4.5, FPFrac: 0.35,
+			}}, []uint64{edgeToks[i]}, []uint64{gt}, nil)
+		}
+		for i := 0; i < 160; i++ {
+			wt := tok(63, f, i)
+			weightToks = append(weightToks, wt)
+			b.add(tWeights, []trace.Segment{{
+				N: int64(2100 * b.jitter(0.05)), MemRatio: 0.1, StoreFrac: 0.1,
+				Pat: trace.PatGaussian, Base: b.private(), Footprint: 64 << 10,
+				DepDist: 3.5, FPFrac: 0.5,
+			}}, []uint64{gradToks[i%60]}, []uint64{wt}, nil)
+		}
+		for i := 0; i < 20; i++ {
+			rt := tok(64, f, i)
+			resToks = append(resToks, rt)
+			in := make([]uint64, 0, 8)
+			for w := i * 8; w < (i+1)*8; w++ {
+				in = append(in, weightToks[w])
+			}
+			b.add(tResample, []trace.Segment{{
+				N: int64(1000 * b.jitter(0.06)), MemRatio: 0.12, StoreFrac: 0.4,
+				Pat: trace.PatRandom, Base: b.private(), Footprint: 32 << 10,
+				DepDist: 3, FPFrac: 0.2,
+			}}, in, []uint64{rt}, nil)
+		}
+		for i := 0; i < 40; i++ {
+			at := tok(65, f, i)
+			annToks = append(annToks, at)
+			b.add(tAnneal, []trace.Segment{{
+				N: int64(1300 * b.jitter(0.05)), MemRatio: 0.1, StoreFrac: 0.3,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 24 << 10,
+				Stride: 8, DepDist: 4, FPFrac: 0.45,
+			}}, []uint64{resToks[i%20]}, []uint64{at}, nil)
+		}
+		b.add(tEstimate, []trace.Segment{{
+			N: 800, MemRatio: 0.12, StoreFrac: 0.4, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 16 << 10, Stride: 8, DepDist: 4, FPFrac: 0.3,
+		}}, annToks, []uint64{tok(60, f, 6)}, nil)
+	}
+	return b.prog
+}
+
+// buildCanneal: simulated annealing over a netlist far larger than the
+// last-level cache — uniformly random accesses to one big shared region,
+// the paper's "cache-aware simulated annealing" with low IPC. Because the
+// netlist (512 MiB) dwarfs every cache, the steady state is miss-dominated
+// and early instances behave like late ones.
+func buildCanneal(n int, seed uint64) *trace.Program {
+	b := newBuilder(seed, "swap_batch")
+	netlist := b.shared()
+	for i := 0; i < n; i++ {
+		b.add(0, []trace.Segment{{
+			N: int64(2300 * b.jitter(0.04)), MemRatio: 0.2, StoreFrac: 0.25,
+			Pat: trace.PatRandom, Base: netlist, Footprint: 512 << 20,
+			DepDist: 5, FPFrac: 0.15,
+		}}, nil, nil, nil)
+	}
+	return b.prog
+}
+
+// buildDedup: the deduplication pipeline. The dominant chunk type performs
+// hashing and compression whose instruction count and ILP depend on the
+// input content (paper: instance sizes 3.5M..25.1M, "highly input
+// dependent"), giving the second largest sampling error of the evaluation.
+func buildDedup(n int, seed uint64) *trace.Program {
+	const (
+		tFragment = iota
+		tChunk
+		tCompress
+		tWrite
+	)
+	b := newBuilder(seed, "fragment", "chunk_hash", "compress", "write_out")
+	fragments := min(32, max(1, n/16))
+	writes := fragments
+	compress := max(1, n/32)
+	chunks := n - fragments - writes - compress
+	if chunks < fragments {
+		chunks = fragments
+	}
+	perFrag := max(1, chunks/fragments)
+
+	for fr := 0; fr < fragments; fr++ {
+		ft := tok(70, fr, 0)
+		b.add(tFragment, []trace.Segment{{
+			N: 800, MemRatio: 0.18, StoreFrac: 0.4, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 64 << 10, Stride: 8, DepDist: 8,
+		}}, nil, []uint64{ft}, nil)
+		for c := 0; c < perFrag; c++ {
+			// Input-dependent: size spread ~7x and per-instance ILP and
+			// locality spread (compressibility of the data).
+			instr := int64(b.logUniform(1200, 8600))
+			b.add(tChunk, []trace.Segment{{
+				N: instr, MemRatio: 0.08 + 0.15*b.rng.Float64(), StoreFrac: 0.25,
+				Pat: trace.PatStride, Base: b.private(), Footprint: 64 << 10,
+				Stride: 8, DepDist: 1.4 + 4.5*b.rng.Float64(),
+				FPFrac: 0.05 + 0.15*b.rng.Float64(),
+			}}, []uint64{ft}, []uint64{tok(71, fr, c)}, nil)
+		}
+	}
+	for cp := 0; cp < compress; cp++ {
+		fr := cp % fragments
+		c := cp % perFrag
+		instr := int64(b.logUniform(900, 4000))
+		b.add(tCompress, []trace.Segment{{
+			N: instr, MemRatio: 0.1, StoreFrac: 0.4, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 32 << 10, Stride: 8,
+			DepDist: 1.6 + 2*b.rng.Float64(), FPFrac: 0.05,
+		}}, []uint64{tok(71, fr, c)}, []uint64{tok(72, cp, 0)}, nil)
+	}
+	for w := 0; w < writes; w++ {
+		var in []uint64
+		for cp := w; cp < compress; cp += writes {
+			in = append(in, tok(72, cp, 0))
+		}
+		b.add(tWrite, []trace.Segment{{
+			N: 700, MemRatio: 0.18, StoreFrac: 0.8, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 64 << 10, Stride: 8, DepDist: 9,
+		}}, in, nil, nil)
+	}
+	return b.prog
+}
+
+// buildFreqmine: FP-growth frequent itemset mining. One dominant type
+// (mine_subtree, ~93% of dynamic instructions) whose instances follow
+// completely unrelated control-flow paths through nested conditionals: the
+// instruction count spans nearly three orders of magnitude and the
+// instruction mix varies per instance — the paper's worst case for
+// sampling (§V-B: "avoid large-scale control flow divergence among
+// instances of the same task type").
+func buildFreqmine(n int, seed uint64) *trace.Program {
+	const (
+		tHeader = iota
+		tInsert
+		tBuild
+		tMine
+		tPrune
+		tAggregate
+		tOutput
+	)
+	b := newBuilder(seed, "build_header", "insert_block", "build_tree",
+		"mine_subtree", "prune", "aggregate", "output")
+	inserts := n / 20
+	builds := n / 60
+	prunes := n / 40
+	aggs := n / 60
+	outs := n / 120
+	mines := n - 1 - inserts - builds - prunes - aggs - outs
+	if mines < 1 {
+		mines = 1
+	}
+
+	ht := tok(80, 0, 0)
+	b.add(tHeader, []trace.Segment{{
+		N: 900, MemRatio: 0.15, StoreFrac: 0.6, Pat: trace.PatStride,
+		Base: b.private(), Footprint: 32 << 10, Stride: 8, DepDist: 6,
+	}}, nil, []uint64{ht}, nil)
+
+	var insertToks []uint64
+	for i := 0; i < inserts; i++ {
+		it := tok(81, i, 0)
+		insertToks = append(insertToks, it)
+		b.add(tInsert, []trace.Segment{{
+			N: int64(b.logUniform(400, 2000)), MemRatio: 0.18, StoreFrac: 0.5,
+			Pat: trace.PatRandom, Base: b.private(), Footprint: 48 << 10,
+			DepDist: 2.2, FPFrac: 0.05,
+		}}, []uint64{ht}, []uint64{it}, nil)
+	}
+	var buildToks []uint64
+	for i := 0; i < builds; i++ {
+		bt := tok(82, i, 0)
+		buildToks = append(buildToks, bt)
+		b.add(tBuild, []trace.Segment{{
+			N: int64(b.logUniform(600, 3000)), MemRatio: 0.15, StoreFrac: 0.5,
+			Pat: trace.PatChase, Base: b.private(), Footprint: 96 << 10,
+			DepDist: 2, FPFrac: 0.05,
+		}}, []uint64{insertToks[i%len(insertToks)]}, []uint64{bt}, nil)
+	}
+	var mineToks []uint64
+	for i := 0; i < mines; i++ {
+		// Control-flow divergence: per-instance instruction counts span
+		// ~120x and the mix varies between pointer chasing and dense
+		// scanning, depending on the subtree shape.
+		instr := int64(b.logUniform(200, 24000))
+		pat := trace.PatChase
+		if b.rng.IntN(3) == 0 {
+			pat = trace.PatStride
+		}
+		mt := tok(83, i, 0)
+		mineToks = append(mineToks, mt)
+		b.add(tMine, []trace.Segment{{
+			N: instr, MemRatio: 0.08 + 0.18*b.rng.Float64(), StoreFrac: 0.2,
+			Pat: pat, Base: b.private(), Footprint: 64 << 10, Stride: 8,
+			DepDist: 1.3 + 4.5*b.rng.Float64(), FPFrac: 0.1 * b.rng.Float64(),
+		}}, []uint64{buildToks[i%len(buildToks)]}, []uint64{mt}, nil)
+	}
+	var pruneToks []uint64
+	for i := 0; i < prunes; i++ {
+		pt := tok(84, i, 0)
+		pruneToks = append(pruneToks, pt)
+		b.add(tPrune, []trace.Segment{{
+			N: int64(b.logUniform(300, 1500)), MemRatio: 0.14, StoreFrac: 0.3,
+			Pat: trace.PatRandom, Base: b.private(), Footprint: 24 << 10,
+			DepDist: 2.5, FPFrac: 0.05,
+		}}, []uint64{mineToks[i%len(mineToks)]}, []uint64{pt}, nil)
+	}
+	var aggToks []uint64
+	for i := 0; i < aggs; i++ {
+		at := tok(85, i, 0)
+		aggToks = append(aggToks, at)
+		b.add(tAggregate, []trace.Segment{{
+			N: int64(b.logUniform(300, 1200)), MemRatio: 0.12, StoreFrac: 0.4,
+			Pat: trace.PatStride, Base: b.private(), Footprint: 16 << 10,
+			Stride: 8, DepDist: 4, FPFrac: 0.1,
+		}}, []uint64{pruneToks[i%len(pruneToks)]}, []uint64{at}, nil)
+	}
+	for i := 0; i < outs; i++ {
+		b.add(tOutput, []trace.Segment{{
+			N: 600, MemRatio: 0.18, StoreFrac: 0.8, Pat: trace.PatStride,
+			Base: b.private(), Footprint: 32 << 10, Stride: 8, DepDist: 8,
+		}}, []uint64{aggToks[i%len(aggToks)]}, nil, nil)
+	}
+	return b.prog
+}

@@ -1,0 +1,52 @@
+package core
+
+// history is a FIFO buffer of the most recent IPC samples of one task
+// type (paper §III-B: "two vectors holding the IPC histories of the most
+// recently simulated task instances... FIFO buffers in which a newly added
+// element replaces the oldest one").
+type history struct {
+	buf  []float64
+	n    int // number of valid entries (<= cap)
+	next int // slot the next push writes to
+	sum  float64
+}
+
+func newHistory(capacity int) *history {
+	return &history{buf: make([]float64, capacity)}
+}
+
+// Push inserts a sample, evicting the oldest when full.
+func (h *history) Push(x float64) {
+	if h.n == len(h.buf) {
+		h.sum -= h.buf[h.next]
+	} else {
+		h.n++
+	}
+	h.buf[h.next] = x
+	h.sum += x
+	h.next = (h.next + 1) % len(h.buf)
+}
+
+// Len returns the number of stored samples.
+func (h *history) Len() int { return h.n }
+
+// Full reports whether the buffer holds its capacity of samples.
+func (h *history) Full() bool { return h.n == len(h.buf) }
+
+// Mean returns the average of the stored samples, or 0 when empty.
+func (h *history) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Clear discards all samples.
+func (h *history) Clear() {
+	h.n = 0
+	h.next = 0
+	h.sum = 0
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryBasics(t *testing.T) {
+	h := newHistory(3)
+	if h.Len() != 0 || h.Full() || h.Mean() != 0 {
+		t.Error("new history should be empty with mean 0")
+	}
+	h.Push(1)
+	h.Push(2)
+	if h.Len() != 2 || h.Full() {
+		t.Errorf("len=%d full=%v, want 2,false", h.Len(), h.Full())
+	}
+	if got := h.Mean(); got != 1.5 {
+		t.Errorf("mean = %v, want 1.5", got)
+	}
+	h.Push(3)
+	if !h.Full() {
+		t.Error("should be full after 3 pushes")
+	}
+	if got := h.Mean(); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestHistoryFIFOEviction(t *testing.T) {
+	h := newHistory(2)
+	h.Push(10)
+	h.Push(20)
+	h.Push(30) // evicts 10
+	if got := h.Mean(); got != 25 {
+		t.Errorf("mean = %v, want 25 (oldest evicted)", got)
+	}
+	h.Push(40) // evicts 20
+	if got := h.Mean(); got != 35 {
+		t.Errorf("mean = %v, want 35", got)
+	}
+	if h.Len() != 2 {
+		t.Errorf("len = %d, want 2", h.Len())
+	}
+}
+
+func TestHistoryClear(t *testing.T) {
+	h := newHistory(4)
+	h.Push(5)
+	h.Push(6)
+	h.Clear()
+	if h.Len() != 0 || h.Full() || h.Mean() != 0 {
+		t.Error("clear did not reset history")
+	}
+	h.Push(7)
+	if h.Mean() != 7 {
+		t.Errorf("mean after clear+push = %v, want 7", h.Mean())
+	}
+}
+
+// Property: after any push sequence, Mean equals the arithmetic mean of
+// the last min(len(seq), cap) values.
+func TestQuickHistoryMeanMatchesWindow(t *testing.T) {
+	f := func(raw []uint8, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%8)
+		h := newHistory(capacity)
+		var seq []float64
+		for _, v := range raw {
+			x := float64(v) / 4
+			seq = append(seq, x)
+			h.Push(x)
+		}
+		if len(seq) == 0 {
+			return h.Len() == 0
+		}
+		w := capacity
+		if len(seq) < w {
+			w = len(seq)
+		}
+		sum := 0.0
+		for _, x := range seq[len(seq)-w:] {
+			sum += x
+		}
+		want := sum / float64(w)
+		return h.Len() == w && math.Abs(h.Mean()-want) < 1e-9 &&
+			h.Full() == (len(seq) >= capacity)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyPeriodic(t *testing.T) {
+	p := Periodic{P: 3}
+	if p.ShouldResample(0, 2) {
+		t.Error("should not trigger below P")
+	}
+	if !p.ShouldResample(0, 3) {
+		t.Error("should trigger at P")
+	}
+	if p.Name() != "periodic(3)" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestPolicyLazy(t *testing.T) {
+	l := Lazy{}
+	for _, n := range []int{0, 1, 100, 1 << 20} {
+		if l.ShouldResample(0, n) {
+			t.Errorf("lazy triggered at %d", n)
+		}
+	}
+	if l.Name() != "lazy" {
+		t.Errorf("name = %q", l.Name())
+	}
+}

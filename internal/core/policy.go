@@ -1,0 +1,42 @@
+package core
+
+import "fmt"
+
+// Policy decides when a simulation running in fast-forward mode is
+// resampled (paper §III-C). The separation between the sampling mechanism
+// (Sampler) and the policy allows integrating other policies with low
+// implementation effort, as the paper emphasises.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// ShouldResample is consulted when a thread retires a task instance
+	// in fast mode; fastOnThread is the number of instances that thread
+	// has retired in fast mode since the last (re)sampling.
+	ShouldResample(thread, fastOnThread int) bool
+}
+
+// Periodic is the paper's periodic sampling policy: resample once any
+// thread has executed P task instances in fast-forward mode.
+type Periodic struct {
+	// P is the sampling period.
+	P int
+}
+
+// Name returns "periodic(P)".
+func (p Periodic) Name() string { return fmt.Sprintf("periodic(%d)", p.P) }
+
+// ShouldResample triggers when the thread's fast count reaches P.
+func (p Periodic) ShouldResample(_, fastOnThread int) bool {
+	return fastOnThread >= p.P
+}
+
+// Lazy is periodic sampling with an infinite period: the policy itself
+// never triggers resampling; only unknown task types and parallelism
+// changes do.
+type Lazy struct{}
+
+// Name returns "lazy".
+func (Lazy) Name() string { return "lazy" }
+
+// ShouldResample never triggers.
+func (Lazy) ShouldResample(_, _ int) bool { return false }

@@ -1,0 +1,414 @@
+// Package core implements TaskPoint, the paper's contribution: sampled
+// simulation of dynamically scheduled task-based programs. Task instances
+// are the sampling unit. A small number of instances per task type is
+// simulated in detail to warm micro-architectural state and measure IPC
+// samples; the remaining instances are fast-forwarded at the mean IPC of
+// their type's sample history, so each thread advances at a rate matching
+// the task type it is executing (paper §III).
+//
+// The Sampler implements sim.Controller and works with any simulator that
+// offers a detailed mode and a fixed-IPC fast mode — the paper's two
+// requirements (§III-A).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+// Params are TaskPoint's model parameters (paper §V-A).
+type Params struct {
+	// W is the number of task instances each thread simulates in detail
+	// for warm-up at simulation start. The paper selects W=2.
+	W int
+	// H is the sample history size per task type. The paper selects H=4.
+	H int
+	// RareCutoff ends the sampling phase early: when every active
+	// thread has started RareCutoff consecutive instances without
+	// encountering a type whose valid history is not yet full, sampling
+	// is cut off (paper uses 5).
+	RareCutoff int
+	// ResampleWarmup is the number of detailed instances per thread
+	// that re-warm stale micro-architectural state before resampling
+	// measurements become valid (paper: one per thread).
+	ResampleWarmup int
+	// ConcurrencyTolerance is the relative change in the number of
+	// threads participating in task execution that triggers resampling
+	// (paper Fig 4a names the trigger; the threshold is this
+	// implementation's documented choice).
+	ConcurrencyTolerance float64
+	// ConcurrencyPatience is the number of consecutive out-of-tolerance
+	// task starts required before the parallelism trigger fires. It
+	// absorbs momentary serial tasks (a convergence check between
+	// parallel phases) while still catching sustained changes like a
+	// shrinking reduction tree.
+	ConcurrencyPatience int
+	// SizeClasses enables the paper's future-work extension (§V-B):
+	// instances of a task type are clustered into classes of similar
+	// dynamic instruction count (power-of-four buckets) and each class
+	// keeps its own sample histories. This counters the sampling bias of
+	// input-dependent types whose IPC correlates with instance size
+	// (dedup, freqmine). Off by default: the paper's evaluation does not
+	// use it.
+	SizeClasses bool
+}
+
+// DefaultParams returns the parameter values the paper's sensitivity
+// analysis selects: W=2, H=4, rare-type cut-off 5, one warm-up instance
+// per thread before resampling.
+func DefaultParams() Params {
+	return Params{
+		W:                    2,
+		H:                    4,
+		RareCutoff:           5,
+		ResampleWarmup:       1,
+		ConcurrencyTolerance: 0.25,
+		ConcurrencyPatience:  2,
+	}
+}
+
+// Validate checks the parameters.
+func (p *Params) Validate() error {
+	switch {
+	case p.W < 0:
+		return fmt.Errorf("core: W=%d must be >= 0", p.W)
+	case p.H < 1:
+		return fmt.Errorf("core: H=%d must be >= 1", p.H)
+	case p.RareCutoff < 1:
+		return fmt.Errorf("core: rare cutoff %d must be >= 1", p.RareCutoff)
+	case p.ResampleWarmup < 0:
+		return fmt.Errorf("core: resample warmup %d must be >= 0", p.ResampleWarmup)
+	case p.ConcurrencyTolerance <= 0:
+		return fmt.Errorf("core: concurrency tolerance %v must be > 0", p.ConcurrencyTolerance)
+	case p.ConcurrencyPatience < 1:
+		return fmt.Errorf("core: concurrency patience %d must be >= 1", p.ConcurrencyPatience)
+	}
+	return nil
+}
+
+// phase is the global sampling state.
+type phase uint8
+
+const (
+	// phaseSampling covers initial warm-up, re-warm-up and sample
+	// measurement: every starting instance is simulated in detail.
+	phaseSampling phase = iota
+	// phaseFast fast-forwards every starting instance at its type's
+	// history IPC.
+	phaseFast
+)
+
+// Stats reports what the sampler did during a run.
+type Stats struct {
+	// DetailedStarted and FastStarted count instances per chosen mode.
+	DetailedStarted, FastStarted int
+	// ValidSamples counts detailed instances whose IPC entered a valid
+	// history.
+	ValidSamples int
+	// Transitions counts sampling-to-fast transitions.
+	Transitions int
+	// Resamples counts fast-to-sampling transitions, by trigger.
+	Resamples            int
+	ResamplesPeriodic    int
+	ResamplesNewType     int
+	ResamplesParallelism int
+}
+
+// typeState is the per-task-type sampling state.
+type typeState struct {
+	valid *history // samples measured after warm-up (paper: "history of valid samples")
+	all   *history // every detailed sample (paper: "history of all samples")
+	seen  bool
+}
+
+// threadState is the per-thread sampling state.
+type threadState struct {
+	active        bool // started at least one instance in current sampling phase
+	detDone       int  // detailed instances completed in current sampling phase
+	noRareStreak  int  // consecutive starts of fully sampled types
+	fastRetired   int  // fast instances retired since last sampling
+	curValid      bool // current instance counts as a valid sample
+	curPhaseSeq   int  // phase sequence at current instance start
+	curIsDetailed bool
+}
+
+// Sampler is the TaskPoint controller: it decides per task instance
+// whether to simulate it in detailed or fast mode and maintains the IPC
+// histories that drive accurate fast-forwarding.
+type Sampler struct {
+	params Params
+	policy Policy
+
+	phase      phase
+	phaseSeq   int // incremented at every phase change
+	warmupNeed int // per-thread detailed completions before samples are valid
+
+	types   map[typeKey]*typeState
+	threads map[int]*threadState
+
+	// concurrency reference recorded during sampling (mean of Running
+	// observed at valid sample starts).
+	concSum, concN float64
+	refConcurrency float64
+	concBreaches   int
+
+	stats Stats
+}
+
+var _ sim.Controller = (*Sampler)(nil)
+
+// New creates a sampler with the given parameters and resampling policy.
+func New(params Params, policy Policy) (*Sampler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	return &Sampler{
+		params:     params,
+		policy:     policy,
+		phase:      phaseSampling,
+		warmupNeed: params.W,
+		types:      make(map[typeKey]*typeState),
+		threads:    make(map[int]*threadState),
+	}, nil
+}
+
+// MustNew is New for callers with statically valid parameters.
+func MustNew(params Params, policy Policy) *Sampler {
+	s, err := New(params, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Stats returns what the sampler did so far.
+func (s *Sampler) Stats() Stats { return s.stats }
+
+// Policy returns the resampling policy in use.
+func (s *Sampler) Policy() Policy { return s.policy }
+
+// typeKey identifies a sampling unit: a task type, refined by a size
+// class when the SizeClasses extension is enabled.
+type typeKey struct {
+	typ   trace.TypeID
+	class uint8
+}
+
+// sizeClass buckets dynamic instruction counts into powers of four, so
+// instances whose sizes differ by orders of magnitude (freqmine's
+// mine_subtree spans ~120x) land in separate classes while ordinary
+// size jitter does not split a type.
+func sizeClass(instr int64) uint8 {
+	if instr <= 0 {
+		return 0
+	}
+	return uint8(bits.Len64(uint64(instr)) / 2)
+}
+
+func (s *Sampler) keyFor(inst *trace.Instance) typeKey {
+	k := typeKey{typ: inst.Type}
+	if s.params.SizeClasses {
+		k.class = sizeClass(inst.Instructions())
+	}
+	return k
+}
+
+func (s *Sampler) typeState(k typeKey) *typeState {
+	ts, ok := s.types[k]
+	if !ok {
+		ts = &typeState{
+			valid: newHistory(s.params.H),
+			all:   newHistory(s.params.H),
+		}
+		s.types[k] = ts
+	}
+	return ts
+}
+
+func (s *Sampler) threadState(t int) *threadState {
+	th, ok := s.threads[t]
+	if !ok {
+		th = &threadState{}
+		s.threads[t] = th
+	}
+	return th
+}
+
+// TaskStart implements sim.Controller.
+func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
+	ts := s.typeState(s.keyFor(si.Instance))
+	ts.seen = true
+	th := s.threadState(si.Thread)
+
+	if s.phase == phaseFast {
+		// Parallelism change invalidates the samples (paper Fig 4a).
+		// A sustained change is required (patience) so that a single
+		// serial task between parallel phases does not thrash.
+		if s.refConcurrency > 0 {
+			diff := math.Abs(float64(si.Running) - s.refConcurrency)
+			if diff > math.Max(1, s.params.ConcurrencyTolerance*s.refConcurrency) {
+				s.concBreaches++
+				if s.concBreaches >= s.params.ConcurrencyPatience {
+					s.resample(&s.stats.ResamplesParallelism)
+				}
+			} else {
+				s.concBreaches = 0
+			}
+		}
+	}
+	if s.phase == phaseFast {
+		// Fast-forward at the type's sample-history IPC; fall back to
+		// the history of all samples for rare types (paper §III-B).
+		switch {
+		case ts.valid.Len() > 0:
+			return s.startFast(th, ts.valid.Mean())
+		case ts.all.Len() > 0:
+			return s.startFast(th, ts.all.Mean())
+		default:
+			// First instance of a previously unknown task type: its
+			// history is empty, fast simulation is impossible, so
+			// resample (paper Fig 4b).
+			s.resample(&s.stats.ResamplesNewType)
+		}
+	}
+
+	// Sampling phase: detailed simulation.
+	th.active = true
+	th.curIsDetailed = true
+	th.curPhaseSeq = s.phaseSeq
+	th.curValid = th.detDone >= s.warmupNeed
+	if th.curValid {
+		s.concSum += float64(si.Running)
+		s.concN++
+		// Rare-type cut-off bookkeeping: a start of a type whose valid
+		// history is already full extends the streak; anything else
+		// resets it (paper: "5 task instances without encountering an
+		// instance of a previously observed rare task type").
+		if ts.valid.Full() {
+			th.noRareStreak++
+		} else {
+			th.noRareStreak = 0
+		}
+		s.maybeFinishSampling()
+	}
+	s.stats.DetailedStarted++
+	return sim.Detailed()
+}
+
+func (s *Sampler) startFast(th *threadState, ipc float64) sim.Decision {
+	th.curIsDetailed = false
+	th.curPhaseSeq = s.phaseSeq
+	s.stats.FastStarted++
+	return sim.Fast(ipc)
+}
+
+// TaskFinish implements sim.Controller.
+func (s *Sampler) TaskFinish(fi sim.FinishInfo) {
+	th := s.threadState(fi.Thread)
+	if fi.Mode == sim.ModeFast {
+		// Count toward the policy's period only while still in fast
+		// phase (instances straddling a resample do not).
+		if s.phase == phaseFast && th.curPhaseSeq == s.phaseSeq {
+			th.fastRetired++
+			if s.policy.ShouldResample(fi.Thread, th.fastRetired) {
+				s.resample(&s.stats.ResamplesPeriodic)
+			}
+		}
+		return
+	}
+
+	// Detailed instance: always feeds the history of all samples.
+	ts := s.typeState(s.keyFor(fi.Instance))
+	ts.all.Push(fi.IPC)
+
+	if s.phase == phaseSampling && th.curPhaseSeq == s.phaseSeq {
+		th.detDone++
+		if th.curValid {
+			// Valid sample (paper §III-B, "Sampling").
+			ts.valid.Push(fi.IPC)
+			s.stats.ValidSamples++
+			s.maybeFinishSampling()
+		}
+	}
+	// Instances finishing after the transition to fast mode are only
+	// added to the history of all samples (paper §III-B) — nothing more
+	// to do for them.
+}
+
+// maybeFinishSampling transitions to fast mode when either every seen
+// type's valid history is full, or the rare-type cut-off fires.
+func (s *Sampler) maybeFinishSampling() {
+	if s.phase != phaseSampling {
+		return
+	}
+	if s.stats.ValidSamples == 0 {
+		return
+	}
+	allFull := true
+	for _, ts := range s.types {
+		if ts.seen && !ts.valid.Full() {
+			allFull = false
+			break
+		}
+	}
+	if !allFull {
+		// Rare-type cut-off: every active thread must have a streak of
+		// RareCutoff starts without hitting an unfilled type.
+		active := 0
+		for _, th := range s.threads {
+			if !th.active {
+				continue
+			}
+			active++
+			if th.noRareStreak < s.params.RareCutoff {
+				return
+			}
+		}
+		if active == 0 {
+			return
+		}
+	}
+	// Transition to fast-forward mode.
+	s.phase = phaseFast
+	s.phaseSeq++
+	s.stats.Transitions++
+	if s.concN > 0 {
+		s.refConcurrency = s.concSum / s.concN
+	}
+	for _, th := range s.threads {
+		th.fastRetired = 0
+	}
+}
+
+// resample switches back to sampling: valid histories are discarded and
+// every thread re-warms with ResampleWarmup detailed instances before its
+// measurements count (paper §III-B/C).
+func (s *Sampler) resample(reason *int) {
+	if s.phase != phaseFast {
+		return
+	}
+	s.phase = phaseSampling
+	s.phaseSeq++
+	s.stats.Resamples++
+	*reason++
+	s.warmupNeed = s.params.ResampleWarmup
+	for _, ts := range s.types {
+		ts.valid.Clear()
+	}
+	for _, th := range s.threads {
+		th.active = false
+		th.detDone = 0
+		th.noRareStreak = 0
+		th.fastRetired = 0
+	}
+	s.concSum, s.concN = 0, 0
+	s.refConcurrency = 0
+	s.concBreaches = 0
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+func makeInst(id int, typ trace.TypeID) *trace.Instance {
+	return &trace.Instance{
+		ID: int32(id), Type: typ, Seed: uint64(id + 1),
+		Segments: []trace.Segment{{N: 1000, DepDist: 2}},
+	}
+}
+
+// driver drives a Sampler through start/finish pairs by hand, playing the
+// simulator's role with scripted measured IPCs.
+type driver struct {
+	s   *Sampler
+	id  int
+	now float64
+}
+
+// run starts and immediately finishes one instance on the given thread,
+// reporting measuredIPC if the sampler chose detailed mode. It returns the
+// decision.
+func (d *driver) run(thread int, typ trace.TypeID, running int, measuredIPC float64) sim.Decision {
+	inst := makeInst(d.id, typ)
+	d.id++
+	dec := d.s.TaskStart(sim.StartInfo{Thread: thread, Instance: inst, Now: d.now, Running: running})
+	ipc := measuredIPC
+	if dec.Mode == sim.ModeFast {
+		ipc = dec.IPC
+	}
+	dur := float64(inst.Instructions()) / ipc
+	d.s.TaskFinish(sim.FinishInfo{
+		Thread: thread, Instance: inst,
+		Start: d.now, End: d.now + dur,
+		Mode: dec.Mode, IPC: ipc,
+	})
+	d.now += dur
+	return dec
+}
+
+func TestParamsValidate(t *testing.T) {
+	def := DefaultParams()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{W: -1, H: 4, RareCutoff: 5, ResampleWarmup: 1, ConcurrencyTolerance: 0.25},
+		{W: 2, H: 0, RareCutoff: 5, ResampleWarmup: 1, ConcurrencyTolerance: 0.25},
+		{W: 2, H: 4, RareCutoff: 0, ResampleWarmup: 1, ConcurrencyTolerance: 0.25},
+		{W: 2, H: 4, RareCutoff: 5, ResampleWarmup: -1, ConcurrencyTolerance: 0.25},
+		{W: 2, H: 4, RareCutoff: 5, ResampleWarmup: 1, ConcurrencyTolerance: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultParams(), nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestWarmupThenSampleThenFast(t *testing.T) {
+	p := DefaultParams()
+	p.W = 2
+	p.H = 2
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+
+	// Two warm-up instances (IPC 1.0 must NOT enter the valid history),
+	// then two valid samples at IPC 2.0, then fast mode.
+	for i := 0; i < 2; i++ {
+		if dec := d.run(0, 0, 1, 1.0); dec.Mode != sim.ModeDetailed {
+			t.Fatalf("warmup instance %d not detailed", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if dec := d.run(0, 0, 1, 2.0); dec.Mode != sim.ModeDetailed {
+			t.Fatalf("sample instance %d not detailed", i)
+		}
+	}
+	dec := d.run(0, 0, 1, 0)
+	if dec.Mode != sim.ModeFast {
+		t.Fatalf("expected fast mode after history filled, got %v", dec.Mode)
+	}
+	if math.Abs(dec.IPC-2.0) > 1e-12 {
+		t.Errorf("fast IPC = %v, want 2.0 (warmup samples excluded)", dec.IPC)
+	}
+	st := s.Stats()
+	if st.ValidSamples != 2 || st.Transitions != 1 || st.DetailedStarted != 4 || st.FastStarted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestZeroWarmupAllValid(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	if dec := d.run(0, 0, 1, 3.0); dec.Mode != sim.ModeDetailed {
+		t.Fatal("first instance should be detailed")
+	}
+	dec := d.run(0, 0, 1, 0)
+	if dec.Mode != sim.ModeFast || dec.IPC != 3.0 {
+		t.Errorf("decision = %+v, want fast at 3.0", dec)
+	}
+}
+
+func TestRareTypeCutoffAndAllHistoryFallback(t *testing.T) {
+	p := DefaultParams()
+	p.W = 1
+	p.H = 2
+	p.RareCutoff = 2
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+
+	// Thread's first instance is type B (rare): consumed as warm-up, so
+	// its IPC 3.0 lands only in the history of all samples.
+	d.run(0, 1, 1, 3.0)
+	// Type A instances: two valid samples fill A's history (H=2).
+	d.run(0, 0, 1, 2.0)
+	d.run(0, 0, 1, 2.0)
+	// Two more A starts extend the no-rare streak to the cutoff.
+	d.run(0, 0, 1, 2.0)
+	d.run(0, 0, 1, 2.0)
+	if s.Stats().Transitions != 1 {
+		t.Fatalf("expected sampling cut-off, stats = %+v", s.Stats())
+	}
+	// A rides its valid history.
+	if dec := d.run(0, 0, 1, 0); dec.Mode != sim.ModeFast || math.Abs(dec.IPC-2.0) > 1e-12 {
+		t.Errorf("A decision = %+v, want fast at 2.0", dec)
+	}
+	// B has no valid samples: it must fall back to the all-history mean.
+	dec := d.run(0, 1, 1, 0)
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-3.0) > 1e-12 {
+		t.Errorf("B decision = %+v, want fast at 3.0 via all-history", dec)
+	}
+	if s.Stats().Resamples != 0 {
+		t.Errorf("no resample expected, stats = %+v", s.Stats())
+	}
+}
+
+func TestUnknownTypeTriggersResample(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 0
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	d.run(0, 0, 1, 2.0) // sample type A
+	if dec := d.run(0, 0, 1, 0); dec.Mode != sim.ModeFast {
+		t.Fatalf("expected fast phase, got %+v", dec)
+	}
+	// First instance of type B arrives in fast mode: no history at all,
+	// so TaskPoint resamples and runs it in detail (paper Fig 4b).
+	dec := d.run(0, 1, 1, 4.0)
+	if dec.Mode != sim.ModeDetailed {
+		t.Fatalf("unknown type should run detailed, got %+v", dec)
+	}
+	st := s.Stats()
+	if st.Resamples != 1 || st.ResamplesNewType != 1 {
+		t.Errorf("stats = %+v, want one new-type resample", st)
+	}
+	// After resampling both types fill again and fast mode resumes with
+	// B's fresh sample.
+	d.run(0, 0, 1, 2.0)
+	dec = d.run(0, 1, 1, 0)
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-4.0) > 1e-12 {
+		t.Errorf("B after resample = %+v, want fast at 4.0", dec)
+	}
+}
+
+func TestResampleWarmupExcludesFirstInstances(t *testing.T) {
+	// With ResampleWarmup=1, the first detailed instance per thread
+	// after a resample re-warms state and must not enter the valid
+	// history.
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 1
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	d.run(0, 0, 1, 2.0) // valid sample, transition to fast
+	dec := d.run(0, 1, 1, 9.0)
+	if dec.Mode != sim.ModeDetailed || s.Stats().ResamplesNewType != 1 {
+		t.Fatalf("unknown type should resample, got %+v stats %+v", dec, s.Stats())
+	}
+	// B's first post-resample instance (IPC 9.0) was warm-up: B's valid
+	// history is still empty, so the next B sample (IPC 4.0) defines it.
+	d.run(0, 1, 1, 4.0) // valid sample for B
+	d.run(0, 0, 1, 2.0) // valid sample for A -> all types full -> fast
+	dec = d.run(0, 1, 1, 0)
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-4.0) > 1e-12 {
+		t.Errorf("B = %+v, want fast at 4.0 (warm-up 9.0 excluded)", dec)
+	}
+}
+
+func TestPeriodicPolicyResamples(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 0
+	s := MustNew(p, Periodic{P: 3})
+	d := &driver{s: s}
+	d.run(0, 0, 1, 2.0) // fills history
+	for i := 0; i < 3; i++ {
+		if dec := d.run(0, 0, 1, 0); dec.Mode != sim.ModeFast {
+			t.Fatalf("fast instance %d got %+v", i, dec)
+		}
+	}
+	st := s.Stats()
+	if st.Resamples != 1 || st.ResamplesPeriodic != 1 {
+		t.Fatalf("stats after period = %+v, want one periodic resample", st)
+	}
+	// Next instance re-samples in detail; a new IPC replaces the
+	// discarded history.
+	dec := d.run(0, 0, 1, 5.0)
+	if dec.Mode != sim.ModeDetailed {
+		t.Fatalf("post-resample instance should be detailed, got %+v", dec)
+	}
+	dec = d.run(0, 0, 1, 0)
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-5.0) > 1e-12 {
+		t.Errorf("decision = %+v, want fast at 5.0 (valid history was discarded)", dec)
+	}
+}
+
+func TestLazyNeverResamplesPeriodically(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	d.run(0, 0, 1, 2.0)
+	for i := 0; i < 5000; i++ {
+		if dec := d.run(0, 0, 1, 0); dec.Mode != sim.ModeFast {
+			t.Fatalf("lazy resampled at instance %d", i)
+		}
+	}
+	if s.Stats().Resamples != 0 {
+		t.Errorf("lazy resampled: %+v", s.Stats())
+	}
+}
+
+func TestParallelismChangeTriggersResample(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ConcurrencyPatience = 1
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	// Sample with 6 threads' worth of concurrency.
+	d.run(0, 0, 6, 2.0)
+	if dec := d.run(0, 0, 6, 0); dec.Mode != sim.ModeFast {
+		t.Fatal("expected fast phase")
+	}
+	// Parallelism collapses to 3 (diff 3 > max(1, 0.25*6)=1.5).
+	dec := d.run(0, 0, 3, 2.5)
+	if dec.Mode != sim.ModeDetailed {
+		t.Fatalf("parallelism change should resample, got %+v", dec)
+	}
+	st := s.Stats()
+	if st.ResamplesParallelism != 1 {
+		t.Errorf("stats = %+v, want one parallelism resample", st)
+	}
+}
+
+func TestParallelismPatienceAbsorbsTransient(t *testing.T) {
+	// With patience 2, a single serial task between parallel phases (a
+	// convergence check) must not resample, but a sustained collapse
+	// must.
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ConcurrencyPatience = 2
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	d.run(0, 0, 6, 2.0)
+	if dec := d.run(0, 0, 6, 0); dec.Mode != sim.ModeFast {
+		t.Fatal("expected fast phase")
+	}
+	// One transient serial task: still fast, no resample.
+	if dec := d.run(0, 0, 1, 0); dec.Mode != sim.ModeFast {
+		t.Fatalf("single transient should not resample, got %+v", dec)
+	}
+	// Back to full parallelism: breach streak resets.
+	if dec := d.run(0, 0, 6, 0); dec.Mode != sim.ModeFast {
+		t.Fatal("expected fast")
+	}
+	if s.Stats().Resamples != 0 {
+		t.Fatalf("transient caused resample: %+v", s.Stats())
+	}
+	// Sustained collapse: two consecutive breaches trigger.
+	if dec := d.run(0, 0, 2, 0); dec.Mode != sim.ModeFast {
+		t.Fatal("first breach should still be fast")
+	}
+	dec := d.run(0, 0, 2, 2.5)
+	if dec.Mode != sim.ModeDetailed {
+		t.Fatalf("sustained change should resample, got %+v", dec)
+	}
+	if s.Stats().ResamplesParallelism != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSmallParallelismChangeTolerated(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	s := MustNew(p, Lazy{})
+	d := &driver{s: s}
+	d.run(0, 0, 8, 2.0)
+	if dec := d.run(0, 0, 8, 0); dec.Mode != sim.ModeFast {
+		t.Fatal("expected fast phase")
+	}
+	// 8 -> 7 threads is within tolerance (max(1, 2)=2 >= diff 1).
+	if dec := d.run(0, 0, 7, 0); dec.Mode != sim.ModeFast {
+		t.Errorf("small concurrency change should not resample, got %+v", dec)
+	}
+	if s.Stats().Resamples != 0 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestStraddlingInstanceOnlyFeedsAllHistory(t *testing.T) {
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	s := MustNew(p, Lazy{})
+	// Thread 0 starts a detailed instance; while it runs, thread 1
+	// fills the history and flips the phase to fast. Thread 0's sample
+	// must then land only in the all-history.
+	instA := makeInst(0, 0)
+	decA := s.TaskStart(sim.StartInfo{Thread: 0, Instance: instA, Now: 0, Running: 1})
+	if decA.Mode != sim.ModeDetailed {
+		t.Fatal("first instance should be detailed")
+	}
+	instB := makeInst(1, 0)
+	decB := s.TaskStart(sim.StartInfo{Thread: 1, Instance: instB, Now: 0, Running: 2})
+	if decB.Mode != sim.ModeDetailed {
+		t.Fatal("second instance should be detailed")
+	}
+	// B finishes first with IPC 2 -> history full -> fast phase.
+	s.TaskFinish(sim.FinishInfo{Thread: 1, Instance: instB, Start: 0, End: 500, Mode: sim.ModeDetailed, IPC: 2.0})
+	if s.Stats().Transitions != 1 {
+		t.Fatal("expected transition after B's sample")
+	}
+	// A finishes after the transition with a wild IPC 9; it must not
+	// disturb the valid history.
+	s.TaskFinish(sim.FinishInfo{Thread: 0, Instance: instA, Start: 0, End: 111, Mode: sim.ModeDetailed, IPC: 9.0})
+	dec := s.TaskStart(sim.StartInfo{Thread: 0, Instance: makeInst(2, 0), Now: 600, Running: 1})
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-2.0) > 1e-12 {
+		t.Errorf("decision = %+v, want fast at 2.0 (straddler excluded)", dec)
+	}
+	if s.Stats().ValidSamples != 1 {
+		t.Errorf("valid samples = %d, want 1", s.Stats().ValidSamples)
+	}
+}
+
+func TestSamplerWithEngineLazy(t *testing.T) {
+	// End-to-end: sampled simulation must agree with detailed simulation
+	// while simulating far fewer instructions in detail.
+	prog := uniformProgram(128, 2000, 3)
+	cfg := sim.HighPerfConfig(2)
+	cfg.Quantum = 1000
+
+	det, err := sim.Simulate(cfg, prog, sim.DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustNew(DefaultParams(), Lazy{})
+	samp, err := sim.Simulate(cfg, prog, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPct := math.Abs(samp.Cycles-det.Cycles) / det.Cycles * 100
+	if errPct > 10 {
+		t.Errorf("execution time error %.2f%% too high (sampled %v vs detailed %v)", errPct, samp.Cycles, det.Cycles)
+	}
+	if samp.DetailFraction() > 0.5 {
+		t.Errorf("detail fraction %.2f, expected sampling to skip most instructions", samp.DetailFraction())
+	}
+	if samp.FastTasks == 0 {
+		t.Error("no instances fast-forwarded")
+	}
+}
+
+func TestSamplerWithEnginePeriodic(t *testing.T) {
+	prog := uniformProgram(256, 1500, 5)
+	cfg := sim.HighPerfConfig(2)
+	cfg.Quantum = 1000
+	s := MustNew(DefaultParams(), Periodic{P: 20})
+	res, err := sim.Simulate(cfg, prog, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ResamplesPeriodic == 0 {
+		t.Errorf("expected periodic resamples with P=20 over 256 tasks, stats = %+v", st)
+	}
+	if res.DetailFraction() >= 1 {
+		t.Error("periodic sampling simulated everything in detail")
+	}
+}
+
+// uniformProgram builds n independent instances of a single type, each
+// working on its own data block (over-decomposition: every instance sees
+// the same cold-miss profile, so per-type IPC is regular — the property
+// the paper's §II-B establishes for task-based programs).
+func uniformProgram(n int, instr int64, seedBase uint64) *trace.Program {
+	p := &trace.Program{Name: "uniform", Types: []trace.TypeInfo{{Name: "work"}}}
+	for i := 0; i < n; i++ {
+		p.Instances = append(p.Instances, trace.Instance{
+			ID: int32(i), Type: 0, Seed: seedBase + uint64(i),
+			Segments: []trace.Segment{{
+				N: instr, MemRatio: 0.25, Pat: trace.PatStride, Stride: 64,
+				Base: uint64(i) << 22, Footprint: 1 << 15, DepDist: 4,
+			}},
+		})
+	}
+	return p
+}
+
+// Property: any legal interleaving of starts/finishes keeps the sampler's
+// bookkeeping consistent and never panics.
+func TestQuickSamplerConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		params := Params{
+			W:                    r.IntN(3),
+			H:                    1 + r.IntN(4),
+			RareCutoff:           1 + r.IntN(4),
+			ResampleWarmup:       r.IntN(2),
+			ConcurrencyTolerance: 0.25,
+			ConcurrencyPatience:  1 + r.IntN(3),
+		}
+		var pol Policy = Lazy{}
+		if r.IntN(2) == 0 {
+			pol = Periodic{P: 1 + r.IntN(10)}
+		}
+		s, err := New(params, pol)
+		if err != nil {
+			return false
+		}
+		threads := 1 + r.IntN(4)
+		type inflight struct {
+			inst *trace.Instance
+			dec  sim.Decision
+		}
+		cur := make([]*inflight, threads)
+		id := 0
+		starts, finishes := 0, 0
+		for op := 0; op < 300; op++ {
+			th := r.IntN(threads)
+			if cur[th] == nil {
+				inst := makeInst(id, trace.TypeID(r.IntN(3)))
+				id++
+				running := 0
+				for _, c := range cur {
+					if c != nil {
+						running++
+					}
+				}
+				dec := s.TaskStart(sim.StartInfo{
+					Thread: th, Instance: inst,
+					Now: float64(op), Running: running + 1,
+				})
+				if dec.Mode == sim.ModeFast && dec.IPC <= 0 {
+					return false
+				}
+				cur[th] = &inflight{inst: inst, dec: dec}
+				starts++
+			} else {
+				fl := cur[th]
+				ipc := fl.dec.IPC
+				if fl.dec.Mode == sim.ModeDetailed {
+					ipc = 0.5 + 3*r.Float64()
+				}
+				s.TaskFinish(sim.FinishInfo{
+					Thread: th, Instance: fl.inst,
+					Start: 0, End: float64(op + 1),
+					Mode: fl.dec.Mode, IPC: ipc,
+				})
+				cur[th] = nil
+				finishes++
+			}
+		}
+		st := s.Stats()
+		return st.DetailedStarted+st.FastStarted == starts &&
+			st.ValidSamples <= st.DetailedStarted &&
+			st.Resamples == st.ResamplesPeriodic+st.ResamplesNewType+st.ResamplesParallelism
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+func makeSizedInst(id int, typ trace.TypeID, instr int64) *trace.Instance {
+	return &trace.Instance{
+		ID: int32(id), Type: typ, Seed: uint64(id + 1),
+		Segments: []trace.Segment{{N: instr, DepDist: 2}},
+	}
+}
+
+func TestSizeClassBuckets(t *testing.T) {
+	// Power-of-four buckets: sizes within ~4x share a class, sizes
+	// orders of magnitude apart do not.
+	if sizeClass(0) != 0 || sizeClass(-5) != 0 {
+		t.Error("non-positive sizes must map to class 0")
+	}
+	if sizeClass(1000) != sizeClass(1800) {
+		t.Errorf("similar sizes split: %d vs %d", sizeClass(1000), sizeClass(1800))
+	}
+	if sizeClass(500) == sizeClass(50000) {
+		t.Error("100x size difference landed in one class")
+	}
+	// Monotone in size.
+	prev := uint8(0)
+	for n := int64(1); n < 1<<40; n *= 4 {
+		c := sizeClass(n)
+		if c < prev {
+			t.Fatalf("sizeClass not monotone at %d", n)
+		}
+		prev = c
+	}
+}
+
+// runSized drives a sampler with an instance of the given size, reporting
+// measuredIPC for detailed decisions.
+func runSized(s *Sampler, d *int, thread int, typ trace.TypeID, instr int64, measuredIPC float64) sim.Decision {
+	inst := makeSizedInst(*d, typ, instr)
+	*d++
+	dec := s.TaskStart(sim.StartInfo{Thread: thread, Instance: inst, Now: 0, Running: 1})
+	ipc := measuredIPC
+	if dec.Mode == sim.ModeFast {
+		ipc = dec.IPC
+	}
+	s.TaskFinish(sim.FinishInfo{Thread: thread, Instance: inst, Start: 0, End: float64(instr) / ipc, Mode: dec.Mode, IPC: ipc})
+	return dec
+}
+
+func TestSizeClassesSeparateHistories(t *testing.T) {
+	// One task type with bimodal sizes: small instances run at IPC 1,
+	// large ones at IPC 3 (input-dependent control flow). With size
+	// classes each class is predicted with its own IPC.
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.SizeClasses = true
+	p.ResampleWarmup = 0
+	s := MustNew(p, Lazy{})
+	id := 0
+	runSized(s, &id, 0, 0, 1000, 1.0)  // small sample; transition to fast
+	runSized(s, &id, 0, 0, 60000, 3.0) // new size class: resample, sample it
+	runSized(s, &id, 0, 0, 1000, 1.0)  // re-fill the small class after resample
+	small := runSized(s, &id, 0, 0, 1100, 0)
+	if small.Mode != sim.ModeFast || math.Abs(small.IPC-1.0) > 1e-12 {
+		t.Errorf("small instance = %+v, want fast at 1.0", small)
+	}
+	large := runSized(s, &id, 0, 0, 55000, 0)
+	if large.Mode != sim.ModeFast || math.Abs(large.IPC-3.0) > 1e-12 {
+		t.Errorf("large instance = %+v, want fast at 3.0", large)
+	}
+}
+
+func TestWithoutSizeClassesOneHistory(t *testing.T) {
+	// Same scenario with the extension off: both sizes share a history,
+	// so the prediction is the blended mean — the paper's §V-B bias.
+	p := DefaultParams()
+	p.W = 0
+	p.H = 2
+	p.ResampleWarmup = 0
+	s := MustNew(p, Lazy{})
+	id := 0
+	runSized(s, &id, 0, 0, 1000, 1.0)
+	runSized(s, &id, 0, 0, 60000, 3.0)
+	dec := runSized(s, &id, 0, 0, 1100, 0)
+	if dec.Mode != sim.ModeFast || math.Abs(dec.IPC-2.0) > 1e-12 {
+		t.Errorf("decision = %+v, want blended fast at 2.0", dec)
+	}
+}
+
+func TestSizeClassNewClassTriggersResample(t *testing.T) {
+	// A never-seen size class arriving in fast mode behaves like a new
+	// task type (paper Fig 4b): resample and run it detailed.
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.SizeClasses = true
+	p.ResampleWarmup = 0
+	s := MustNew(p, Lazy{})
+	id := 0
+	runSized(s, &id, 0, 0, 1000, 1.0)
+	if dec := runSized(s, &id, 0, 0, 1000, 0); dec.Mode != sim.ModeFast {
+		t.Fatalf("expected fast phase, got %+v", dec)
+	}
+	dec := runSized(s, &id, 0, 0, 70000, 2.5)
+	if dec.Mode != sim.ModeDetailed {
+		t.Fatalf("new size class should resample + run detailed, got %+v", dec)
+	}
+	if s.Stats().ResamplesNewType != 1 {
+		t.Errorf("stats = %+v, want one new-type resample", s.Stats())
+	}
+}
+
+func TestSizeClassingReducesDedupStyleError(t *testing.T) {
+	// End-to-end: a workload whose per-instance IPC correlates with
+	// instance size. Size classing must predict total time better than
+	// the plain per-type history.
+	prog := &trace.Program{Name: "bimodal", Types: []trace.TypeInfo{{Name: "chunk"}}}
+	for i := 0; i < 256; i++ {
+		instr := int64(900)
+		dep := 1.2 // slow, serial (small compressible chunks)
+		if i%2 == 1 {
+			instr = 24000
+			dep = 8 // fast, parallel (large incompressible chunks)
+		}
+		prog.Instances = append(prog.Instances, trace.Instance{
+			ID: int32(i), Type: 0, Seed: uint64(i + 1),
+			Segments: []trace.Segment{{
+				N: instr, MemRatio: 0.08, Pat: trace.PatStride, Stride: 8,
+				Base: uint64(1)<<32 + uint64(i)<<20, Footprint: 16 << 10, DepDist: dep,
+			}},
+		})
+	}
+	cfg := sim.HighPerfConfig(4)
+	det, err := sim.Simulate(cfg, prog, sim.DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(classes bool) float64 {
+		p := DefaultParams()
+		p.SizeClasses = classes
+		s := MustNew(p, Lazy{})
+		res, err := sim.Simulate(cfg, prog, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Cycles-det.Cycles) / det.Cycles * 100
+	}
+	plain := run(false)
+	classed := run(true)
+	if classed > plain {
+		t.Errorf("size classing worsened error: plain %.2f%% vs classed %.2f%%", plain, classed)
+	}
+	if classed > 10 {
+		t.Errorf("size-classed error %.2f%% still high on bimodal workload", classed)
+	}
+}

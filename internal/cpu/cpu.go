@@ -1,0 +1,295 @@
+// Package cpu implements the detailed core timing model of the simulator's
+// detailed mode. Like TaskSim's detailed mode, it is a trace-driven model
+// based on reorder-buffer occupancy analysis (Lee et al. [21] in the
+// paper): instructions dispatch in program order limited by the issue
+// width, wait for their register dependencies and memory latencies, and
+// commit in order limited by the commit rate, with the ROB size bounding
+// how far execution can run ahead of the oldest incomplete instruction.
+//
+// Instruction streams are expanded on the fly from trace.Segment
+// descriptors using the instance seed, so the same instance always yields
+// the same instruction mix, while timing depends on the simulated cache
+// and contention state at the moment it executes.
+package cpu
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"taskpoint/internal/trace"
+)
+
+// Config describes the modelled core (paper Table II rows 1-3).
+type Config struct {
+	// ROB is the reorder buffer size in instructions.
+	ROB int
+	// IssueWidth is the maximum dispatch rate (instructions/cycle).
+	IssueWidth int
+	// CommitWidth is the maximum commit rate (instructions/cycle).
+	CommitWidth int
+	// IntLat is the latency of short arithmetic instructions.
+	IntLat float64
+	// FPLat is the latency of long arithmetic (floating-point)
+	// instructions.
+	FPLat float64
+	// StoreLat is the latency charged to a store before it can commit
+	// (the write buffer hides the memory round trip).
+	StoreLat float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.ROB <= 0:
+		return fmt.Errorf("cpu: ROB size %d must be positive", c.ROB)
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("cpu: issue width %d must be positive", c.IssueWidth)
+	case c.CommitWidth <= 0:
+		return fmt.Errorf("cpu: commit width %d must be positive", c.CommitWidth)
+	case c.IntLat <= 0 || c.FPLat <= 0 || c.StoreLat <= 0:
+		return fmt.Errorf("cpu: latencies must be positive")
+	}
+	return nil
+}
+
+// MemPort is the memory interface a core issues its loads and stores to.
+// The sim package binds it to one core of the mem.System.
+type MemPort interface {
+	// Access returns the latency of an access issued at time now.
+	Access(addr uint64, write, atomic bool, now float64) float64
+}
+
+// Core is the timing state of one simulated core. Pipeline state persists
+// across task instances executed on the core; after long fast-forward gaps
+// the recorded times lie in the past and impose no constraints, which
+// naturally models a drained pipeline.
+type Core struct {
+	cfg        Config
+	mem        MemPort
+	compRing   []float64 // completion times of the last ROB instructions
+	commitRing []float64 // commit times of the last ROB instructions
+	head       int64     // total instructions dispatched on this core
+	issueSlot  float64   // next available dispatch slot
+	lastCommit float64
+	invIssue   float64
+	invCommit  float64
+}
+
+// New builds a core. It panics on invalid configuration: configs are
+// produced by the sim package's validated architecture constructors.
+func New(cfg Config, mem MemPort) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		cfg:        cfg,
+		mem:        mem,
+		compRing:   make([]float64, cfg.ROB),
+		commitRing: make([]float64, cfg.ROB),
+		invIssue:   1 / float64(cfg.IssueWidth),
+		invCommit:  1 / float64(cfg.CommitWidth),
+	}
+}
+
+// Reset restores the core to a cold pipeline at time 0.
+func (c *Core) Reset() {
+	for i := range c.compRing {
+		c.compRing[i] = 0
+		c.commitRing[i] = 0
+	}
+	c.head = 0
+	c.issueSlot = 0
+	c.lastCommit = 0
+}
+
+// Exec is the execution cursor of one task instance. It carries the
+// deterministic generator state, so a task can be simulated in bounded
+// quanta interleaved with other cores.
+//
+// Two generators are kept apart on purpose: instruction classes and
+// register dependencies come from a type-level seed, because all instances
+// of a task type execute the same code and therefore the same instruction
+// mix; memory addresses come from the per-instance seed, because each
+// instance operates on its own data (paper §II-A). This split gives
+// instances of a type the per-type IPC regularity Figure 1 documents,
+// while input-dependent types (whose segment parameters themselves vary
+// per instance) still diverge.
+type Exec struct {
+	inst     *trace.Instance
+	segIdx   int
+	segDone  int64
+	mixRng   *rand.Rand // instruction classes + dependency distances
+	addrRng  *rand.Rand // memory addresses
+	memIdx   int64
+	chase    uint64
+	lastLoad float64 // completion time of the previous load (chase deps)
+	retired  int64
+}
+
+// NewExec creates an execution cursor for inst.
+func NewExec(inst *trace.Instance) *Exec {
+	return &Exec{
+		inst:    inst,
+		mixRng:  rand.New(rand.NewPCG(uint64(inst.Type)+0x9e3779b97f4a7c15, 0xd1b54a32d192ed03)),
+		addrRng: rand.New(rand.NewPCG(inst.Seed, 0x2545f4914f6cdd1d)),
+		chase:   inst.Seed | 1,
+	}
+}
+
+// Instance returns the instance being executed.
+func (e *Exec) Instance() *trace.Instance { return e.inst }
+
+// Retired returns the number of instructions retired so far.
+func (e *Exec) Retired() int64 { return e.retired }
+
+// Finished reports whether the whole instance has been executed.
+func (e *Exec) Finished() bool { return e.segIdx >= len(e.inst.Segments) }
+
+// Run executes instructions of e on the core until the core-local commit
+// time reaches deadline, limit instructions have executed, or the instance
+// finishes — whichever comes first. The task does not start before now.
+// It returns the core-local time after the last executed instruction
+// commits and whether the instance finished.
+//
+// The time-based deadline is what keeps a multi-core simulation causal:
+// the engine advances cores in bounded time slices, so the skew between
+// cores sharing caches and DRAM queues stays bounded regardless of how
+// slow the code on any one core is.
+//
+// The start-time constraint applies only to the first quantum of the
+// instance; on later quanta the pipeline continues from its own state
+// (issue may legitimately run behind commit).
+func (c *Core) Run(e *Exec, limit int64, deadline, now float64) (end float64, finished bool) {
+	if e.retired == 0 {
+		if c.issueSlot < now {
+			c.issueSlot = now
+		}
+		if c.lastCommit < now {
+			c.lastCommit = now
+		}
+	}
+	executed := int64(0)
+	for executed < limit && !e.Finished() && (executed == 0 || c.lastCommit < deadline) {
+		seg := &e.inst.Segments[e.segIdx]
+		n := seg.N - e.segDone
+		if n > limit-executed {
+			n = limit - executed
+		}
+		n = c.runSegment(e, seg, n, deadline)
+		executed += n
+		e.segDone += n
+		e.retired += n
+		if e.segDone >= seg.N {
+			e.segIdx++
+			e.segDone = 0
+		}
+	}
+	return c.lastCommit, e.Finished()
+}
+
+// runSegment executes up to n instructions of seg, stopping once the
+// commit time passes deadline (at least one instruction always executes).
+// It returns the number of instructions executed.
+func (c *Core) runSegment(e *Exec, seg *trace.Segment, n int64, deadline float64) int64 {
+	rob := int64(c.cfg.ROB)
+	for k := int64(0); k < n; k++ {
+		if k > 0 && c.lastCommit >= deadline {
+			return k
+		}
+		// Register dependency: distance with mean seg.DepDist, at
+		// least 1, bounded by the ROB window.
+		ready := 0.0
+		d := int64(1)
+		if seg.DepDist > 1 {
+			d += int64(e.mixRng.ExpFloat64() * (seg.DepDist - 1))
+		}
+		if d > rob-1 {
+			d = rob - 1
+		}
+		if d <= c.head {
+			ready = c.compRing[(c.head-d)%rob]
+		}
+
+		// ROB occupancy: instruction head cannot dispatch before the
+		// instruction ROB slots older has committed.
+		robFree := c.commitRing[c.head%rob]
+
+		issue := c.issueSlot
+		if ready > issue {
+			issue = ready
+		}
+		if robFree > issue {
+			issue = robFree
+		}
+
+		// Latency by instruction class.
+		var lat float64
+		if e.mixRng.Float64() < seg.MemRatio {
+			addr := c.address(e, seg)
+			isStore := e.mixRng.Float64() < seg.StoreFrac
+			memLat := c.mem.Access(addr, isStore, seg.Atomic, issue)
+			if isStore && !seg.Atomic {
+				// The write buffer hides the store round trip.
+				lat = c.cfg.StoreLat
+			} else {
+				if seg.Pat == trace.PatChase {
+					// Serialised loads: wait for the previous one.
+					if e.lastLoad > issue {
+						issue = e.lastLoad
+					}
+				}
+				lat = memLat
+				e.lastLoad = issue + lat
+			}
+		} else if e.mixRng.Float64() < seg.FPFrac {
+			lat = c.cfg.FPLat
+		} else {
+			lat = c.cfg.IntLat
+		}
+
+		complete := issue + lat
+		commit := c.lastCommit + c.invCommit
+		if complete > commit {
+			commit = complete
+		}
+
+		idx := c.head % rob
+		c.compRing[idx] = complete
+		c.commitRing[idx] = commit
+		c.lastCommit = commit
+		c.issueSlot = issue + c.invIssue
+		c.head++
+	}
+	return n
+}
+
+// address generates the next memory address of the segment's pattern.
+func (c *Core) address(e *Exec, seg *trace.Segment) uint64 {
+	fp := seg.Footprint
+	if fp == 0 {
+		return seg.Base
+	}
+	switch seg.Pat {
+	case trace.PatStride:
+		off := uint64(e.memIdx*seg.Stride) % fp
+		e.memIdx++
+		return seg.Base + off
+	case trace.PatRandom:
+		return seg.Base + e.addrRng.Uint64N(fp)
+	case trace.PatGaussian:
+		// Hot spot in the middle of the footprint.
+		off := float64(fp)/2 + e.addrRng.NormFloat64()*float64(fp)/8
+		if off < 0 {
+			off = 0
+		}
+		if off >= float64(fp) {
+			off = float64(fp) - 1
+		}
+		return seg.Base + uint64(off)
+	case trace.PatChase:
+		e.chase = e.chase*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		return seg.Base + e.chase%fp
+	default:
+		return seg.Base
+	}
+}

@@ -1,0 +1,304 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/trace"
+)
+
+// fixedMem returns the same latency for every access and records them.
+type fixedMem struct {
+	lat      float64
+	accesses int
+	writes   int
+	atomics  int
+	addrs    []uint64
+}
+
+func (m *fixedMem) Access(addr uint64, write, atomic bool, now float64) float64 {
+	m.accesses++
+	if write {
+		m.writes++
+	}
+	if atomic {
+		m.atomics++
+	}
+	if len(m.addrs) < 4096 {
+		m.addrs = append(m.addrs, addr)
+	}
+	return m.lat
+}
+
+func cfg() Config {
+	return Config{ROB: 32, IssueWidth: 4, CommitWidth: 4, IntLat: 1, FPLat: 4, StoreLat: 2}
+}
+
+func inst(segs ...trace.Segment) *trace.Instance {
+	return &trace.Instance{ID: 0, Type: 0, Seed: 12345, Segments: segs}
+}
+
+func runAll(t *testing.T, c *Core, e *Exec, start float64) float64 {
+	t.Helper()
+	now := start
+	for {
+		end, fin := c.Run(e, 1000, math.Inf(1), now)
+		now = end
+		if fin {
+			return end
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := cfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{ROB: 0, IssueWidth: 4, CommitWidth: 4, IntLat: 1, FPLat: 4, StoreLat: 2},
+		{ROB: 32, IssueWidth: 0, CommitWidth: 4, IntLat: 1, FPLat: 4, StoreLat: 2},
+		{ROB: 32, IssueWidth: 4, CommitWidth: 0, IntLat: 1, FPLat: 4, StoreLat: 2},
+		{ROB: 32, IssueWidth: 4, CommitWidth: 4, IntLat: 0, FPLat: 4, StoreLat: 2},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{}, &fixedMem{lat: 1})
+}
+
+func TestPureALUIPCApproachesIssueWidth(t *testing.T) {
+	// Independent 1-cycle instructions (huge DepDist): IPC should be
+	// close to the commit width.
+	c := New(cfg(), &fixedMem{lat: 1})
+	e := NewExec(inst(trace.Segment{N: 40000, DepDist: 64, Footprint: 0}))
+	end := runAll(t, c, e, 0)
+	ipc := float64(e.Retired()) / end
+	if ipc < 3.0 || ipc > 4.01 {
+		t.Errorf("independent ALU IPC = %v, want near 4", ipc)
+	}
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	// DepDist 1 serialises everything: IPC <= 1 for 1-cycle ops.
+	c := New(cfg(), &fixedMem{lat: 1})
+	e := NewExec(inst(trace.Segment{N: 20000, DepDist: 1}))
+	end := runAll(t, c, e, 0)
+	ipc := float64(e.Retired()) / end
+	if ipc > 1.01 {
+		t.Errorf("serialised IPC = %v, want <= 1", ipc)
+	}
+}
+
+func TestMemoryLatencyLowersIPC(t *testing.T) {
+	fast := New(cfg(), &fixedMem{lat: 4})
+	slow := New(cfg(), &fixedMem{lat: 200})
+	seg := trace.Segment{N: 20000, MemRatio: 0.3, Pat: trace.PatRandom, Footprint: 1 << 20, DepDist: 4}
+	e1 := NewExec(inst(seg))
+	e2 := NewExec(inst(seg))
+	endFast := runAll(t, fast, e1, 0)
+	endSlow := runAll(t, slow, e2, 0)
+	if endSlow <= endFast {
+		t.Errorf("200-cycle memory (%v cycles) should be slower than 4-cycle (%v)", endSlow, endFast)
+	}
+}
+
+func TestROBLimitsMemoryParallelism(t *testing.T) {
+	// With long memory latency, a larger ROB overlaps more misses and
+	// finishes sooner (memory-level parallelism).
+	small := cfg()
+	small.ROB = 8
+	big := cfg()
+	big.ROB = 168
+	seg := trace.Segment{N: 20000, MemRatio: 0.3, Pat: trace.PatRandom, Footprint: 1 << 24, DepDist: 16}
+	cS := New(small, &fixedMem{lat: 150})
+	cB := New(big, &fixedMem{lat: 150})
+	eS := NewExec(inst(seg))
+	eB := NewExec(inst(seg))
+	endS := runAll(t, cS, eS, 0)
+	endB := runAll(t, cB, eB, 0)
+	if endB >= endS {
+		t.Errorf("ROB=168 (%v) should beat ROB=8 (%v) on memory-bound code", endB, endS)
+	}
+}
+
+func TestFPLatencySlowsSerialCode(t *testing.T) {
+	intSeg := trace.Segment{N: 10000, DepDist: 1, FPFrac: 0}
+	fpSeg := trace.Segment{N: 10000, DepDist: 1, FPFrac: 1}
+	c1 := New(cfg(), &fixedMem{lat: 1})
+	c2 := New(cfg(), &fixedMem{lat: 1})
+	e1 := NewExec(inst(intSeg))
+	e2 := NewExec(inst(fpSeg))
+	end1 := runAll(t, c1, e1, 0)
+	end2 := runAll(t, c2, e2, 0)
+	if end2 <= end1*2 {
+		t.Errorf("serial FP chain (%v) should be much slower than int chain (%v)", end2, end1)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	seg := trace.Segment{N: 5000, MemRatio: 0.4, StoreFrac: 0.3, Pat: trace.PatRandom, Footprint: 1 << 16, DepDist: 3, FPFrac: 0.2}
+	run := func() float64 {
+		c := New(cfg(), &fixedMem{lat: 20})
+		e := NewExec(inst(seg))
+		return runAll(t, c, e, 0)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same instance, same timing expected: %v vs %v", a, b)
+	}
+}
+
+func TestQuantumSplitMatchesSingleRun(t *testing.T) {
+	// Running in quanta of 100 must give the same final time as one big
+	// quantum: the cursor carries all state.
+	seg := trace.Segment{N: 5000, MemRatio: 0.2, Pat: trace.PatStride, Stride: 64, Footprint: 1 << 14, DepDist: 4}
+	one := New(cfg(), &fixedMem{lat: 10})
+	eOne := NewExec(inst(seg))
+	endOne, fin := one.Run(eOne, 1<<40, math.Inf(1), 0)
+	if !fin {
+		t.Fatal("single run did not finish")
+	}
+	many := New(cfg(), &fixedMem{lat: 10})
+	eMany := NewExec(inst(seg))
+	now, done := 0.0, false
+	for !done {
+		now, done = many.Run(eMany, 100, math.Inf(1), now)
+	}
+	if math.Abs(endOne-now) > 1e-6 {
+		t.Errorf("chunked run end %v != single run end %v", now, endOne)
+	}
+}
+
+func TestStartTimeShiftsExecution(t *testing.T) {
+	seg := trace.Segment{N: 1000, DepDist: 2}
+	c := New(cfg(), &fixedMem{lat: 1})
+	e := NewExec(inst(seg))
+	end, _ := c.Run(e, 1<<40, math.Inf(1), 500)
+	if end < 500 {
+		t.Errorf("end %v before start time 500", end)
+	}
+}
+
+func TestStrideAddresses(t *testing.T) {
+	m := &fixedMem{lat: 1}
+	c := New(cfg(), m)
+	e := NewExec(inst(trace.Segment{N: 2000, MemRatio: 1, Pat: trace.PatStride, Base: 4096, Stride: 64, Footprint: 1 << 20, DepDist: 8}))
+	runAll(t, c, e, 0)
+	if len(m.addrs) < 3 {
+		t.Fatal("no addresses recorded")
+	}
+	for i := 1; i < 10; i++ {
+		if m.addrs[i]-m.addrs[i-1] != 64 {
+			t.Errorf("stride %d between accesses %d and %d, want 64", m.addrs[i]-m.addrs[i-1], i-1, i)
+		}
+	}
+}
+
+func TestAddressesStayInFootprint(t *testing.T) {
+	for _, pat := range []trace.Pattern{trace.PatStride, trace.PatRandom, trace.PatGaussian, trace.PatChase} {
+		m := &fixedMem{lat: 1}
+		c := New(cfg(), m)
+		base, fp := uint64(1<<20), uint64(1<<14)
+		e := NewExec(inst(trace.Segment{N: 3000, MemRatio: 1, Pat: pat, Base: base, Stride: 64, Footprint: fp, DepDist: 8}))
+		runAll(t, c, e, 0)
+		for _, a := range m.addrs {
+			if a < base || a >= base+fp {
+				t.Errorf("%v: address %#x outside [%#x,%#x)", pat, a, base, base+fp)
+			}
+		}
+	}
+}
+
+func TestAtomicSegmentsIssueAtomics(t *testing.T) {
+	m := &fixedMem{lat: 5}
+	c := New(cfg(), m)
+	e := NewExec(inst(trace.Segment{N: 1000, MemRatio: 0.5, Atomic: true, Pat: trace.PatRandom, Footprint: 4096, DepDist: 4}))
+	runAll(t, c, e, 0)
+	if m.atomics == 0 {
+		t.Error("atomic segment issued no atomic accesses")
+	}
+}
+
+func TestChaseSerialisesLoads(t *testing.T) {
+	// Pointer chasing must be drastically slower than random access at
+	// the same memory latency because loads cannot overlap.
+	lat := 100.0
+	segR := trace.Segment{N: 5000, MemRatio: 0.5, Pat: trace.PatRandom, Footprint: 1 << 20, DepDist: 16}
+	segC := segR
+	segC.Pat = trace.PatChase
+	cR := New(cfg(), &fixedMem{lat: lat})
+	cC := New(cfg(), &fixedMem{lat: lat})
+	eR := NewExec(inst(segR))
+	eC := NewExec(inst(segC))
+	endR := runAll(t, cR, eR, 0)
+	endC := runAll(t, cC, eC, 0)
+	if endC < endR*1.5 {
+		t.Errorf("chase (%v) should be much slower than random (%v)", endC, endR)
+	}
+}
+
+func TestMultiSegmentInstance(t *testing.T) {
+	c := New(cfg(), &fixedMem{lat: 1})
+	e := NewExec(inst(
+		trace.Segment{N: 100, DepDist: 2},
+		trace.Segment{N: 200, DepDist: 2},
+	))
+	runAll(t, c, e, 0)
+	if e.Retired() != 300 {
+		t.Errorf("retired %d, want 300", e.Retired())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(cfg(), &fixedMem{lat: 1})
+	e := NewExec(inst(trace.Segment{N: 100, DepDist: 2}))
+	runAll(t, c, e, 0)
+	c.Reset()
+	e2 := NewExec(inst(trace.Segment{N: 100, DepDist: 2}))
+	end, _ := c.Run(e2, 1<<40, math.Inf(1), 0)
+	c2 := New(cfg(), &fixedMem{lat: 1})
+	e3 := NewExec(inst(trace.Segment{N: 100, DepDist: 2}))
+	end2, _ := c2.Run(e3, 1<<40, math.Inf(1), 0)
+	if end != end2 {
+		t.Errorf("reset core end %v != fresh core end %v", end, end2)
+	}
+}
+
+// Property: execution time is monotone, IPC is within (0, CommitWidth],
+// and the retired count always matches the instance instruction count.
+func TestQuickExecutionInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, memRaw, depRaw uint8) bool {
+		n := int64(nRaw%5000) + 100
+		memRatio := float64(memRaw%100) / 100
+		dep := 1 + float64(depRaw%16)
+		seg := trace.Segment{
+			N: n, MemRatio: memRatio, StoreFrac: 0.3,
+			Pat: trace.Pattern(seed % 4), Footprint: 1 << 16, Stride: 64,
+			DepDist: dep, FPFrac: 0.1,
+		}
+		c := New(cfg(), &fixedMem{lat: 30})
+		in := inst(seg)
+		in.Seed = seed
+		e := NewExec(in)
+		end, fin := c.Run(e, 1<<40, math.Inf(1), 0)
+		if !fin || e.Retired() != n {
+			return false
+		}
+		ipc := float64(n) / end
+		return end > 0 && ipc > 0 && ipc <= float64(cfg().CommitWidth)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package mem models the simulated memory hierarchy of the TaskSim-like
+// detailed mode: set-associative write-back caches (private L1, private or
+// shared L2, optional shared L3), a line-granularity sharers directory that
+// invalidates remote private copies on writes, and a bandwidth-limited DRAM
+// channel. Shared levels and DRAM carry occupancy-based queueing, so IPC
+// becomes thread-count dependent — the resource contention that TaskPoint's
+// resampling triggers (paper Fig 4a) exist to track.
+package mem
+
+import "fmt"
+
+// CacheCfg describes one cache level.
+type CacheCfg struct {
+	// Size is the capacity in bytes.
+	Size int
+	// Ways is the associativity.
+	Ways int
+	// Lat is the hit latency in cycles.
+	Lat float64
+}
+
+func (c CacheCfg) validate(name string, lineSize int) error {
+	switch {
+	case c.Size <= 0:
+		return fmt.Errorf("mem: %s size %d must be positive", name, c.Size)
+	case c.Ways <= 0:
+		return fmt.Errorf("mem: %s ways %d must be positive", name, c.Ways)
+	case c.Lat <= 0:
+		return fmt.Errorf("mem: %s latency %v must be positive", name, c.Lat)
+	case c.Size%(lineSize*c.Ways) != 0:
+		return fmt.Errorf("mem: %s size %d not divisible by ways*line", name, c.Size)
+	}
+	return nil
+}
+
+// Cache is a single set-associative write-back cache with LRU replacement.
+// Lines are identified by line number (byte address >> log2(lineSize)).
+type Cache struct {
+	sets   int
+	ways   int
+	mask   uint64 // sets-1 when sets is a power of two, else 0
+	lines  []uint64
+	state  []uint8 // lineInvalid/lineValid/lineDirty
+	lru    []uint64
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+const (
+	lineInvalid uint8 = iota
+	lineValid
+	lineDirty
+)
+
+// NewCache builds a cache from cfg with the given line size.
+func NewCache(cfg CacheCfg, lineSize int) (*Cache, error) {
+	if err := cfg.validate("cache", lineSize); err != nil {
+		return nil, err
+	}
+	sets := cfg.Size / (lineSize * cfg.Ways)
+	c := &Cache{
+		sets:  sets,
+		ways:  cfg.Ways,
+		lines: make([]uint64, sets*cfg.Ways),
+		state: make([]uint8, sets*cfg.Ways),
+		lru:   make([]uint64, sets*cfg.Ways),
+	}
+	if sets&(sets-1) == 0 {
+		c.mask = uint64(sets - 1)
+	}
+	return c, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(line uint64) int {
+	if c.mask != 0 {
+		return int(line & c.mask)
+	}
+	return int(line % uint64(c.sets))
+}
+
+// Lookup probes for line. On a hit the line's recency is updated and, if
+// write is set, the line is marked dirty.
+func (c *Cache) Lookup(line uint64, write bool) bool {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i] != lineInvalid && c.lines[i] == line {
+			c.clock++
+			c.lru[i] = c.clock
+			if write {
+				c.state[i] = lineDirty
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill inserts line, evicting the LRU victim of its set if necessary.
+// It returns the evicted line and whether it was dirty; hadVictim is false
+// if an invalid way was available.
+func (c *Cache) Fill(line uint64, write bool) (victim uint64, dirty, hadVictim bool) {
+	base := c.setOf(line) * c.ways
+	vi := -1
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i] == lineInvalid {
+			if vi == -1 || c.state[vi] != lineInvalid {
+				vi = i
+			}
+			continue
+		}
+		if c.lines[i] == line {
+			// Already present (racing fills); refresh instead.
+			c.clock++
+			c.lru[i] = c.clock
+			if write {
+				c.state[i] = lineDirty
+			}
+			return 0, false, false
+		}
+		if vi == -1 || (c.state[vi] != lineInvalid && c.lru[i] < c.lru[vi]) {
+			vi = i
+		}
+	}
+	if c.state[vi] != lineInvalid {
+		victim = c.lines[vi]
+		dirty = c.state[vi] == lineDirty
+		hadVictim = true
+	}
+	c.clock++
+	c.lines[vi] = line
+	c.lru[vi] = c.clock
+	if write {
+		c.state[vi] = lineDirty
+	} else {
+		c.state[vi] = lineValid
+	}
+	return victim, dirty, hadVictim
+}
+
+// Invalidate removes line if present, returning whether it was present and
+// whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i] != lineInvalid && c.lines[i] == line {
+			dirty = c.state[i] == lineDirty
+			c.state[i] = lineInvalid
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Contains probes for line without touching recency or statistics.
+func (c *Cache) Contains(line uint64) bool {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i] != lineInvalid && c.lines[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates every line and clears hit/miss counters (cold state).
+func (c *Cache) Reset() {
+	for i := range c.state {
+		c.state[i] = lineInvalid
+	}
+	c.hits, c.misses = 0, 0
+	c.clock = 0
+}
+
+// Occupancy returns the fraction of valid lines, a warm-up measure.
+func (c *Cache) Occupancy() float64 {
+	valid := 0
+	for _, st := range c.state {
+		if st != lineInvalid {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(c.state))
+}
+
+// Hits returns the number of lookup hits since the last Reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of lookup misses since the last Reset.
+func (c *Cache) Misses() uint64 { return c.misses }

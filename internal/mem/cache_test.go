@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, size, ways int) *Cache {
+	t.Helper()
+	c, err := NewCache(CacheCfg{Size: size, Ways: ways, Lat: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	bad := []CacheCfg{
+		{Size: 0, Ways: 1, Lat: 1},
+		{Size: 1024, Ways: 0, Lat: 1},
+		{Size: 1024, Ways: 2, Lat: 0},
+		{Size: 1000, Ways: 2, Lat: 1}, // not divisible by ways*line
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg, 64); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := mustCache(t, 32*1024, 8)
+	if c.Sets() != 64 || c.Ways() != 8 {
+		t.Errorf("geometry = %dx%d, want 64x8", c.Sets(), c.Ways())
+	}
+	// Non-power-of-two set count must still work (modulo indexing).
+	c2, err := NewCache(CacheCfg{Size: 3 * 64 * 2, Ways: 2, Lat: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Sets() != 3 {
+		t.Errorf("sets = %d, want 3", c2.Sets())
+	}
+	c2.Fill(7, false)
+	if !c2.Contains(7) {
+		t.Error("fill/lookup broken for non-pow2 sets")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	if c.Lookup(10, false) {
+		t.Error("cold cache should miss")
+	}
+	c.Fill(10, false)
+	if !c.Lookup(10, false) {
+		t.Error("should hit after fill")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set: third distinct line evicts the least recently used.
+	c, err := NewCache(CacheCfg{Size: 2 * 64, Ways: 2, Lat: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fill(1, false)
+	c.Fill(2, false)
+	c.Lookup(1, false) // 1 is now MRU
+	victim, _, had := c.Fill(3, false)
+	if !had || victim != 2 {
+		t.Errorf("victim = %d (had=%v), want 2", victim, had)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Error("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c, err := NewCache(CacheCfg{Size: 1 * 64, Ways: 1, Lat: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fill(1, true) // dirty line
+	victim, dirty, had := c.Fill(2, false)
+	if !had || victim != 1 || !dirty {
+		t.Errorf("eviction = (%d, dirty=%v, had=%v), want (1, true, true)", victim, dirty, had)
+	}
+}
+
+func TestWriteMarksDirtyOnHit(t *testing.T) {
+	c, err := NewCache(CacheCfg{Size: 1 * 64, Ways: 1, Lat: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fill(1, false)
+	c.Lookup(1, true) // write hit marks dirty
+	_, dirty, _ := c.Fill(2, false)
+	if !dirty {
+		t.Error("write hit should mark line dirty")
+	}
+}
+
+func TestFillIdempotentWhenPresent(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	c.Fill(5, false)
+	victim, dirty, had := c.Fill(5, true)
+	if had || victim != 0 || dirty {
+		t.Errorf("refill of present line reported eviction (%d,%v,%v)", victim, dirty, had)
+	}
+	// The duplicate fill upgraded it to dirty.
+	cSmall, _ := NewCache(CacheCfg{Size: 64, Ways: 1, Lat: 1}, 64)
+	cSmall.Fill(1, false)
+	cSmall.Fill(1, true)
+	_, d, _ := cSmall.Fill(2, false)
+	if !d {
+		t.Error("refill with write should mark dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	c.Fill(9, true)
+	present, dirty := c.Invalidate(9)
+	if !present || !dirty {
+		t.Errorf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(9) {
+		t.Error("line still present after invalidation")
+	}
+	present, _ = c.Invalidate(9)
+	if present {
+		t.Error("second invalidation should report absent")
+	}
+}
+
+func TestResetAndOccupancy(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	if c.Occupancy() != 0 {
+		t.Error("new cache should be empty")
+	}
+	for i := uint64(0); i < 32; i++ {
+		c.Fill(i, false)
+	}
+	if occ := c.Occupancy(); occ != 0.5 {
+		t.Errorf("occupancy = %v, want 0.5 (32 of 64 lines)", occ)
+	}
+	c.Reset()
+	if c.Occupancy() != 0 || c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+// Property: the cache never reports a hit for a line it was never given,
+// and always hits a line filled and not since evicted or invalidated.
+func TestQuickCacheConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		c, err := NewCache(CacheCfg{Size: 8 * 64, Ways: 2, Lat: 1}, 64)
+		if err != nil {
+			return false
+		}
+		present := map[uint64]bool{}
+		for op := 0; op < 500; op++ {
+			line := uint64(r.IntN(40))
+			switch r.IntN(3) {
+			case 0: // lookup
+				if c.Lookup(line, false) != present[line] {
+					return false
+				}
+				if present[line] {
+					// hit refreshed recency; model agrees already
+					continue
+				}
+			case 1: // fill
+				victim, _, had := c.Fill(line, r.IntN(2) == 0)
+				present[line] = true
+				if had {
+					delete(present, victim)
+				}
+			case 2: // invalidate
+				was, _ := c.Invalidate(line)
+				if was != present[line] {
+					return false
+				}
+				delete(present, line)
+			}
+		}
+		// Every tracked line must be found by Contains.
+		for line, p := range present {
+			if p != c.Contains(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package noise models the system noise of native execution. The paper's
+// Figure 1 measures IPC variation on a real SandyBridge-EP machine, where
+// two consecutive runs differ because of OS interrupts, frequency drift
+// and scheduler jitter (§I: "due to system noise and variation in
+// scheduling decisions"). We do not have that machine, so the Figure 1
+// experiment runs the detailed simulator with this perturber installed:
+// every task instance is stretched by a small multiplicative jitter, a
+// slowly drifting per-thread bias, and occasional fixed-cost interrupt
+// events drawn from a Poisson process over the task's duration.
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Config parameterises the noise model.
+type Config struct {
+	// JitterStd is the standard deviation of the per-task multiplicative
+	// slowdown (cache/TLB/alignment luck of the draw).
+	JitterStd float64
+	// DriftMax bounds the slowly varying per-thread bias (frequency
+	// governor, shared-machine interference).
+	DriftMax float64
+	// DriftStep is the per-task random-walk step of the drift.
+	DriftStep float64
+	// InterruptMeanGap is the mean number of cycles between OS
+	// interrupts on one thread.
+	InterruptMeanGap float64
+	// InterruptCost is the cycle cost of servicing one interrupt.
+	InterruptCost float64
+}
+
+// DefaultConfig returns noise magnitudes producing the few-percent IPC
+// variation Figure 1 shows for regular benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		JitterStd:        0.008,
+		DriftMax:         0.005,
+		DriftStep:        0.001,
+		InterruptMeanGap: 150000,
+		InterruptCost:    1000,
+	}
+}
+
+// Model implements sim.Perturber. It is deterministic for a given seed.
+type Model struct {
+	cfg   Config
+	rng   *rand.Rand
+	drift map[int]float64
+}
+
+// New builds a noise model with the given seed.
+func New(cfg Config, seed uint64) *Model {
+	return &Model{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(seed, 0xa0761d6478bd642f)),
+		drift: make(map[int]float64),
+	}
+}
+
+// Perturb returns the extra cycles system noise adds to a task of duration
+// dur on the given thread. The result is always non-negative.
+func (m *Model) Perturb(thread int, start, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	// Per-thread drift: bounded random walk in [0, DriftMax].
+	d := m.drift[thread]
+	d += m.cfg.DriftStep * (2*m.rng.Float64() - 1)
+	if d < 0 {
+		d = 0
+	}
+	if d > m.cfg.DriftMax {
+		d = m.cfg.DriftMax
+	}
+	m.drift[thread] = d
+
+	// Multiplicative jitter, truncated at zero slowdown.
+	eta := d + m.cfg.JitterStd*math.Abs(m.rng.NormFloat64())
+	extra := dur * eta
+
+	// Poisson interrupt arrivals over the task's duration.
+	if m.cfg.InterruptMeanGap > 0 && m.cfg.InterruptCost > 0 {
+		lambda := dur / m.cfg.InterruptMeanGap
+		extra += float64(m.poisson(lambda)) * m.cfg.InterruptCost
+	}
+	return extra
+}
+
+// poisson draws from a Poisson distribution with mean lambda (Knuth's
+// algorithm; lambda is small here — tasks last far less than the mean
+// interrupt gap).
+func (m *Model) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= m.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // guard against pathological lambda
+			return k
+		}
+	}
+}

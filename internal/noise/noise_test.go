@@ -1,0 +1,122 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/sim"
+)
+
+// The model must satisfy the simulator's Perturber interface.
+var _ sim.Perturber = (*Model)(nil)
+
+func TestPerturbNonNegative(t *testing.T) {
+	m := New(DefaultConfig(), 1)
+	for i := 0; i < 1000; i++ {
+		if extra := m.Perturb(i%4, float64(i)*100, 5000); extra < 0 {
+			t.Fatalf("negative perturbation %v", extra)
+		}
+	}
+}
+
+func TestPerturbZeroDuration(t *testing.T) {
+	m := New(DefaultConfig(), 1)
+	if extra := m.Perturb(0, 0, 0); extra != 0 {
+		t.Errorf("zero-duration task perturbed by %v", extra)
+	}
+	if extra := m.Perturb(0, 0, -5); extra != 0 {
+		t.Errorf("negative-duration task perturbed by %v", extra)
+	}
+}
+
+func TestPerturbMagnitude(t *testing.T) {
+	// Average relative slowdown should be small (a few percent), in line
+	// with the paper's native variation for regular benchmarks.
+	m := New(DefaultConfig(), 7)
+	dur := 5000.0
+	total := 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		total += m.Perturb(i%8, float64(i)*dur, dur)
+	}
+	meanRel := total / float64(n) / dur
+	if meanRel <= 0 {
+		t.Fatal("noise added nothing")
+	}
+	if meanRel > 0.15 {
+		t.Errorf("mean relative slowdown %.3f too large for a native machine", meanRel)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		m := New(DefaultConfig(), seed)
+		out := make([]float64, 100)
+		for i := range out {
+			out[i] = m.Perturb(i%2, float64(i), 3000)
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestInterruptsDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptMeanGap = 0
+	cfg.JitterStd = 0
+	cfg.DriftMax = 0
+	cfg.DriftStep = 0
+	m := New(cfg, 1)
+	if extra := m.Perturb(0, 0, 1e6); extra != 0 {
+		t.Errorf("all-zero config should add no noise, got %v", extra)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	m := New(DefaultConfig(), 3)
+	lambda := 2.5
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += m.poisson(lambda)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 2.2 || mean > 2.8 {
+		t.Errorf("poisson(%v) sample mean = %v", lambda, mean)
+	}
+	if m.poisson(0) != 0 || m.poisson(-1) != 0 {
+		t.Error("poisson of non-positive lambda should be 0")
+	}
+}
+
+// Property: perturbation is finite and bounded relative to duration for
+// any thread/duration combination.
+func TestQuickPerturbBounded(t *testing.T) {
+	m := New(DefaultConfig(), 11)
+	f := func(thread uint8, durRaw uint32) bool {
+		dur := float64(durRaw%1000000) + 1
+		extra := m.Perturb(int(thread%64), 0, dur)
+		// Bound: full drift + 6 sigma jitter + generous interrupt count.
+		bound := dur*(DefaultConfig().DriftMax+6*DefaultConfig().JitterStd) +
+			(10+6*dur/DefaultConfig().InterruptMeanGap)*DefaultConfig().InterruptCost
+		return extra >= 0 && extra < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

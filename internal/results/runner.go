@@ -1,0 +1,310 @@
+// Package results drives the paper's evaluation: it runs detailed
+// (reference) and sampled simulations over the 19 benchmarks and both
+// Table II architectures, computes the execution-time error and simulation
+// speedup of Figures 6-10, the IPC-variation box plots of Figures 1 and 5,
+// and the Table I inventory, and renders them as the rows/series the paper
+// reports.
+package results
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"taskpoint/internal/bench"
+	"taskpoint/internal/core"
+	"taskpoint/internal/noise"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/stats"
+	"taskpoint/internal/trace"
+)
+
+// Arch selects one of the evaluated machine configurations.
+type Arch string
+
+// The evaluated architectures.
+const (
+	// HighPerf is Table II's high-performance configuration.
+	HighPerf Arch = "high-performance"
+	// LowPower is Table II's low-power configuration.
+	LowPower Arch = "low-power"
+	// Native is the high-performance configuration plus the system-noise
+	// model, standing in for the paper's SandyBridge-EP machine (Fig 1).
+	Native Arch = "native"
+)
+
+// ConfigFor returns the simulator configuration of arch with the given
+// thread count.
+func ConfigFor(arch Arch, threads int) (sim.Config, error) {
+	switch arch {
+	case HighPerf:
+		return sim.HighPerfConfig(threads), nil
+	case LowPower:
+		return sim.LowPowerConfig(threads), nil
+	case Native:
+		return sim.NativeConfig(threads), nil
+	default:
+		return sim.Config{}, fmt.Errorf("results: unknown architecture %q", arch)
+	}
+}
+
+// Runner executes and caches simulations. Detailed reference runs are
+// cached by (benchmark, arch, threads), so every figure shares its
+// baselines. Runner is safe for concurrent use.
+type Runner struct {
+	// Scale is the benchmark scale (1 = Table I instance counts).
+	Scale float64
+	// Seed drives workload generation and the noise model.
+	Seed uint64
+	// Workers bounds concurrent simulations.
+	Workers int
+
+	mu       sync.Mutex
+	progs    map[string]*trace.Program
+	detailed map[string]*sim.Result
+	sem      chan struct{}
+	semOnce  sync.Once
+}
+
+// NewRunner builds a runner at the given benchmark scale.
+func NewRunner(scale float64, seed uint64, workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		Scale:    scale,
+		Seed:     seed,
+		Workers:  workers,
+		progs:    make(map[string]*trace.Program),
+		detailed: make(map[string]*sim.Result),
+	}
+}
+
+func (r *Runner) acquire() func() {
+	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.Workers) })
+	r.sem <- struct{}{}
+	return func() { <-r.sem }
+}
+
+// Program returns the (cached) generated program of a benchmark.
+func (r *Runner) Program(name string) (*trace.Program, error) {
+	r.mu.Lock()
+	if p, ok := r.progs[name]; ok {
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.Build(r.Scale, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.progs[name]; ok {
+		return prev, nil
+	}
+	r.progs[name] = p
+	return p, nil
+}
+
+// Detailed runs (or returns the cached) full-detail reference simulation.
+func (r *Runner) Detailed(benchName string, arch Arch, threads int) (*sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|%d", benchName, arch, threads)
+	r.mu.Lock()
+	if res, ok := r.detailed[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	prog, err := r.Program(benchName)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ConfigFor(arch, threads)
+	if err != nil {
+		return nil, err
+	}
+	var opts []sim.Option
+	if arch == Native {
+		opts = append(opts, sim.WithPerturber(noise.New(noise.DefaultConfig(), r.Seed^uint64(threads))))
+	}
+	release := r.acquire()
+	res, err := sim.Simulate(cfg, prog, sim.DetailedController{}, opts...)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.detailed[key]; ok {
+		return prev, nil
+	}
+	r.detailed[key] = res
+	return res, nil
+}
+
+// SampledRow is one bar of Figures 7-10: one benchmark at one thread count
+// under one sampling configuration.
+type SampledRow struct {
+	Bench   string
+	Arch    Arch
+	Threads int
+	// ErrPct is the absolute execution-time error against the detailed
+	// reference, in percent.
+	ErrPct float64
+	// SpeedupWall is detailed wall time / sampled wall time — the
+	// paper's speedup metric.
+	SpeedupWall float64
+	// SpeedupDetail is total instructions / instructions simulated in
+	// detail — a machine-independent speedup proxy.
+	SpeedupDetail float64
+	// DetailFraction is the fraction of instructions simulated in
+	// detail during the sampled run.
+	DetailFraction float64
+	// Sampler reports the sampler's internal statistics.
+	Sampler core.Stats
+	// Cycles are the simulated execution times.
+	SampledCycles, DetailedCycles float64
+	// Wall times of both runs.
+	SampledWall, DetailedWall time.Duration
+}
+
+// Sampled runs one sampled simulation and compares it against the cached
+// detailed reference.
+func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.Params, policy core.Policy) (SampledRow, error) {
+	det, err := r.Detailed(benchName, arch, threads)
+	if err != nil {
+		return SampledRow{}, err
+	}
+	prog, err := r.Program(benchName)
+	if err != nil {
+		return SampledRow{}, err
+	}
+	cfg, err := ConfigFor(arch, threads)
+	if err != nil {
+		return SampledRow{}, err
+	}
+	sampler, err := core.New(params, policy)
+	if err != nil {
+		return SampledRow{}, err
+	}
+	release := r.acquire()
+	res, err := sim.Simulate(cfg, prog, sampler)
+	release()
+	if err != nil {
+		return SampledRow{}, err
+	}
+	speedupDetail := float64(res.TotalInstructions) / float64(max64(res.DetailedInstructions, 1))
+	wallSpeedup := 0.0
+	if res.Wall > 0 {
+		wallSpeedup = float64(det.Wall) / float64(res.Wall)
+	}
+	return SampledRow{
+		Bench:          benchName,
+		Arch:           arch,
+		Threads:        threads,
+		ErrPct:         stats.AbsPctError(res.Cycles, det.Cycles),
+		SpeedupWall:    wallSpeedup,
+		SpeedupDetail:  speedupDetail,
+		DetailFraction: res.DetailFraction(),
+		Sampler:        sampler.Stats(),
+		SampledCycles:  res.Cycles,
+		DetailedCycles: det.Cycles,
+		SampledWall:    res.Wall,
+		DetailedWall:   det.Wall,
+	}, nil
+}
+
+// Figure runs the full grid of one of Figures 7-10: every benchmark at
+// every thread count under the given sampling parameters and policy.
+// Rows are ordered benchmark-major in Table I order.
+func (r *Runner) Figure(arch Arch, threadCounts []int, params core.Params, policy core.Policy, benchNames []string) ([]SampledRow, error) {
+	if benchNames == nil {
+		benchNames = bench.Names()
+	}
+	type slot struct {
+		row SampledRow
+		err error
+	}
+	rows := make([]slot, len(benchNames)*len(threadCounts))
+	var wg sync.WaitGroup
+	for bi, bn := range benchNames {
+		for ti, tc := range threadCounts {
+			wg.Add(1)
+			go func(idx int, bn string, tc int) {
+				defer wg.Done()
+				row, err := r.Sampled(bn, arch, tc, params, policy)
+				rows[idx] = slot{row: row, err: err}
+			}(bi*len(threadCounts)+ti, bn, tc)
+		}
+	}
+	wg.Wait()
+	out := make([]SampledRow, 0, len(rows))
+	for _, s := range rows {
+		if s.err != nil {
+			return nil, s.err
+		}
+		out = append(out, s.row)
+	}
+	return out, nil
+}
+
+// Averages aggregates rows per thread count: mean error, mean wall
+// speedup and geometric-mean detail speedup (the paper reports averages
+// per thread count in Figures 7-10).
+type Averages struct {
+	Threads        int
+	MeanErrPct     float64
+	MaxErrPct      float64
+	MeanSpeedupW   float64
+	GeoSpeedupDet  float64
+	MeanDetailFrac float64
+}
+
+// AverageByThreads folds figure rows into per-thread-count averages.
+func AverageByThreads(rows []SampledRow) []Averages {
+	byT := map[int][]SampledRow{}
+	var order []int
+	for _, row := range rows {
+		if _, ok := byT[row.Threads]; !ok {
+			order = append(order, row.Threads)
+		}
+		byT[row.Threads] = append(byT[row.Threads], row)
+	}
+	var out []Averages
+	for _, t := range order {
+		group := byT[t]
+		var errs, wall, det, frac []float64
+		maxErr := 0.0
+		for _, row := range group {
+			errs = append(errs, row.ErrPct)
+			wall = append(wall, row.SpeedupWall)
+			det = append(det, row.SpeedupDetail)
+			frac = append(frac, row.DetailFraction)
+			if row.ErrPct > maxErr {
+				maxErr = row.ErrPct
+			}
+		}
+		out = append(out, Averages{
+			Threads:        t,
+			MeanErrPct:     stats.Mean(errs),
+			MaxErrPct:      maxErr,
+			MeanSpeedupW:   stats.Mean(wall),
+			GeoSpeedupDet:  stats.GeoMean(det),
+			MeanDetailFrac: stats.Mean(frac),
+		})
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

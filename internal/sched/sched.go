@@ -1,0 +1,156 @@
+// Package sched implements the dynamic task scheduler — the role the OmpSs
+// runtime system plays in the paper's setup: task instances whose
+// dependencies are satisfied enter a ready queue and idle threads pick them
+// up in order. Scheduling decisions depend on simulated completion times,
+// so different architectures, thread counts or sampling decisions yield
+// different instruction streams per thread, the property that breaks
+// classical multi-threaded sampling (paper §I) and that TaskPoint is built
+// to handle.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"taskpoint/internal/taskgraph"
+)
+
+// Policy selects the order among simultaneously ready tasks.
+type Policy uint8
+
+const (
+	// FIFO dispatches ready tasks in readiness order (OmpSs breadth-first
+	// default). Used for all paper experiments.
+	FIFO Policy = iota
+	// LIFO dispatches the most recently readied task first (depth-first);
+	// provided for scheduler-sensitivity ablations.
+	LIFO
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LIFO:
+		return "lifo"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// State tracks dynamic readiness of one program execution. It is not safe
+// for concurrent use; the simulation engine is single-threaded by design
+// (deterministic replay).
+type State struct {
+	g         *taskgraph.Graph
+	remaining []int32
+	q         readyHeap
+	seq       int64
+	completed int
+	started   int
+	policy    Policy
+}
+
+// New creates scheduler state for one execution of the program behind g.
+// All root tasks are immediately ready at time 0.
+func New(g *taskgraph.Graph, policy Policy) *State {
+	s := &State{
+		g:         g,
+		remaining: make([]int32, g.NumTasks()),
+		policy:    policy,
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		s.remaining[i] = int32(g.NumPreds(i))
+	}
+	for _, r := range g.Roots() {
+		s.push(int(r), 0)
+	}
+	return s
+}
+
+func (s *State) push(id int, readyTime float64) {
+	order := s.seq
+	if s.policy == LIFO {
+		order = -order
+	}
+	heap.Push(&s.q, readyItem{id: int32(id), readyTime: readyTime, order: order})
+	s.seq++
+}
+
+// Pop returns a task whose dependencies were satisfied at or before now.
+// ok is false if no task is ready at now (there may still be tasks that
+// become ready later; see NextReadyTime).
+func (s *State) Pop(now float64) (id int, ok bool) {
+	if len(s.q) == 0 || s.q[0].readyTime > now {
+		return 0, false
+	}
+	it := heap.Pop(&s.q).(readyItem)
+	s.started++
+	return int(it.id), true
+}
+
+// NextReadyTime returns the earliest readiness time among queued tasks.
+// ok is false if the queue is empty.
+func (s *State) NextReadyTime() (t float64, ok bool) {
+	if len(s.q) == 0 {
+		return 0, false
+	}
+	return s.q[0].readyTime, true
+}
+
+// Complete records that task id finished at time t and returns the number
+// of tasks that became ready as a consequence.
+func (s *State) Complete(id int, t float64) int {
+	s.completed++
+	newly := 0
+	for _, succ := range s.g.Succs(id) {
+		s.remaining[succ]--
+		if s.remaining[succ] == 0 {
+			s.push(int(succ), t)
+			newly++
+		}
+		if s.remaining[succ] < 0 {
+			panic(fmt.Sprintf("sched: task %d completed more predecessors than it has", succ))
+		}
+	}
+	return newly
+}
+
+// Done reports whether every task has completed.
+func (s *State) Done() bool { return s.completed == s.g.NumTasks() }
+
+// Completed returns the number of completed tasks.
+func (s *State) Completed() int { return s.completed }
+
+// Started returns the number of tasks handed out by Pop.
+func (s *State) Started() int { return s.started }
+
+// QueueLen returns the number of currently queued (ready or pending-ready)
+// tasks. Together with the running count it measures available parallelism.
+func (s *State) QueueLen() int { return len(s.q) }
+
+type readyItem struct {
+	id        int32
+	readyTime float64
+	order     int64
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].readyTime != h[j].readyTime {
+		return h[i].readyTime < h[j].readyTime
+	}
+	return h[i].order < h[j].order
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/taskgraph"
+	"taskpoint/internal/trace"
+)
+
+func buildGraph(t *testing.T, insts ...trace.Instance) *taskgraph.Graph {
+	t.Helper()
+	p := &trace.Program{Name: "t", Types: []trace.TypeInfo{{Name: "t"}}}
+	for i := range insts {
+		insts[i].ID = int32(i)
+		if insts[i].Segments == nil {
+			insts[i].Segments = []trace.Segment{{N: 10, DepDist: 2}}
+		}
+		p.Instances = append(p.Instances, insts[i])
+	}
+	g, err := taskgraph.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFIFOOrder(t *testing.T) {
+	g := buildGraph(t,
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{2}},
+		trace.Instance{Out: []uint64{3}},
+	)
+	s := New(g, FIFO)
+	for want := 0; want < 3; want++ {
+		id, ok := s.Pop(0)
+		if !ok || id != want {
+			t.Fatalf("Pop = %d,%v want %d,true", id, ok, want)
+		}
+	}
+	if _, ok := s.Pop(0); ok {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	g := buildGraph(t,
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{2}},
+		trace.Instance{Out: []uint64{3}},
+	)
+	s := New(g, LIFO)
+	for _, want := range []int{2, 1, 0} {
+		id, ok := s.Pop(0)
+		if !ok || id != want {
+			t.Fatalf("Pop = %d,%v want %d,true", id, ok, want)
+		}
+	}
+}
+
+func TestDependencyGating(t *testing.T) {
+	g := buildGraph(t,
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{In: []uint64{1}},
+	)
+	s := New(g, FIFO)
+	id, ok := s.Pop(0)
+	if !ok || id != 0 {
+		t.Fatalf("first Pop = %d,%v", id, ok)
+	}
+	if _, ok := s.Pop(100); ok {
+		t.Fatal("dependent task must not be ready before completion")
+	}
+	if newly := s.Complete(0, 50); newly != 1 {
+		t.Fatalf("Complete released %d tasks, want 1", newly)
+	}
+	// Ready time is the completion time of the dependency.
+	if _, ok := s.Pop(49); ok {
+		t.Error("task ready before its readiness time")
+	}
+	if tr, ok := s.NextReadyTime(); !ok || tr != 50 {
+		t.Errorf("NextReadyTime = %v,%v want 50,true", tr, ok)
+	}
+	id, ok = s.Pop(50)
+	if !ok || id != 1 {
+		t.Errorf("Pop at ready time = %d,%v", id, ok)
+	}
+	s.Complete(1, 60)
+	if !s.Done() {
+		t.Error("all tasks completed but Done() is false")
+	}
+}
+
+func TestNextReadyTimeEmpty(t *testing.T) {
+	g := buildGraph(t, trace.Instance{Out: []uint64{1}})
+	s := New(g, FIFO)
+	s.Pop(0)
+	if _, ok := s.NextReadyTime(); ok {
+		t.Error("NextReadyTime on empty queue should report !ok")
+	}
+}
+
+func TestCountsAndQueueLen(t *testing.T) {
+	g := buildGraph(t,
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{2}},
+	)
+	s := New(g, FIFO)
+	if s.QueueLen() != 2 {
+		t.Errorf("QueueLen = %d, want 2", s.QueueLen())
+	}
+	s.Pop(0)
+	if s.Started() != 1 {
+		t.Errorf("Started = %d, want 1", s.Started())
+	}
+	s.Complete(0, 1)
+	if s.Completed() != 1 {
+		t.Errorf("Completed = %d, want 1", s.Completed())
+	}
+}
+
+func TestCompletePanicsOnDoubleRelease(t *testing.T) {
+	g := buildGraph(t,
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{In: []uint64{1}},
+	)
+	s := New(g, FIFO)
+	s.Pop(0)
+	s.Complete(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double Complete of the same task")
+		}
+	}()
+	s.Complete(0, 2)
+}
+
+// Property: simulating a random DAG to completion with k workers is work
+// conserving: every task is started exactly once, completion order respects
+// dependencies, and Done() holds at the end.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + r.IntN(60)
+		var insts []trace.Instance
+		for i := 0; i < n; i++ {
+			var in, out []uint64
+			for k := 0; k < r.IntN(3); k++ {
+				in = append(in, uint64(r.IntN(8)))
+			}
+			for k := 0; k < r.IntN(2); k++ {
+				out = append(out, uint64(r.IntN(8)))
+			}
+			insts = append(insts, trace.Instance{In: in, Out: out})
+		}
+		p := &trace.Program{Name: "q", Types: []trace.TypeInfo{{Name: "t"}}}
+		for i := range insts {
+			insts[i].ID = int32(i)
+			insts[i].Segments = []trace.Segment{{N: 10, DepDist: 2}}
+			p.Instances = append(p.Instances, insts[i])
+		}
+		g, err := taskgraph.Build(p)
+		if err != nil {
+			return false
+		}
+		pol := FIFO
+		if seed%2 == 1 {
+			pol = LIFO
+		}
+		s := New(g, pol)
+		started := make([]bool, n)
+		done := make([]bool, n)
+		now := 0.0
+		running := 0
+		type runTask struct {
+			id  int
+			end float64
+		}
+		var active []runTask
+		workers := 1 + r.IntN(4)
+		for !s.Done() {
+			// Fill workers.
+			for running < workers {
+				id, ok := s.Pop(now)
+				if !ok {
+					break
+				}
+				if started[id] {
+					return false // double start
+				}
+				started[id] = true
+				active = append(active, runTask{id: id, end: now + 1 + float64(r.IntN(5))})
+				running++
+			}
+			if running == 0 {
+				// Advance to next readiness; if none, deadlock = failure.
+				tr, ok := s.NextReadyTime()
+				if !ok {
+					return false
+				}
+				now = tr
+				continue
+			}
+			// Complete the earliest active task.
+			minI := 0
+			for i := range active {
+				if active[i].end < active[minI].end {
+					minI = i
+				}
+			}
+			ft := active[minI]
+			active = append(active[:minI], active[minI+1:]...)
+			running--
+			if ft.end > now {
+				now = ft.end
+			}
+			// All predecessors must be done.
+			for pred := 0; pred < ft.id; pred++ {
+				for _, succ := range g.Succs(pred) {
+					if int(succ) == ft.id && !done[pred] {
+						return false
+					}
+				}
+			}
+			done[ft.id] = true
+			s.Complete(ft.id, ft.end)
+		}
+		for i := 0; i < n; i++ {
+			if !started[i] || !done[i] {
+				return false
+			}
+		}
+		return s.Completed() == n && s.Started() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package sim implements the multi-core architectural simulator that plays
+// TaskSim's role in the paper: a deterministic, trace-driven, discrete-event
+// engine with a cycle-level detailed mode (cpu + mem models) and a fast
+// "burst" mode that advances a task instance at a user-specified IPC — the
+// two capabilities §III-A lists as the only requirements TaskPoint places
+// on its host simulator.
+//
+// Mode selection happens at task-instance boundaries through the Controller
+// interface, which keeps the sampling methodology (internal/core) decoupled
+// from the simulator, mirroring the paper's mechanism/policy separation.
+package sim
+
+import (
+	"fmt"
+
+	"taskpoint/internal/cpu"
+	"taskpoint/internal/mem"
+	"taskpoint/internal/sched"
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	// Name identifies the configuration in reports.
+	Name string
+	// Cores is the number of simulated execution threads.
+	Cores int
+	// CPU is the core timing model configuration.
+	CPU cpu.Config
+	// Mem is the memory hierarchy configuration.
+	Mem mem.Config
+	// Quantum is the length in cycles of one detailed-core time slice:
+	// the engine advances the earliest core by at most this many cycles
+	// before re-interleaving cores in global time order. It bounds the
+	// timing skew observable on shared caches and DRAM queues.
+	Quantum int64
+	// Policy orders the ready queue (FIFO reproduces the paper setup).
+	Policy sched.Policy
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 64 {
+		return fmt.Errorf("sim: cores %d out of range [1,64]", c.Cores)
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("sim: quantum %d must be positive", c.Quantum)
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// HighPerfConfig returns the paper's high-performance architecture
+// (Table II): large ROB, three-level cache hierarchy, as found in HPC
+// systems.
+func HighPerfConfig(cores int) Config {
+	return Config{
+		Name:  "high-performance",
+		Cores: cores,
+		CPU: cpu.Config{
+			ROB:         168,
+			IssueWidth:  4,
+			CommitWidth: 4,
+			IntLat:      1,
+			FPLat:       4,
+			StoreLat:    2,
+		},
+		Mem: mem.Config{
+			LineSize:          64,
+			L1:                mem.CacheCfg{Size: 32 * 1024, Ways: 8, Lat: 4},
+			L2:                mem.CacheCfg{Size: 2 * 1024 * 1024, Ways: 8, Lat: 11},
+			L2Shared:          false,
+			HasL3:             true,
+			L3:                mem.CacheCfg{Size: 20 * 1024 * 1024, Ways: 20, Lat: 28},
+			DRAMLat:           200,
+			DRAMCyclesPerLine: 1.2, // four DDR3-1600 channels at 2.6 GHz
+			SharedBanks:       16,
+			BankCycles:        1,
+			CoherenceLat:      40,
+			AtomicLat:         15,
+		},
+		Quantum: 2000,
+		Policy:  sched.FIFO,
+	}
+}
+
+// LowPowerConfig returns the paper's low-power architecture (Table II):
+// small ROB, two cache levels with a shared L2, as in mobile platforms.
+func LowPowerConfig(cores int) Config {
+	return Config{
+		Name:  "low-power",
+		Cores: cores,
+		CPU: cpu.Config{
+			ROB:         40,
+			IssueWidth:  3,
+			CommitWidth: 3,
+			IntLat:      1,
+			FPLat:       5,
+			StoreLat:    2,
+		},
+		Mem: mem.Config{
+			LineSize:          64,
+			L1:                mem.CacheCfg{Size: 32 * 1024, Ways: 2, Lat: 4},
+			L2:                mem.CacheCfg{Size: 1024 * 1024, Ways: 16, Lat: 21},
+			L2Shared:          true,
+			HasL3:             false,
+			DRAMLat:           170,
+			DRAMCyclesPerLine: 6, // single low-power channel
+			SharedBanks:       8,
+			BankCycles:        1,
+			CoherenceLat:      30,
+			AtomicLat:         15,
+		},
+		Quantum: 2000,
+		Policy:  sched.FIFO,
+	}
+}
+
+// NativeConfig returns the configuration standing in for the paper's
+// native SandyBridge-EP machine in the Figure 1 experiment. Its
+// parameters match the high-performance configuration (as the paper
+// matches its simulated parameters to the native machine "as far as they
+// are publicly available").
+func NativeConfig(cores int) Config {
+	cfg := HighPerfConfig(cores)
+	cfg.Name = "native"
+	return cfg
+}

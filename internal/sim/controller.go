@@ -1,0 +1,99 @@
+package sim
+
+import "taskpoint/internal/trace"
+
+// Mode is the simulation mode of one task instance.
+type Mode uint8
+
+const (
+	// ModeDetailed runs the instance through the cycle-level cpu+mem
+	// models.
+	ModeDetailed Mode = iota
+	// ModeFast advances the instance as a single burst at a fixed IPC
+	// without touching micro-architectural state.
+	ModeFast
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeFast {
+		return "fast"
+	}
+	return "detailed"
+}
+
+// Decision is the controller's choice for one task instance.
+type Decision struct {
+	// Mode selects detailed or fast simulation.
+	Mode Mode
+	// IPC is the fixed rate for ModeFast (must be positive).
+	IPC float64
+}
+
+// Detailed is the decision that runs an instance in detailed mode.
+func Detailed() Decision { return Decision{Mode: ModeDetailed} }
+
+// Fast is the decision that runs an instance in fast mode at ipc.
+func Fast(ipc float64) Decision { return Decision{Mode: ModeFast, IPC: ipc} }
+
+// StartInfo describes a task instance about to start.
+type StartInfo struct {
+	// Thread is the simulated thread (core) executing the instance.
+	Thread int
+	// Instance is the task instance.
+	Instance *trace.Instance
+	// Now is the simulated start time in cycles.
+	Now float64
+	// Running is the number of threads executing a task instance at
+	// this moment, including this one. TaskPoint's resampling trigger
+	// for parallelism changes (paper Fig 4a) observes it.
+	Running int
+}
+
+// FinishInfo describes a completed task instance.
+type FinishInfo struct {
+	// Thread is the simulated thread that executed the instance.
+	Thread int
+	// Instance is the task instance.
+	Instance *trace.Instance
+	// Start and End delimit its execution in cycles.
+	Start, End float64
+	// Mode is the mode it was simulated in.
+	Mode Mode
+	// IPC is the measured IPC (detailed) or the applied IPC (fast).
+	IPC float64
+}
+
+// Controller decides, at every task-instance boundary, which mode the
+// instance is simulated in. TaskPoint (internal/core) is a Controller;
+// DetailedController gives the full-detail baseline.
+type Controller interface {
+	// TaskStart is invoked when a thread picks up an instance and must
+	// return the simulation decision for it.
+	TaskStart(StartInfo) Decision
+	// TaskFinish is invoked when an instance completes.
+	TaskFinish(FinishInfo)
+}
+
+// DetailedController simulates every task instance in detailed mode. It is
+// the reference baseline of every experiment.
+type DetailedController struct{}
+
+// TaskStart always selects detailed mode.
+func (DetailedController) TaskStart(StartInfo) Decision { return Detailed() }
+
+// TaskFinish is a no-op.
+func (DetailedController) TaskFinish(FinishInfo) {}
+
+// FixedIPCController simulates every instance in fast mode at one IPC.
+// It is used in tests and as the crudest possible baseline.
+type FixedIPCController struct {
+	// IPC is the rate applied to every instance.
+	IPC float64
+}
+
+// TaskStart always selects fast mode at the fixed IPC.
+func (c FixedIPCController) TaskStart(StartInfo) Decision { return Fast(c.IPC) }
+
+// TaskFinish is a no-op.
+func (FixedIPCController) TaskFinish(FinishInfo) {}

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"taskpoint/internal/cpu"
+	"taskpoint/internal/mem"
+	"taskpoint/internal/sched"
+	"taskpoint/internal/taskgraph"
+	"taskpoint/internal/trace"
+)
+
+// Perturber injects execution-time perturbation into detailed task
+// instances. The noise package implements it to model native-execution
+// system noise for the Figure 1 experiment; architectural simulations use
+// no perturber.
+type Perturber interface {
+	// Perturb returns extra cycles to add to a task instance that ran
+	// on thread, started at start and took dur cycles.
+	Perturb(thread int, start, dur float64) float64
+}
+
+// InstanceRecord is the per-task-instance outcome of a simulation.
+type InstanceRecord struct {
+	// Type is the instance's task type.
+	Type trace.TypeID
+	// Thread is the core that executed it.
+	Thread int
+	// Start and End delimit its execution in cycles.
+	Start, End float64
+	// Instr is its dynamic instruction count.
+	Instr int64
+	// IPC is measured (detailed) or applied (fast).
+	IPC float64
+	// Mode is the simulation mode used.
+	Mode Mode
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Cycles is the simulated execution time of the program.
+	Cycles float64
+	// TotalInstructions is the program's dynamic instruction count.
+	TotalInstructions int64
+	// DetailedInstructions counts instructions simulated cycle by cycle.
+	DetailedInstructions int64
+	// DetailedTasks and FastTasks count instances per mode.
+	DetailedTasks, FastTasks int
+	// PerInstance holds one record per task instance, indexed by
+	// instance ID.
+	PerInstance []InstanceRecord
+	// Mem is the memory hierarchy statistics (meaningful for the
+	// detailed portions of the run).
+	Mem mem.Stats
+	// Wall is the host wall-clock time the simulation took.
+	Wall time.Duration
+}
+
+// DetailFraction returns the fraction of instructions simulated in detail.
+func (r *Result) DetailFraction() float64 {
+	if r.TotalInstructions == 0 {
+		return 0
+	}
+	return float64(r.DetailedInstructions) / float64(r.TotalInstructions)
+}
+
+// IPCOfType returns the measured IPC values of all detailed instances of
+// type t, in completion order of recording.
+func (r *Result) IPCOfType(t trace.TypeID) []float64 {
+	var out []float64
+	for i := range r.PerInstance {
+		rec := &r.PerInstance[i]
+		if rec.Type == t && rec.Mode == ModeDetailed {
+			out = append(out, rec.IPC)
+		}
+	}
+	return out
+}
+
+// Engine simulates one program on one machine configuration. Engines are
+// single-use: build one per run.
+type Engine struct {
+	cfg     Config
+	prog    *trace.Program
+	graph   *taskgraph.Graph
+	memsys  *mem.System
+	cpus    []*cpu.Core
+	state   []coreState
+	sched   *sched.State
+	noise   Perturber
+	running int
+}
+
+type coreState struct {
+	clock   float64
+	busy    bool
+	taskID  int
+	start   float64
+	mode    Mode
+	exec    *cpu.Exec // detailed mode only
+	fastEnd float64   // fast mode only
+	ipc     float64   // fast mode only
+	instr   int64
+}
+
+// memPort binds a mem.System to one core for the cpu model.
+type memPort struct {
+	sys  *mem.System
+	core int
+}
+
+func (p memPort) Access(addr uint64, write, atomic bool, now float64) float64 {
+	return p.sys.Access(p.core, addr, write, atomic, now)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPerturber installs a detailed-task execution-time perturber.
+func WithPerturber(p Perturber) Option {
+	return func(e *Engine) { e.noise = p }
+}
+
+// NewEngine builds an engine for prog on cfg. The task graph is derived
+// from the program's dependency annotations.
+func NewEngine(cfg Config, prog *trace.Program, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := taskgraph.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mem.NewSystem(cfg.Mem, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		prog:   prog,
+		graph:  g,
+		memsys: ms,
+		state:  make([]coreState, cfg.Cores),
+		sched:  sched.New(g, cfg.Policy),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		e.cpus = append(e.cpus, cpu.New(cfg.CPU, memPort{sys: ms, core: i}))
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// ErrDeadlock is returned if the scheduler stalls with work remaining;
+// it indicates a corrupt dependency graph.
+var ErrDeadlock = errors.New("sim: scheduler deadlock with tasks remaining")
+
+// Run simulates the whole program under the given controller and returns
+// the result. The engine must not be reused afterwards.
+func (e *Engine) Run(ctrl Controller) (*Result, error) {
+	wallStart := time.Now()
+	res := &Result{
+		TotalInstructions: e.prog.TotalInstructions(),
+		PerInstance:       make([]InstanceRecord, len(e.prog.Instances)),
+	}
+
+	for !e.sched.Done() {
+		if err := e.assign(ctrl); err != nil {
+			return nil, err
+		}
+		core := e.nextBusyCore()
+		if core < 0 {
+			if e.sched.Done() {
+				break
+			}
+			return nil, ErrDeadlock
+		}
+		e.advance(core, ctrl, res)
+	}
+
+	for i := range e.state {
+		if e.state[i].clock > res.Cycles {
+			res.Cycles = e.state[i].clock
+		}
+	}
+	res.Mem = e.memsys.Stats()
+	res.Wall = time.Since(wallStart)
+	return res, nil
+}
+
+// assign hands ready tasks to idle cores: each queued-ready task goes to
+// the idle core that can start it earliest (ties to the lowest index),
+// like a runtime waking the first available worker.
+func (e *Engine) assign(ctrl Controller) error {
+	for {
+		ready, ok := e.sched.NextReadyTime()
+		if !ok {
+			return nil
+		}
+		best, bestStart := -1, math.Inf(1)
+		for i := range e.state {
+			if e.state[i].busy {
+				continue
+			}
+			start := math.Max(e.state[i].clock, ready)
+			if start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best < 0 {
+			return nil // all cores busy
+		}
+		id, ok := e.sched.Pop(bestStart)
+		if !ok {
+			return nil
+		}
+		if err := e.startTask(best, id, bestStart, ctrl); err != nil {
+			return err
+		}
+	}
+}
+
+func (e *Engine) startTask(core, id int, start float64, ctrl Controller) error {
+	inst := &e.prog.Instances[id]
+	e.running++
+	dec := ctrl.TaskStart(StartInfo{
+		Thread:   core,
+		Instance: inst,
+		Now:      start,
+		Running:  e.running,
+	})
+	cs := &e.state[core]
+	cs.busy = true
+	cs.taskID = id
+	cs.start = start
+	cs.clock = start
+	cs.instr = inst.Instructions()
+	cs.mode = dec.Mode
+	switch dec.Mode {
+	case ModeDetailed:
+		cs.exec = cpu.NewExec(inst)
+	case ModeFast:
+		if !(dec.IPC > 0) || math.IsInf(dec.IPC, 0) {
+			return fmt.Errorf("sim: controller requested fast mode with invalid IPC %v", dec.IPC)
+		}
+		cs.ipc = dec.IPC
+		cs.fastEnd = start + float64(cs.instr)/dec.IPC
+	default:
+		return fmt.Errorf("sim: unknown mode %d", dec.Mode)
+	}
+	return nil
+}
+
+// nextBusyCore picks the busy core with the earliest next event: the local
+// clock for detailed cores (the next quantum continues there) or the burst
+// completion time for fast cores. This keeps cores interleaved in global
+// time order so shared-resource contention is observed consistently.
+func (e *Engine) nextBusyCore() int {
+	best, bestT := -1, math.Inf(1)
+	for i := range e.state {
+		cs := &e.state[i]
+		if !cs.busy {
+			continue
+		}
+		t := cs.clock
+		if cs.mode == ModeFast {
+			t = cs.fastEnd
+		}
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+func (e *Engine) advance(core int, ctrl Controller, res *Result) {
+	cs := &e.state[core]
+	switch cs.mode {
+	case ModeFast:
+		cs.clock = cs.fastEnd
+		e.finishTask(core, ctrl, res, cs.ipc)
+	case ModeDetailed:
+		// Advance by one bounded time slice: the deadline keeps cross-
+		// core skew on shared resources within one quantum; the
+		// instruction limit bounds the slice for high-IPC code.
+		end, fin := e.cpus[core].Run(cs.exec, 8*e.cfg.Quantum,
+			cs.clock+float64(e.cfg.Quantum), cs.start)
+		cs.clock = end
+		if !fin {
+			return
+		}
+		if e.noise != nil {
+			extra := e.noise.Perturb(core, cs.start, end-cs.start)
+			if extra < 0 {
+				extra = 0
+			}
+			cs.clock = end + extra
+		}
+		dur := cs.clock - cs.start
+		ipc := math.Inf(1)
+		if dur > 0 {
+			ipc = float64(cs.instr) / dur
+		}
+		res.DetailedInstructions += cs.instr
+		e.finishTask(core, ctrl, res, ipc)
+	}
+}
+
+func (e *Engine) finishTask(core int, ctrl Controller, res *Result, ipc float64) {
+	cs := &e.state[core]
+	e.running--
+	rec := InstanceRecord{
+		Type:   e.prog.Instances[cs.taskID].Type,
+		Thread: core,
+		Start:  cs.start,
+		End:    cs.clock,
+		Instr:  cs.instr,
+		IPC:    ipc,
+		Mode:   cs.mode,
+	}
+	res.PerInstance[cs.taskID] = rec
+	if cs.mode == ModeDetailed {
+		res.DetailedTasks++
+	} else {
+		res.FastTasks++
+	}
+	ctrl.TaskFinish(FinishInfo{
+		Thread:   core,
+		Instance: &e.prog.Instances[cs.taskID],
+		Start:    cs.start,
+		End:      cs.clock,
+		Mode:     cs.mode,
+		IPC:      ipc,
+	})
+	e.sched.Complete(cs.taskID, cs.clock)
+	cs.busy = false
+	cs.exec = nil
+}
+
+// Simulate is the convenience entry point: build an engine and run prog on
+// cfg under ctrl.
+func Simulate(cfg Config, prog *trace.Program, ctrl Controller, opts ...Option) (*Result, error) {
+	e, err := NewEngine(cfg, prog, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctrl)
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/trace"
+)
+
+// independentProgram builds n independent single-type tasks of instr
+// instructions each.
+func independentProgram(n int, instr int64) *trace.Program {
+	p := &trace.Program{Name: "indep", Types: []trace.TypeInfo{{Name: "work"}}}
+	for i := 0; i < n; i++ {
+		p.Instances = append(p.Instances, trace.Instance{
+			ID: int32(i), Type: 0, Seed: uint64(i + 1),
+			Segments: []trace.Segment{{
+				N: instr, MemRatio: 0.2, Pat: trace.PatStride, Stride: 64,
+				Base: uint64(i) << 24, Footprint: 1 << 16, DepDist: 4,
+			}},
+		})
+	}
+	return p
+}
+
+// chainProgram builds n tasks forming a single dependency chain.
+func chainProgram(n int, instr int64) *trace.Program {
+	p := &trace.Program{Name: "chain", Types: []trace.TypeInfo{{Name: "link"}}}
+	for i := 0; i < n; i++ {
+		inst := trace.Instance{
+			ID: int32(i), Type: 0, Seed: uint64(i + 1),
+			Segments: []trace.Segment{{N: instr, DepDist: 2}},
+			Out:      []uint64{uint64(i + 1)},
+		}
+		if i > 0 {
+			inst.In = []uint64{uint64(i)}
+		}
+		p.Instances = append(p.Instances, inst)
+	}
+	return p
+}
+
+// smallCfg is a fast configuration for unit tests.
+func smallCfg(cores int) Config {
+	cfg := HighPerfConfig(cores)
+	cfg.Quantum = 500
+	return cfg
+}
+
+func TestTable2ConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{HighPerfConfig(8), LowPowerConfig(8), NativeConfig(8)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	// Spot-check Table II parameters.
+	hp := HighPerfConfig(1)
+	if hp.CPU.ROB != 168 || hp.CPU.IssueWidth != 4 || hp.CPU.CommitWidth != 4 {
+		t.Errorf("high-perf core parameters wrong: %+v", hp.CPU)
+	}
+	if hp.Mem.L3.Size != 20*1024*1024 || hp.Mem.L3.Ways != 20 || !hp.Mem.HasL3 {
+		t.Errorf("high-perf L3 wrong: %+v", hp.Mem.L3)
+	}
+	lp := LowPowerConfig(1)
+	if lp.CPU.ROB != 40 || lp.CPU.IssueWidth != 3 || lp.CPU.CommitWidth != 3 {
+		t.Errorf("low-power core parameters wrong: %+v", lp.CPU)
+	}
+	if !lp.Mem.L2Shared || lp.Mem.HasL3 || lp.Mem.L2.Size != 1024*1024 || lp.Mem.L2.Ways != 16 {
+		t.Errorf("low-power cache hierarchy wrong: %+v", lp.Mem)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cfg := HighPerfConfig(0)
+	if err := cfg.Validate(); err == nil {
+		t.Error("0 cores accepted")
+	}
+	cfg = HighPerfConfig(8)
+	cfg.Quantum = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+func TestDetailedRunCompletes(t *testing.T) {
+	p := independentProgram(8, 2000)
+	res, err := Simulate(smallCfg(2), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if res.DetailedTasks != 8 || res.FastTasks != 0 {
+		t.Errorf("task counts = %d/%d, want 8/0", res.DetailedTasks, res.FastTasks)
+	}
+	if res.DetailFraction() != 1 {
+		t.Errorf("detail fraction = %v, want 1", res.DetailFraction())
+	}
+	if res.TotalInstructions != 8*2000 {
+		t.Errorf("total instructions = %d", res.TotalInstructions)
+	}
+	for i, rec := range res.PerInstance {
+		if rec.End <= rec.Start {
+			t.Errorf("instance %d: end %v <= start %v", i, rec.End, rec.Start)
+		}
+		if rec.IPC <= 0 {
+			t.Errorf("instance %d: IPC %v", i, rec.IPC)
+		}
+	}
+}
+
+func TestFixedIPCExactCycles(t *testing.T) {
+	// One core, fast mode at IPC 2: the program takes exactly
+	// totalInstr/2 cycles (tasks execute back to back).
+	p := independentProgram(5, 1000)
+	res, err := Simulate(smallCfg(1), p, FixedIPCController{IPC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(5*1000) / 2
+	if math.Abs(res.Cycles-want) > 1e-6 {
+		t.Errorf("cycles = %v, want %v", res.Cycles, want)
+	}
+	if res.FastTasks != 5 || res.DetailedTasks != 0 {
+		t.Errorf("task counts = %d/%d, want 0/5", res.DetailedTasks, res.FastTasks)
+	}
+	if res.DetailFraction() != 0 {
+		t.Errorf("detail fraction = %v, want 0", res.DetailFraction())
+	}
+}
+
+func TestInvalidFastIPCRejected(t *testing.T) {
+	p := independentProgram(2, 100)
+	if _, err := Simulate(smallCfg(1), p, FixedIPCController{IPC: 0}); err == nil {
+		t.Error("IPC=0 fast mode should fail")
+	}
+	if _, err := Simulate(smallCfg(1), p, FixedIPCController{IPC: math.Inf(1)}); err == nil {
+		t.Error("IPC=+Inf fast mode should fail")
+	}
+}
+
+func TestDependenciesRespected(t *testing.T) {
+	p := chainProgram(6, 500)
+	res, err := Simulate(smallCfg(4), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.PerInstance); i++ {
+		prev, cur := res.PerInstance[i-1], res.PerInstance[i]
+		if cur.Start < prev.End-1e-9 {
+			t.Errorf("task %d started at %v before dependency finished at %v", i, cur.Start, prev.End)
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	p1 := independentProgram(16, 2000)
+	p4 := independentProgram(16, 2000)
+	r1, err := Simulate(smallCfg(1), p1, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Simulate(smallCfg(4), p4, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Cycles >= r1.Cycles {
+		t.Errorf("4 cores (%v cycles) not faster than 1 core (%v)", r4.Cycles, r1.Cycles)
+	}
+	if r4.Cycles < r1.Cycles/4.5 {
+		t.Errorf("speedup beyond core count: %v vs %v", r1.Cycles, r4.Cycles)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		p := independentProgram(12, 1500)
+		res, err := Simulate(smallCfg(3), p, DetailedController{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two identical runs differ: %v vs %v", a, b)
+	}
+}
+
+// alternatingController runs even instances detailed and odd ones fast.
+type alternatingController struct{ ipc float64 }
+
+func (c alternatingController) TaskStart(si StartInfo) Decision {
+	if si.Instance.ID%2 == 0 {
+		return Detailed()
+	}
+	return Fast(c.ipc)
+}
+func (alternatingController) TaskFinish(FinishInfo) {}
+
+func TestMixedModes(t *testing.T) {
+	p := independentProgram(10, 1000)
+	res, err := Simulate(smallCfg(2), p, alternatingController{ipc: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetailedTasks != 5 || res.FastTasks != 5 {
+		t.Errorf("task counts = %d/%d, want 5/5", res.DetailedTasks, res.FastTasks)
+	}
+	for i, rec := range res.PerInstance {
+		wantMode := ModeDetailed
+		if i%2 == 1 {
+			wantMode = ModeFast
+		}
+		if rec.Mode != wantMode {
+			t.Errorf("instance %d mode = %v, want %v", i, rec.Mode, wantMode)
+		}
+		if rec.Mode == ModeFast && math.Abs(rec.IPC-1.5) > 1e-12 {
+			t.Errorf("fast instance %d IPC = %v, want 1.5", i, rec.IPC)
+		}
+	}
+	if res.DetailedInstructions != 5*1000 {
+		t.Errorf("detailed instructions = %d, want 5000", res.DetailedInstructions)
+	}
+}
+
+// constantPerturber adds fixed extra cycles per task.
+type constantPerturber struct{ extra float64 }
+
+func (p constantPerturber) Perturb(thread int, start, dur float64) float64 { return p.extra }
+
+func TestPerturberExtendsRuntime(t *testing.T) {
+	clean, err := Simulate(smallCfg(1), independentProgram(4, 1000), DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Simulate(smallCfg(1), independentProgram(4, 1000), DetailedController{},
+		WithPerturber(constantPerturber{extra: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four serial tasks, 100 extra cycles each. Task boundaries shift the
+	// pipeline and memory alignment, so allow a generous band around the
+	// nominal 400 extra cycles.
+	wantExtra := 4 * 100.0
+	diff := noisy.Cycles - clean.Cycles
+	if diff < wantExtra*0.75 || diff > wantExtra*1.25 {
+		t.Errorf("perturbation added %v cycles, want about %v", diff, wantExtra)
+	}
+}
+
+// runningProbe records the max Running value the controller observes.
+type runningProbe struct {
+	max int
+}
+
+func (r *runningProbe) TaskStart(si StartInfo) Decision {
+	if si.Running > r.max {
+		r.max = si.Running
+	}
+	return Detailed()
+}
+func (*runningProbe) TaskFinish(FinishInfo) {}
+
+func TestRunningCountBounded(t *testing.T) {
+	probe := &runningProbe{}
+	p := independentProgram(20, 500)
+	if _, err := Simulate(smallCfg(4), p, probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.max < 2 || probe.max > 4 {
+		t.Errorf("max running = %d, want in [2,4]", probe.max)
+	}
+}
+
+func TestIPCOfType(t *testing.T) {
+	p := independentProgram(6, 1000)
+	res, err := Simulate(smallCfg(2), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipcs := res.IPCOfType(0)
+	if len(ipcs) != 6 {
+		t.Errorf("IPCOfType returned %d values, want 6", len(ipcs))
+	}
+	if got := res.IPCOfType(5); got != nil {
+		t.Errorf("unknown type should yield nil, got %v", got)
+	}
+}
+
+func TestNewEngineRejectsBadProgram(t *testing.T) {
+	if _, err := NewEngine(smallCfg(1), &trace.Program{Name: "empty"}); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+// Property: random DAG programs complete under any controller mix; records
+// are consistent (start <= end, per-mode counts add up, makespan equals the
+// max end time, dependencies ordered).
+func TestQuickEngineInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		n := 3 + r.IntN(25)
+		p := &trace.Program{Name: "q", Types: []trace.TypeInfo{{Name: "a"}, {Name: "b"}}}
+		for i := 0; i < n; i++ {
+			inst := trace.Instance{
+				ID: int32(i), Type: trace.TypeID(r.IntN(2)), Seed: uint64(i) + seed,
+				Segments: []trace.Segment{{
+					N: 200 + int64(r.IntN(800)), MemRatio: 0.3 * r.Float64(),
+					Pat: trace.PatRandom, Footprint: 1 << 14, DepDist: 1 + 6*r.Float64(),
+				}},
+			}
+			for k := 0; k < r.IntN(2); k++ {
+				inst.In = append(inst.In, uint64(r.IntN(6)))
+			}
+			for k := 0; k < r.IntN(2); k++ {
+				inst.Out = append(inst.Out, uint64(r.IntN(6)))
+			}
+			p.Instances = append(p.Instances, inst)
+		}
+		cores := 1 + r.IntN(4)
+		res, err := Simulate(smallCfg(cores), p, alternatingController{ipc: 0.5 + r.Float64()})
+		if err != nil {
+			return false
+		}
+		if res.DetailedTasks+res.FastTasks != n {
+			return false
+		}
+		maxEnd := 0.0
+		for _, rec := range res.PerInstance {
+			if rec.End < rec.Start {
+				return false
+			}
+			if rec.End > maxEnd {
+				maxEnd = rec.End
+			}
+		}
+		return math.Abs(maxEnd-res.Cycles) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("GeoMean([1,4]) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean of non-positive values = %v, want 0", got)
+	}
+	// Non-positive values are skipped, not zeroing the result.
+	if got := GeoMean([]float64{-1, 9}); !almostEq(got, 9, 1e-12) {
+		t.Errorf("GeoMean([-1,9]) = %v, want 9", got)
+	}
+}
+
+func TestVarianceAndStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Stddev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {10, 14},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentileClampsRange(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	lo, _ := Percentile(xs, -10)
+	hi, _ := Percentile(xs, 200)
+	if lo != 1 || hi != 3 {
+		t.Errorf("clamped percentiles = %v, %v; want 1, 3", lo, hi)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) // 0..100
+	}
+	b, err := BoxOf(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 0 || b.Max != 100 || b.N != 101 {
+		t.Errorf("Min/Max/N = %v/%v/%v", b.Min, b.Max, b.N)
+	}
+	if !almostEq(b.Median, 50, 1e-9) || !almostEq(b.Q1, 25, 1e-9) ||
+		!almostEq(b.Q3, 75, 1e-9) || !almostEq(b.P5, 5, 1e-9) || !almostEq(b.P95, 95, 1e-9) {
+		t.Errorf("quartiles wrong: %+v", b)
+	}
+	if _, err := BoxOf(nil); err != ErrEmpty {
+		t.Errorf("BoxOf(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestWhiskerSpread(t *testing.T) {
+	b := Box{P5: -3, P95: 7}
+	if got := b.WhiskerSpread(); got != 7 {
+		t.Errorf("WhiskerSpread = %v, want 7", got)
+	}
+	b = Box{P5: -9, P95: 2}
+	if got := b.WhiskerSpread(); got != 9 {
+		t.Errorf("WhiskerSpread = %v, want 9", got)
+	}
+}
+
+func TestNormalizePct(t *testing.T) {
+	out, err := NormalizePct([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-50, 0, 50}
+	for i := range want {
+		if !almostEq(out[i], want[i], 1e-9) {
+			t.Errorf("NormalizePct[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := NormalizePct(nil); err != ErrEmpty {
+		t.Errorf("NormalizePct(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := NormalizePct([]float64{-1, 1}); err == nil {
+		t.Error("NormalizePct with zero mean should fail")
+	}
+}
+
+func TestAbsPctError(t *testing.T) {
+	if got := AbsPctError(102, 100); !almostEq(got, 2, 1e-12) {
+		t.Errorf("AbsPctError = %v, want 2", got)
+	}
+	if got := AbsPctError(98, 100); !almostEq(got, 2, 1e-12) {
+		t.Errorf("AbsPctError = %v, want 2", got)
+	}
+	if got := AbsPctError(0, 0); got != 0 {
+		t.Errorf("AbsPctError(0,0) = %v, want 0", got)
+	}
+	if got := AbsPctError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("AbsPctError(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{3.5, -2, 0, 7, 7, 1.25, -0.5}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d, want %d", o.N(), len(xs))
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Online.Mean = %v, batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Online.Variance = %v, batch %v", o.Variance(), Variance(xs))
+	}
+}
+
+func TestOnlineCoV(t *testing.T) {
+	var o Online
+	if o.CoV() != 0 {
+		t.Error("CoV of empty accumulator should be 0")
+	}
+	o.Add(10)
+	o.Add(10)
+	if o.CoV() != 0 {
+		t.Errorf("CoV of constant data = %v, want 0", o.CoV())
+	}
+}
+
+// Property: Online accumulation agrees with batch formulas for random data.
+func TestQuickOnlineAgreesWithBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 16
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return almostEq(o.Mean(), Mean(xs), 1e-6*scale) &&
+			almostEq(o.Variance(), Variance(xs), 1e-4*math.Max(1, Variance(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		va, _ := Percentile(xs, a)
+		vb, _ := Percentile(xs, b)
+		mn, _ := Percentile(xs, 0)
+		mx, _ := Percentile(xs, 100)
+		return va <= vb+1e-9 && va >= mn-1e-9 && vb <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizePct output always has (approximately) zero mean.
+func TestQuickNormalizeZeroMean(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // strictly positive
+		}
+		out, err := NormalizePct(xs)
+		if err != nil {
+			return false
+		}
+		return almostEq(Mean(out), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: box statistics are ordered Min<=P5<=Q1<=Median<=Q3<=P95<=Max.
+func TestQuickBoxOrdered(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		b, err := BoxOf(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.P5 && b.P5 <= b.Q1 && b.Q1 <= b.Median &&
+			b.Median <= b.Q3 && b.Q3 <= b.P95 && b.P95 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package taskgraph derives the task dependency graph from a trace.Program
+// the way the OmpSs runtime derives dependencies from in/out/inout clauses:
+// read-after-write, write-after-write and write-after-read edges between
+// task instances that name the same data tokens (paper §II-A, §IV).
+//
+// Because instances are processed in creation order, every edge points from
+// a lower instance index to a higher one, so the graph is acyclic by
+// construction.
+package taskgraph
+
+import (
+	"fmt"
+
+	"taskpoint/internal/trace"
+)
+
+// Graph is an immutable task dependency DAG over the instances of one
+// program. Node i corresponds to Program.Instances[i].
+type Graph struct {
+	succs [][]int32
+	npred []int32
+}
+
+// Build constructs the dependency graph of p. It returns an error only if
+// the program itself is invalid.
+func Build(p *trace.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Instances)
+	g := &Graph{
+		succs: make([][]int32, n),
+		npred: make([]int32, n),
+	}
+	lastWriter := make(map[uint64]int32)
+	readers := make(map[uint64][]int32)
+	// predSet deduplicates edges per instance; reused across iterations.
+	predSet := make(map[int32]struct{})
+
+	for i := range p.Instances {
+		inst := &p.Instances[i]
+		id := int32(i)
+		clear(predSet)
+
+		// Reads: In and InOut establish RAW edges from the last writer.
+		// Self-dependencies (an instance naming the same token twice, or
+		// both reading and writing it) are not edges.
+		for _, tok := range inst.In {
+			if w, ok := lastWriter[tok]; ok && w != id {
+				predSet[w] = struct{}{}
+			}
+			readers[tok] = append(readers[tok], id)
+		}
+		// Writes: Out and InOut establish WAW edges from the last writer
+		// and WAR edges from every reader since that write. For InOut the
+		// RAW edge coincides with the WAW edge from the last writer.
+		addWrite := func(tok uint64) {
+			if w, ok := lastWriter[tok]; ok && w != id {
+				predSet[w] = struct{}{}
+			}
+			for _, r := range readers[tok] {
+				if r != id {
+					predSet[r] = struct{}{}
+				}
+			}
+			lastWriter[tok] = id
+			readers[tok] = readers[tok][:0]
+		}
+		for _, tok := range inst.InOut {
+			addWrite(tok)
+		}
+		for _, tok := range inst.Out {
+			addWrite(tok)
+		}
+
+		for w := range predSet {
+			if w >= id {
+				return nil, fmt.Errorf("taskgraph: non-forward edge %d -> %d", w, id)
+			}
+			g.succs[w] = append(g.succs[w], id)
+			g.npred[id]++
+		}
+	}
+	return g, nil
+}
+
+// NumTasks returns the number of nodes.
+func (g *Graph) NumTasks() int { return len(g.succs) }
+
+// Succs returns the successors of node i. The returned slice must not be
+// modified.
+func (g *Graph) Succs(i int) []int32 { return g.succs[i] }
+
+// NumPreds returns the static in-degree of node i.
+func (g *Graph) NumPreds(i int) int { return int(g.npred[i]) }
+
+// NumEdges returns the total number of dependency edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, s := range g.succs {
+		n += len(s)
+	}
+	return n
+}
+
+// Roots returns the nodes with no predecessors, in creation order. These
+// are the task instances ready at program start.
+func (g *Graph) Roots() []int32 {
+	var out []int32
+	for i, np := range g.npred {
+		if np == 0 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Levels returns the ASAP level of every node: roots are level 0 and each
+// node sits one level below its deepest predecessor. Because edges always
+// point forward, a single pass in index order suffices.
+func (g *Graph) Levels() []int {
+	levels := make([]int, len(g.succs))
+	for i := range g.succs {
+		for _, s := range g.succs[i] {
+			if levels[i]+1 > levels[s] {
+				levels[s] = levels[i] + 1
+			}
+		}
+	}
+	return levels
+}
+
+// WidthProfile returns, for each ASAP level, how many tasks sit on it. The
+// profile approximates the available parallelism over time: the reduction
+// benchmark's shrinking profile is what exercises TaskPoint's resampling on
+// parallelism change (paper Fig 4a).
+func (g *Graph) WidthProfile() []int {
+	levels := g.Levels()
+	maxL := 0
+	for _, l := range levels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	width := make([]int, maxL+1)
+	for _, l := range levels {
+		width[l]++
+	}
+	return width
+}
+
+// CriticalPath returns the longest weighted path through the DAG, where
+// weights[i] is the cost of node i. With unit weights it is the depth of
+// the graph plus one.
+func (g *Graph) CriticalPath(weights []float64) float64 {
+	if len(weights) != len(g.succs) {
+		panic("taskgraph: weights length mismatch")
+	}
+	finish := make([]float64, len(g.succs))
+	longest := 0.0
+	for i := range g.succs {
+		f := finish[i] + weights[i]
+		if f > longest {
+			longest = f
+		}
+		for _, s := range g.succs[i] {
+			if f > finish[s] {
+				finish[s] = f
+			}
+		}
+	}
+	return longest
+}

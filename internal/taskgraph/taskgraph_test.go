@@ -1,0 +1,255 @@
+package taskgraph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/trace"
+)
+
+// prog builds a minimal program whose instance i has the given dependency
+// token sets.
+func prog(insts ...trace.Instance) *trace.Program {
+	p := &trace.Program{Name: "t", Types: []trace.TypeInfo{{Name: "t"}}}
+	for i := range insts {
+		insts[i].ID = int32(i)
+		insts[i].Type = 0
+		if insts[i].Segments == nil {
+			insts[i].Segments = []trace.Segment{{N: 10, DepDist: 2}}
+		}
+		p.Instances = append(p.Instances, insts[i])
+	}
+	return p
+}
+
+func TestBuildRAW(t *testing.T) {
+	// 0 writes token 1, instance 1 reads it: edge 0->1.
+	p := prog(
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{In: []uint64{1}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPreds(1) != 1 || len(g.Succs(0)) != 1 || g.Succs(0)[0] != 1 {
+		t.Errorf("RAW edge missing: preds(1)=%d succs(0)=%v", g.NumPreds(1), g.Succs(0))
+	}
+}
+
+func TestBuildWAW(t *testing.T) {
+	p := prog(
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{1}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPreds(1) != 1 {
+		t.Errorf("WAW edge missing: preds(1)=%d", g.NumPreds(1))
+	}
+}
+
+func TestBuildWAR(t *testing.T) {
+	// 0 reads token 1 (no prior writer: no RAW), 1 writes it: WAR 0->1.
+	p := prog(
+		trace.Instance{In: []uint64{1}},
+		trace.Instance{Out: []uint64{1}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPreds(1) != 1 {
+		t.Errorf("WAR edge missing: preds(1)=%d", g.NumPreds(1))
+	}
+}
+
+func TestBuildInOutChain(t *testing.T) {
+	// InOut on the same token serialises all three instances.
+	p := prog(
+		trace.Instance{InOut: []uint64{7}},
+		trace.Instance{InOut: []uint64{7}},
+		trace.Instance{InOut: []uint64{7}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPreds(0) != 0 || g.NumPreds(1) != 1 || g.NumPreds(2) != 1 {
+		t.Errorf("chain preds = %d,%d,%d want 0,1,1",
+			g.NumPreds(0), g.NumPreds(1), g.NumPreds(2))
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestBuildIndependent(t *testing.T) {
+	p := prog(
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{2}},
+		trace.Instance{Out: []uint64{3}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("independent tasks should have 0 edges, got %d", g.NumEdges())
+	}
+	if len(g.Roots()) != 3 {
+		t.Errorf("roots = %v, want all three", g.Roots())
+	}
+}
+
+func TestBuildMultipleReadersOneWAR(t *testing.T) {
+	// Two readers of token 5, then a writer: writer depends on both.
+	p := prog(
+		trace.Instance{Out: []uint64{5}},
+		trace.Instance{In: []uint64{5}},
+		trace.Instance{In: []uint64{5}},
+		trace.Instance{Out: []uint64{5}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance 3 has WAW on 0 plus WAR on 1 and 2 = 3 preds.
+	if g.NumPreds(3) != 3 {
+		t.Errorf("preds(3) = %d, want 3", g.NumPreds(3))
+	}
+}
+
+func TestBuildDedupEdges(t *testing.T) {
+	// An instance reading two tokens written by the same producer must get
+	// a single edge, not two.
+	p := prog(
+		trace.Instance{Out: []uint64{1, 2}},
+		trace.Instance{In: []uint64{1, 2}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPreds(1) != 1 || g.NumEdges() != 1 {
+		t.Errorf("duplicate edges: preds(1)=%d edges=%d", g.NumPreds(1), g.NumEdges())
+	}
+}
+
+func TestBuildRejectsInvalidProgram(t *testing.T) {
+	p := &trace.Program{Name: "bad"}
+	if _, err := Build(p); err == nil {
+		t.Error("expected error for invalid program")
+	}
+}
+
+func TestLevelsAndWidth(t *testing.T) {
+	// Binary reduction of 4 leaves: 4 leaves at level 0, 2 at 1, 1 at 2.
+	p := prog(
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{Out: []uint64{2}},
+		trace.Instance{Out: []uint64{3}},
+		trace.Instance{Out: []uint64{4}},
+		trace.Instance{In: []uint64{1, 2}, Out: []uint64{5}},
+		trace.Instance{In: []uint64{3, 4}, Out: []uint64{6}},
+		trace.Instance{In: []uint64{5, 6}, Out: []uint64{7}},
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := g.Levels()
+	want := []int{0, 0, 0, 0, 1, 1, 2}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("level(%d) = %d, want %d", i, levels[i], want[i])
+		}
+	}
+	width := g.WidthProfile()
+	if len(width) != 3 || width[0] != 4 || width[1] != 2 || width[2] != 1 {
+		t.Errorf("width profile = %v, want [4 2 1]", width)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	p := prog(
+		trace.Instance{Out: []uint64{1}},
+		trace.Instance{In: []uint64{1}, Out: []uint64{2}},
+		trace.Instance{In: []uint64{2}},
+		trace.Instance{Out: []uint64{99}}, // independent
+	)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{10, 20, 30, 5}
+	if got := g.CriticalPath(w); got != 60 {
+		t.Errorf("critical path = %v, want 60", got)
+	}
+}
+
+func TestCriticalPathPanicsOnBadWeights(t *testing.T) {
+	p := prog(trace.Instance{Out: []uint64{1}})
+	g, _ := Build(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on weight length mismatch")
+		}
+	}()
+	g.CriticalPath([]float64{1, 2})
+}
+
+// Property: graphs from random programs are forward-edged (acyclic) and
+// predecessor counts equal the sum of successor list memberships.
+func TestQuickGraphInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 42))
+		n := 2 + r.IntN(40)
+		var insts []trace.Instance
+		for i := 0; i < n; i++ {
+			var in, out []uint64
+			for k := 0; k < r.IntN(3); k++ {
+				in = append(in, uint64(r.IntN(10)))
+			}
+			for k := 0; k < r.IntN(3); k++ {
+				out = append(out, uint64(r.IntN(10)))
+			}
+			insts = append(insts, trace.Instance{In: in, Out: out})
+		}
+		g, err := Build(prog(insts...))
+		if err != nil {
+			return false
+		}
+		// Forward edges only, and in-degree bookkeeping consistent.
+		preds := make([]int, n)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succs(u) {
+				if int(v) <= u {
+					return false
+				}
+				preds[v]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			if preds[i] != g.NumPreds(i) {
+				return false
+			}
+		}
+		// Levels are monotone along edges.
+		levels := g.Levels()
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succs(u) {
+				if levels[v] <= levels[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

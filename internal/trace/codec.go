@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format ("TPT1"):
+//
+//	magic        [4]byte "TPT1"
+//	name         string (uvarint length + bytes)
+//	numTypes     uvarint
+//	  type name  string
+//	numInstances uvarint
+//	  type       uvarint
+//	  seed       8 bytes LE
+//	  numSegs    uvarint
+//	    segment fields (see writeSegment)
+//	  in/out/inout token lists (uvarint count + uvarint tokens)
+//
+// Instance IDs are implicit (creation order), which both compresses the
+// format and makes corrupt files easier to detect.
+
+var magic = [4]byte{'T', 'P', 'T', '1'}
+
+// ErrBadMagic indicates the input is not a TaskPoint trace file.
+var ErrBadMagic = errors.New("trace: bad magic, not a TaskPoint trace")
+
+// Write serialises the program in the binary trace format.
+func Write(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw}
+	e.bytes(magic[:])
+	e.str(p.Name)
+	e.uvarint(uint64(len(p.Types)))
+	for i := range p.Types {
+		e.str(p.Types[i].Name)
+	}
+	e.uvarint(uint64(len(p.Instances)))
+	for i := range p.Instances {
+		inst := &p.Instances[i]
+		e.uvarint(uint64(inst.Type))
+		e.u64(inst.Seed)
+		e.uvarint(uint64(len(inst.Segments)))
+		for j := range inst.Segments {
+			e.segment(&inst.Segments[j])
+		}
+		e.tokens(inst.In)
+		e.tokens(inst.Out)
+		e.tokens(inst.InOut)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a program written by Write.
+func Read(r io.Reader) (*Program, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	var m [4]byte
+	d.bytes(m[:])
+	if d.err != nil {
+		return nil, d.err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	p := &Program{}
+	p.Name = d.str()
+	nTypes := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nTypes > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable type count %d", nTypes)
+	}
+	p.Types = make([]TypeInfo, nTypes)
+	for i := range p.Types {
+		p.Types[i].Name = d.str()
+	}
+	nInst := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nInst > 1<<28 {
+		return nil, fmt.Errorf("trace: unreasonable instance count %d", nInst)
+	}
+	p.Instances = make([]Instance, nInst)
+	for i := range p.Instances {
+		inst := &p.Instances[i]
+		inst.ID = int32(i)
+		inst.Type = TypeID(d.uvarint())
+		inst.Seed = d.u64()
+		nSegs := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nSegs > 1<<16 {
+			return nil, fmt.Errorf("trace: unreasonable segment count %d", nSegs)
+		}
+		inst.Segments = make([]Segment, nSegs)
+		for j := range inst.Segments {
+			d.segment(&inst.Segments[j])
+		}
+		inst.In = d.tokens()
+		inst.Out = d.tokens()
+		inst.InOut = d.tokens()
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return p, p.Validate()
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.bytes(e.buf[:n])
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.bytes(e.buf[:8])
+}
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) tokens(ts []uint64) {
+	e.uvarint(uint64(len(ts)))
+	for _, t := range ts {
+		e.uvarint(t)
+	}
+}
+
+func (e *encoder) segment(s *Segment) {
+	e.uvarint(uint64(s.N))
+	e.f64(s.MemRatio)
+	e.f64(s.StoreFrac)
+	e.bytes([]byte{byte(s.Pat)})
+	e.u64(s.Base)
+	e.u64(s.Footprint)
+	e.u64(uint64(s.Stride))
+	if s.Atomic {
+		e.bytes([]byte{1})
+	} else {
+		e.bytes([]byte{0})
+	}
+	e.f64(s.DepDist)
+	e.f64(s.FPFrac)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) bytes(b []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, b)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) byte1() byte {
+	var b [1]byte
+	d.bytes(b[:])
+	return b[0]
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("trace: unreasonable string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+func (d *decoder) tokens() []uint64 {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > 1<<24 {
+		d.err = fmt.Errorf("trace: unreasonable token count %d", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.uvarint()
+	}
+	return out
+}
+
+func (d *decoder) segment(s *Segment) {
+	s.N = int64(d.uvarint())
+	s.MemRatio = d.f64()
+	s.StoreFrac = d.f64()
+	s.Pat = Pattern(d.byte1())
+	s.Base = d.u64()
+	s.Footprint = d.u64()
+	s.Stride = int64(d.u64())
+	s.Atomic = d.byte1() == 1
+	s.DepDist = d.f64()
+	s.FPFrac = d.f64()
+}

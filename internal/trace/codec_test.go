@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := validProgram()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", p, got)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE...."))); err != ErrBadMagic {
+		t.Errorf("error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	p := validProgram()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any strict prefix must fail, never panic.
+	for _, cut := range []int{0, 1, 4, 5, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d bytes: expected error", cut)
+		}
+	}
+}
+
+func TestReadRejectsInvalidProgram(t *testing.T) {
+	// A structurally decodable program that fails validation: an instance
+	// with zero segments.
+	p := validProgram()
+	p.Instances[0].Segments = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("expected validation error on read")
+	}
+}
+
+func randomProgram(r *rand.Rand) *Program {
+	nTypes := 1 + r.IntN(5)
+	p := &Program{Name: "rnd", Types: make([]TypeInfo, nTypes)}
+	for i := range p.Types {
+		p.Types[i].Name = string(rune('a' + i))
+	}
+	nInst := 1 + r.IntN(20)
+	for i := 0; i < nInst; i++ {
+		inst := Instance{
+			ID:   int32(i),
+			Type: TypeID(r.IntN(nTypes)),
+			Seed: r.Uint64(),
+		}
+		nSeg := 1 + r.IntN(3)
+		for s := 0; s < nSeg; s++ {
+			inst.Segments = append(inst.Segments, Segment{
+				N:         1 + int64(r.IntN(10000)),
+				MemRatio:  r.Float64(),
+				StoreFrac: r.Float64(),
+				Pat:       Pattern(r.IntN(int(numPatterns))),
+				Base:      r.Uint64() % (1 << 40),
+				Footprint: 64 + uint64(r.IntN(1<<20)),
+				Stride:    int64(8 * (1 + r.IntN(64))),
+				Atomic:    r.IntN(4) == 0,
+				DepDist:   1 + 10*r.Float64(),
+				FPFrac:    r.Float64(),
+			})
+		}
+		for k := 0; k < r.IntN(3); k++ {
+			inst.In = append(inst.In, r.Uint64()%1000)
+		}
+		for k := 0; k < r.IntN(3); k++ {
+			inst.Out = append(inst.Out, r.Uint64()%1000)
+		}
+		p.Instances = append(p.Instances, inst)
+	}
+	return p
+}
+
+// Property: arbitrary valid programs survive a round trip bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0x9e3779b9))
+		p := randomProgram(r)
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Read never panics on random garbage (fuzz-lite).
+func TestQuickReadGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Read(bytes.NewReader(data)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Read never panics on corrupted valid traces.
+func TestQuickReadCorrupted(t *testing.T) {
+	base := validProgram()
+	var buf bytes.Buffer
+	if err := Write(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	f := func(pos uint16, val byte) bool {
+		data := make([]byte, len(orig))
+		copy(data, orig)
+		data[int(pos)%len(data)] ^= val
+		_, _ = Read(bytes.NewReader(data)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

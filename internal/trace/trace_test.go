@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func validProgram() *Program {
+	return &Program{
+		Name:  "test",
+		Types: []TypeInfo{{Name: "a"}, {Name: "b"}},
+		Instances: []Instance{
+			{
+				ID: 0, Type: 0, Seed: 1,
+				Segments: []Segment{{N: 100, MemRatio: 0.3, Pat: PatStride, Footprint: 4096, Stride: 64, DepDist: 4}},
+				Out:      []uint64{10},
+			},
+			{
+				ID: 1, Type: 1, Seed: 2,
+				Segments: []Segment{{N: 50, DepDist: 2}},
+				In:       []uint64{10},
+				InOut:    []uint64{11},
+			},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		substr string
+	}{
+		{"no types", func(p *Program) { p.Types = nil }, "no types"},
+		{"no instances", func(p *Program) { p.Instances = nil }, "no instances"},
+		{"bad id", func(p *Program) { p.Instances[1].ID = 7 }, "creation order"},
+		{"bad type", func(p *Program) { p.Instances[0].Type = 5 }, "unknown type"},
+		{"no segments", func(p *Program) { p.Instances[0].Segments = nil }, "no segments"},
+		{"zero instr", func(p *Program) { p.Instances[0].Segments[0].N = 0 }, "positive"},
+		{"bad mem ratio", func(p *Program) { p.Instances[0].Segments[0].MemRatio = 1.5 }, "mem ratio"},
+		{"bad store frac", func(p *Program) { p.Instances[0].Segments[0].StoreFrac = -0.1 }, "store fraction"},
+		{"bad pattern", func(p *Program) { p.Instances[0].Segments[0].Pat = 99 }, "pattern"},
+		{"mem without footprint", func(p *Program) { p.Instances[0].Segments[0].Footprint = 0 }, "footprint"},
+		{"bad depdist", func(p *Program) { p.Instances[0].Segments[0].DepDist = 0 }, "dependency distance"},
+		{"bad fpfrac", func(p *Program) { p.Instances[0].Segments[0].FPFrac = 2 }, "fp fraction"},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	inst := Instance{Segments: []Segment{{N: 10}, {N: 32}}}
+	if got := inst.Instructions(); got != 42 {
+		t.Errorf("Instructions = %d, want 42", got)
+	}
+}
+
+func TestTotalInstructions(t *testing.T) {
+	p := validProgram()
+	if got := p.TotalInstructions(); got != 150 {
+		t.Errorf("TotalInstructions = %d, want 150", got)
+	}
+}
+
+func TestInstancesOf(t *testing.T) {
+	p := validProgram()
+	if got := p.InstancesOf(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("InstancesOf(0) = %v", got)
+	}
+	if got := p.InstancesOf(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("InstancesOf(1) = %v", got)
+	}
+	if got := p.InstancesOf(9); got != nil {
+		t.Errorf("InstancesOf(9) = %v, want nil", got)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	names := map[Pattern]string{
+		PatStride: "stride", PatRandom: "random", PatGaussian: "gaussian", PatChase: "chase",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("Pattern(%d).String() = %q, want %q", p, got, want)
+		}
+		if !p.Valid() {
+			t.Errorf("Pattern %q should be valid", want)
+		}
+	}
+	if Pattern(42).Valid() {
+		t.Error("Pattern(42) should be invalid")
+	}
+	if got := Pattern(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown pattern string = %q", got)
+	}
+}
+
+func TestCountsHelpers(t *testing.T) {
+	p := validProgram()
+	if p.NumTasks() != 2 || p.NumTypes() != 2 {
+		t.Errorf("NumTasks/NumTypes = %d/%d, want 2/2", p.NumTasks(), p.NumTypes())
+	}
+}

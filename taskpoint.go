@@ -1,0 +1,188 @@
+// Package taskpoint is a reproduction of "TaskPoint: Sampled Simulation of
+// Task-Based Programs" (Grass, Rico, Casas, Moreto, Ayguadé — ISPASS 2016)
+// as a self-contained Go library.
+//
+// TaskPoint accelerates architectural simulation of dynamically scheduled
+// task-based programs by using task instances as sampling units: a few
+// instances per task type are simulated cycle by cycle to warm
+// micro-architectural state and measure IPC; the remaining instances are
+// fast-forwarded at the mean IPC of their type's sample history, so every
+// thread advances at a rate matching the work it executes.
+//
+// The package bundles the full stack the paper builds on:
+//
+//   - a generative trace model for task-based programs (task types,
+//     instances, dependencies, instruction-stream descriptors),
+//   - an OmpSs-like dynamic scheduler over the task dependency graph,
+//   - a TaskSim-like deterministic multi-core simulator with a detailed
+//     mode (ROB-occupancy core model + caches/coherence/DRAM) and a
+//     fixed-IPC burst mode,
+//   - the TaskPoint sampling controller with periodic and lazy policies,
+//   - the 19 benchmarks of the paper's Table I as synthetic workload
+//     generators, and
+//   - the evaluation harness regenerating every table and figure.
+//
+// # Quick start
+//
+//	prog := taskpoint.Benchmark("cholesky", 1.0/16, 42)
+//	cfg := taskpoint.HighPerf(8)
+//
+//	detailed, _ := taskpoint.SimulateDetailed(cfg, prog)
+//	sampled, stats, _ := taskpoint.SimulateSampled(cfg, prog,
+//		taskpoint.DefaultParams(), taskpoint.LazyPolicy())
+//
+//	fmt.Printf("error %.2f%%, %.0fx fewer instructions in detail\n",
+//		taskpoint.ErrorPct(sampled, detailed),
+//		1/sampled.DetailFraction())
+//	_ = stats
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package taskpoint
+
+import (
+	"taskpoint/internal/bench"
+	"taskpoint/internal/core"
+	"taskpoint/internal/results"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/stats"
+	"taskpoint/internal/trace"
+)
+
+// Re-exported core types. The facade keeps downstream users on one import
+// path while the implementation lives in internal packages.
+type (
+	// Program is an application trace: task types, instances and
+	// dependencies.
+	Program = trace.Program
+	// Instance is one task instance.
+	Instance = trace.Instance
+	// Segment describes a homogeneous instruction run of an instance.
+	Segment = trace.Segment
+	// TypeInfo names a task type.
+	TypeInfo = trace.TypeInfo
+	// Config describes a simulated machine.
+	Config = sim.Config
+	// Result is the outcome of one simulation.
+	Result = sim.Result
+	// Controller decides the simulation mode per task instance.
+	Controller = sim.Controller
+	// Params are TaskPoint's model parameters (W, H, rare cut-off...).
+	Params = core.Params
+	// Policy decides when a fast-forwarding simulation is resampled.
+	Policy = core.Policy
+	// Sampler is the TaskPoint controller.
+	Sampler = core.Sampler
+	// SamplerStats reports what the sampler did during a run.
+	SamplerStats = core.Stats
+	// Runner drives the paper's evaluation experiments.
+	Runner = results.Runner
+	// Pattern selects how a segment generates memory addresses.
+	Pattern = trace.Pattern
+	// StartInfo describes a task instance about to start (custom
+	// controllers).
+	StartInfo = sim.StartInfo
+	// FinishInfo describes a completed task instance.
+	FinishInfo = sim.FinishInfo
+	// Decision is a controller's mode choice for one instance.
+	Decision = sim.Decision
+)
+
+// Detailed returns the decision that simulates an instance cycle-level.
+func Detailed() Decision { return sim.Detailed() }
+
+// Fast returns the decision that fast-forwards an instance at ipc.
+func Fast(ipc float64) Decision { return sim.Fast(ipc) }
+
+// Memory access patterns for custom workloads.
+const (
+	// PatStride walks a footprint with a fixed stride.
+	PatStride = trace.PatStride
+	// PatRandom draws uniform addresses from the footprint.
+	PatRandom = trace.PatRandom
+	// PatGaussian clusters accesses around a hot spot.
+	PatGaussian = trace.PatGaussian
+	// PatChase serialises loads (pointer chasing).
+	PatChase = trace.PatChase
+)
+
+// HighPerf returns the paper's high-performance architecture (Table II)
+// with the given thread count.
+func HighPerf(threads int) Config { return sim.HighPerfConfig(threads) }
+
+// LowPower returns the paper's low-power architecture (Table II).
+func LowPower(threads int) Config { return sim.LowPowerConfig(threads) }
+
+// DefaultParams returns the paper's selected parameters: W=2, H=4.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// LazyPolicy returns lazy sampling (P = infinity): resampling only on
+// unknown task types and parallelism changes.
+func LazyPolicy() Policy { return core.Lazy{} }
+
+// PeriodicPolicy returns periodic sampling with period p: the simulation is
+// resampled whenever a thread retires p instances in fast-forward mode.
+func PeriodicPolicy(p int) Policy { return core.Periodic{P: p} }
+
+// Benchmarks returns the names of the 19 Table I benchmarks in paper order.
+func Benchmarks() []string { return bench.Names() }
+
+// Benchmark generates one of the paper's benchmarks at the given scale
+// (1.0 reproduces Table I instance counts) with a deterministic seed.
+// It panics on an unknown name or invalid scale; use LookupBenchmark for
+// error handling.
+func Benchmark(name string, scale float64, seed uint64) *Program {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec.MustBuild(scale, seed)
+}
+
+// LookupBenchmark generates a benchmark, reporting errors instead of
+// panicking.
+func LookupBenchmark(name string, scale float64, seed uint64) (*Program, error) {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(scale, seed)
+}
+
+// SimulateDetailed runs prog through the cycle-level detailed mode on cfg —
+// the reference against which sampling error is measured.
+func SimulateDetailed(cfg Config, prog *Program) (*Result, error) {
+	return sim.Simulate(cfg, prog, sim.DetailedController{})
+}
+
+// SimulateSampled runs prog under TaskPoint with the given parameters and
+// resampling policy, returning the result and the sampler's statistics.
+func SimulateSampled(cfg Config, prog *Program, params Params, policy Policy) (*Result, SamplerStats, error) {
+	sampler, err := core.New(params, policy)
+	if err != nil {
+		return nil, SamplerStats{}, err
+	}
+	res, err := sim.Simulate(cfg, prog, sampler)
+	if err != nil {
+		return nil, SamplerStats{}, err
+	}
+	return res, sampler.Stats(), nil
+}
+
+// SimulateWith runs prog under a custom Controller, for users implementing
+// their own sampling policies on top of the simulator.
+func SimulateWith(cfg Config, prog *Program, ctrl Controller) (*Result, error) {
+	return sim.Simulate(cfg, prog, ctrl)
+}
+
+// ErrorPct returns the execution-time error of a sampled run against its
+// detailed reference, in percent — the paper's accuracy metric.
+func ErrorPct(sampled, detailed *Result) float64 {
+	return stats.AbsPctError(sampled.Cycles, detailed.Cycles)
+}
+
+// NewRunner builds an evaluation runner at the given benchmark scale with
+// the given worker parallelism; it caches detailed baselines across
+// experiments. Seed drives workload generation and the noise model.
+func NewRunner(scale float64, seed uint64, workers int) *Runner {
+	return results.NewRunner(scale, seed, workers)
+}

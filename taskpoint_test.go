@@ -1,0 +1,94 @@
+package taskpoint_test
+
+import (
+	"testing"
+
+	"taskpoint"
+)
+
+func TestPublicBenchmarkList(t *testing.T) {
+	names := taskpoint.Benchmarks()
+	if len(names) != 19 {
+		t.Fatalf("Benchmarks() returned %d names, want 19", len(names))
+	}
+	for _, n := range names {
+		if _, err := taskpoint.LookupBenchmark(n, 1.0/64, 1); err != nil {
+			t.Errorf("LookupBenchmark(%q): %v", n, err)
+		}
+	}
+}
+
+func TestLookupBenchmarkErrors(t *testing.T) {
+	if _, err := taskpoint.LookupBenchmark("nope", 0.5, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := taskpoint.LookupBenchmark("cholesky", 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestBenchmarkPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	taskpoint.Benchmark("nope", 0.5, 1)
+}
+
+func TestEndToEndSampledVsDetailed(t *testing.T) {
+	prog := taskpoint.Benchmark("blackscholes", 1.0/64, 3)
+	cfg := taskpoint.HighPerf(4)
+	det, err := taskpoint.SimulateDetailed(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samp, st, err := taskpoint.SimulateSampled(cfg, prog,
+		taskpoint.DefaultParams(), taskpoint.LazyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := taskpoint.ErrorPct(samp, det); e > 25 {
+		t.Errorf("error %.2f%% unexpectedly high for a regular benchmark", e)
+	}
+	if st.FastStarted == 0 {
+		t.Error("nothing was fast-forwarded")
+	}
+	if samp.DetailFraction() >= 1 {
+		t.Error("sampling simulated everything in detail")
+	}
+}
+
+func TestPeriodicPolicyPublicAPI(t *testing.T) {
+	prog := taskpoint.Benchmark("swaptions", 1.0/64, 3)
+	cfg := taskpoint.LowPower(2)
+	res, st, err := taskpoint.SimulateSampled(cfg, prog,
+		taskpoint.DefaultParams(), taskpoint.PeriodicPolicy(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no simulated time")
+	}
+	if st.ResamplesPeriodic == 0 {
+		t.Error("periodic policy with P=10 never resampled")
+	}
+}
+
+// fullDetail is a custom controller: a user-supplied policy via the public
+// Controller surface.
+type fullDetail struct{}
+
+func (fullDetail) TaskStart(taskpoint.StartInfo) taskpoint.Decision { return taskpoint.Detailed() }
+func (fullDetail) TaskFinish(taskpoint.FinishInfo)                  {}
+
+func TestSimulateWithCustomController(t *testing.T) {
+	prog := taskpoint.Benchmark("histogram", 1.0/64, 3)
+	res, err := taskpoint.SimulateWith(taskpoint.HighPerf(2), prog, fullDetail{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetailFraction() != 1 {
+		t.Errorf("custom detailed controller: detail fraction %v, want 1", res.DetailFraction())
+	}
+}
