@@ -1,0 +1,275 @@
+// Command sweep runs a design-space campaign: the cartesian product of
+// benchmarks × architectures × thread counts × sampling policies × seeds,
+// sharded across a worker pool, streamed as JSONL and summarised like the
+// per-thread-count averages of the paper's Figures 7-10.
+//
+// Campaigns are resumable: cells already present in the output file are
+// skipped, so an interrupted sweep continues where it stopped.
+//
+// Usage:
+//
+//	sweep                              # built-in default campaign
+//	sweep -spec campaign.json          # declarative spec from a file
+//	sweep -benchmarks cholesky,knn -archs hp,lp -threads 2,8 \
+//	      -policies lazy,periodic:250  # spec from flags
+//	sweep -out run.jsonl -csv run.csv  # resume run.jsonl, export CSV
+//	sweep -print-spec                  # show the effective spec and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"taskpoint/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "JSON sweep spec file (dimension flags override its fields)")
+		outPath   = flag.String("out", "sweep.jsonl", "JSONL output; existing cells in it are skipped (resume)")
+		csvPath   = flag.String("csv", "", "also export the full campaign as CSV to this path")
+		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
+		name      = flag.String("name", "", "campaign name (flag-built specs)")
+		scale     = flag.Float64("scale", 0, "benchmark scale; 0 keeps the spec/default value")
+		benchCSV  = flag.String("benchmarks", "", "comma-separated benchmark names")
+		archCSV   = flag.String("archs", "", "comma-separated architectures (hp, lp, native)")
+		threadCSV = flag.String("threads", "", "comma-separated thread counts")
+		polCSV    = flag.String("policies", "", "comma-separated policies (lazy, periodic:P)")
+		seedCSV   = flag.String("seeds", "", "comma-separated workload seeds")
+		w         = flag.Int("W", 0, "warm-up instances per thread; 0 = paper default")
+		h         = flag.Int("H", 0, "sample history size; 0 = paper default")
+		printSpec = flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
+		quiet     = flag.Bool("quiet", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*specPath, *name, *scale, *benchCSV, *archCSV, *threadCSV, *polCSV, *seedCSV, *w, *h)
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	eng, err := sweep.New(spec, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	completed, err := loadResume(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dropPartialTail(*outPath); err != nil {
+		fatal(err)
+	}
+	out, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+
+	skipped, total := eng.Resumable(completed)
+	fmt.Fprintf(os.Stderr, "campaign %q: %d cells (%d already in %s), %d workers\n",
+		specName(spec), total, skipped, *outPath, *workers)
+	if !*quiet {
+		eng.OnRecord = func(done, total int, rec sweep.Record) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s err %6.2f%%  %5.1fx detail\n",
+				done, total, rec.Key, rec.ErrPct, rec.SpeedupDetail)
+		}
+	}
+
+	start := time.Now()
+	recs, runErr := eng.Run(out, completed)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells failed:\n%v\n", total-len(recs), runErr)
+	}
+	fmt.Fprintf(os.Stderr, "completed %d/%d cells in %v\n\n", len(recs), total, time.Since(start).Round(time.Millisecond))
+
+	fmt.Print(sweep.RenderSummary(
+		fmt.Sprintf("campaign %q — mean/max execution-time error and detail speedup per cell group", specName(spec)),
+		sweep.Summarize(recs)))
+
+	if *csvPath != "" {
+		if err := exportCSV(*csvPath, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// buildSpec resolves the campaign: a spec file when given, otherwise the
+// built-in default overridden by any dimension flags.
+func buildSpec(path, name string, scale float64, benchCSV, archCSV, threadCSV, polCSV, seedCSV string, w, h int) (sweep.Spec, error) {
+	spec := sweep.DefaultSpec()
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec = sweep.Spec{}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return sweep.Spec{}, fmt.Errorf("parsing %s: %w", path, err)
+		}
+	}
+	if name != "" {
+		spec.Name = name
+	}
+	if scale > 0 {
+		spec.Scale = scale
+	}
+	if benchCSV != "" {
+		spec.Benchmarks = splitCSV(benchCSV)
+	}
+	if archCSV != "" {
+		spec.Archs = splitCSV(archCSV)
+	}
+	if polCSV != "" {
+		spec.Policies = splitCSV(polCSV)
+	}
+	if threadCSV != "" {
+		threads, err := atoiAll(splitCSV(threadCSV))
+		if err != nil {
+			return sweep.Spec{}, fmt.Errorf("-threads: %w", err)
+		}
+		spec.Threads = threads
+	}
+	if seedCSV != "" {
+		var seeds []uint64
+		for _, s := range splitCSV(seedCSV) {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return sweep.Spec{}, fmt.Errorf("-seeds: %w", err)
+			}
+			seeds = append(seeds, v)
+		}
+		spec.Seeds = seeds
+	}
+	if w > 0 {
+		spec.W = w
+	}
+	if h > 0 {
+		spec.H = h
+	}
+	return spec, nil
+}
+
+// loadResume reads the completed-cell set from an existing output file;
+// a missing file is an empty campaign.
+func loadResume(path string) (map[string]sweep.Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	completed, err := sweep.LoadCompleted(f)
+	if err != nil {
+		return nil, fmt.Errorf("resuming from %s: %w", path, err)
+	}
+	return completed, nil
+}
+
+// dropPartialTail truncates an output file that does not end in a newline
+// back to its last complete line: the partial record of an interrupted
+// campaign is ignored by LoadCompleted, and appending to it would glue the
+// next record onto the same line, so its cell would never register as
+// completed on later resumes.
+func dropPartialTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil || size == 0 {
+		return err
+	}
+	buf := make([]byte, 64*1024)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return err
+		}
+		if end == size && buf[n-1] == '\n' {
+			return nil // file ends cleanly
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(end - n + i + 1)
+			}
+		}
+		end -= n
+	}
+	return f.Truncate(0) // a single partial line
+}
+
+func exportCSV(path string, recs []sweep.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sweep.WriteCSV(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func specName(s sweep.Spec) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "unnamed"
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func atoiAll(parts []string) ([]int, error) {
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package taskpoint_test
+
+import (
+	"fmt"
+
+	"taskpoint"
+)
+
+// Generate one of the paper's Table I benchmarks. Generation is
+// deterministic in (name, scale, seed), so campaigns are reproducible.
+func ExampleBenchmark() {
+	prog := taskpoint.Benchmark("cholesky", 1.0/16, 42)
+
+	fmt.Println("benchmark:", prog.Name)
+	fmt.Println("task types:", prog.NumTypes())
+	fmt.Println("deterministic:", prog.NumTasks() == taskpoint.Benchmark("cholesky", 1.0/16, 42).NumTasks())
+	// Output:
+	// benchmark: cholesky
+	// task types: 4
+	// deterministic: true
+}
+
+// Run the cycle-level detailed simulation — the reference against which
+// sampling error is measured.
+func ExampleSimulateDetailed() {
+	prog := taskpoint.Benchmark("cholesky", 1.0/32, 42)
+	cfg := taskpoint.HighPerf(4)
+
+	res, err := taskpoint.SimulateDetailed(cfg, prog)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("finished:", res.Cycles > 0)
+	fmt.Println("all instructions in detail:", res.DetailFraction() == 1)
+	fmt.Println("tasks fast-forwarded:", res.FastTasks)
+	// Output:
+	// finished: true
+	// all instructions in detail: true
+	// tasks fast-forwarded: 0
+}
+
+// Run TaskPoint's sampled simulation and compare it against the detailed
+// reference: a small execution-time error at a fraction of the detailed
+// instructions.
+func ExampleSimulateSampled() {
+	cfg := taskpoint.HighPerf(4)
+	detailed, err := taskpoint.SimulateDetailed(cfg, taskpoint.Benchmark("cholesky", 1.0/32, 42))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sampled, stats, err := taskpoint.SimulateSampled(cfg, taskpoint.Benchmark("cholesky", 1.0/32, 42),
+		taskpoint.DefaultParams(), taskpoint.LazyPolicy())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	fmt.Println("error below 5%:", taskpoint.ErrorPct(sampled, detailed) < 5)
+	fmt.Println("detail fraction below 50%:", sampled.DetailFraction() < 0.5)
+	fmt.Println("sampled some tasks in detail:", stats.DetailedStarted > 0)
+	fmt.Println("fast-forwarded the rest:", stats.FastStarted > 0)
+	// Output:
+	// error below 5%: true
+	// detail fraction below 50%: true
+	// sampled some tasks in detail: true
+	// fast-forwarded the rest: true
+}
+
+// Declare and run a small design-space campaign with the sweep engine.
+func ExampleNewSweep() {
+	spec := taskpoint.SweepSpec{
+		Name:       "example",
+		Scale:      1.0 / 64,
+		Benchmarks: []string{"vector-operation"},
+		Archs:      []string{"hp", "lp"},
+		Threads:    []int{2},
+		Policies:   []string{"lazy", "periodic:250"},
+	}
+	eng, err := taskpoint.NewSweep(spec, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	recs, err := eng.Run(nil, nil) // nil writer: no JSONL stream needed here
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	fmt.Println("cells:", len(recs))
+	for _, s := range taskpoint.SummarizeSweep(recs) {
+		fmt.Printf("%s/%s: error below 10%%: %v\n", s.Arch, s.Policy, s.MaxErrPct < 10)
+	}
+	// Output:
+	// cells: 4
+	// high-performance/lazy: error below 10%: true
+	// high-performance/periodic(250): error below 10%: true
+	// low-power/lazy: error below 10%: true
+	// low-power/periodic(250): error below 10%: true
+}

@@ -1,17 +1,20 @@
-// Design-space exploration: the paper's recommended use of lazy sampling
-// (§V-C — "we advocate the use of lazy sampling for evaluations requiring a
-// large number of simulations, e.g. during the early phase of design space
-// exploration").
+// Design-space exploration on the sweep engine: the paper's recommended
+// use of lazy sampling (§V-C — "we advocate the use of lazy sampling for
+// evaluations requiring a large number of simulations, e.g. during the
+// early phase of design space exploration").
 //
-// This example sweeps core counts on both Table II architectures for one
-// workload and reports how the workload scales — dozens of simulations that
-// would be impractical in full detail, completed with sampled runs, with
-// one detailed run kept as a spot check.
+// A declarative campaign sweeps core counts on both Table II architectures
+// for one memory-bound workload. The engine shards the cells over a worker
+// pool, reuses cached detailed baselines, and reports per-cell error and
+// speedup — so the scaling curve comes with its own accuracy spot checks
+// instead of a single manual one.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"runtime"
 
 	"taskpoint"
 )
@@ -19,48 +22,45 @@ import (
 func main() {
 	const workload = "vector-operation" // memory bound: scaling saturates
 
+	spec := taskpoint.SweepSpec{
+		Name:       "designspace",
+		Scale:      1.0 / 16,
+		Benchmarks: []string{workload},
+		Archs:      []string{"hp", "lp"},
+		Threads:    []int{1, 2, 4, 8, 16},
+		Policies:   []string{"lazy"},
+		Seeds:      []uint64{7},
+	}
+	eng, err := taskpoint.NewSweep(spec, runtime.NumCPU())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The JSONL stream would normally go to a file so the campaign can be
+	// interrupted and resumed (see cmd/sweep); a buffer suffices here.
+	var stream bytes.Buffer
+	recs, err := eng.Run(&stream, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("design-space exploration of %q with lazy sampling\n\n", workload)
-	fmt.Printf("%-18s %8s %14s %10s %9s\n", "architecture", "threads", "cycles", "scaling", "wall")
-
-	for _, arch := range []struct {
-		name string
-		cfg  func(int) taskpoint.Config
-		max  int
-	}{
-		{"high-performance", taskpoint.HighPerf, 64},
-		{"low-power", taskpoint.LowPower, 8},
-	} {
-		base := 0.0
-		for threads := 1; threads <= arch.max; threads *= 2 {
-			prog := taskpoint.Benchmark(workload, 1.0/16, 7)
-			res, _, err := taskpoint.SimulateSampled(arch.cfg(threads), prog,
-				taskpoint.DefaultParams(), taskpoint.LazyPolicy())
-			if err != nil {
-				log.Fatal(err)
-			}
-			if base == 0 {
-				base = res.Cycles
-			}
-			fmt.Printf("%-18s %8d %14.0f %9.2fx %9v\n",
-				arch.name, threads, res.Cycles, base/res.Cycles, res.Wall.Round(1e6))
+	fmt.Printf("%-18s %8s %14s %10s %10s %10s\n",
+		"architecture", "threads", "cycles", "scaling", "err", "x-detail")
+	base := map[string]float64{}
+	for _, r := range recs {
+		if base[r.Arch] == 0 {
+			base[r.Arch] = r.SampledCycles
 		}
-		fmt.Println()
+		fmt.Printf("%-18s %8d %14.0f %9.2fx %9.2f%% %9.1fx\n",
+			r.Arch, r.Threads, r.SampledCycles, base[r.Arch]/r.SampledCycles,
+			r.ErrPct, r.SpeedupDetail)
 	}
 
-	// Spot check one configuration against full detail, as the paper
-	// recommends before narrowing the design space.
-	prog := taskpoint.Benchmark(workload, 1.0/16, 7)
-	cfg := taskpoint.HighPerf(8)
-	det, err := taskpoint.SimulateDetailed(cfg, prog)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prog2 := taskpoint.Benchmark(workload, 1.0/16, 7)
-	samp, _, err := taskpoint.SimulateSampled(cfg, prog2,
-		taskpoint.DefaultParams(), taskpoint.LazyPolicy())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("spot check @ high-performance, 8 threads: sampled vs detailed error %.2f%% (%.0fx wall speedup)\n",
-		taskpoint.ErrorPct(samp, det), float64(det.Wall)/float64(samp.Wall))
+	fmt.Println()
+	fmt.Print(taskpoint.RenderSweepSummary(
+		"per-architecture averages (every cell spot-checked against full detail)",
+		taskpoint.SummarizeSweep(recs)))
+	fmt.Printf("\n%d cells streamed as %d JSONL bytes — ready for resume or CSV export\n",
+		len(recs), stream.Len())
 }

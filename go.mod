@@ -1,0 +1,3 @@
+module taskpoint
+
+go 1.24

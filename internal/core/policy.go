@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Policy decides when a simulation running in fast-forward mode is
 // resampled (paper §III-C). The separation between the sampling mechanism
@@ -40,3 +44,36 @@ func (Lazy) Name() string { return "lazy" }
 
 // ShouldResample never triggers.
 func (Lazy) ShouldResample(_, _ int) bool { return false }
+
+// ParsePolicy builds a Policy from its textual name, the inverse of
+// Policy.Name. Accepted forms are "lazy", "periodic(P)" and the
+// flag-friendly "periodic:P", e.g. "periodic(250)" or "periodic:1000".
+// Declarative sweep specs and command-line flags use it to enumerate the
+// policy dimension of a design space.
+func ParsePolicy(s string) (Policy, error) {
+	name := strings.TrimSpace(s)
+	if name == "lazy" {
+		return Lazy{}, nil
+	}
+	var arg string
+	switch {
+	case strings.HasPrefix(name, "periodic(") && strings.HasSuffix(name, ")"):
+		arg = name[len("periodic(") : len(name)-1]
+	case strings.HasPrefix(name, "periodic:"):
+		arg = name[len("periodic:"):]
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want \"lazy\", \"periodic(P)\" or \"periodic:P\")", s)
+	}
+	p, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil || p < 1 {
+		return nil, fmt.Errorf("core: invalid periodic period %q: want a positive integer", arg)
+	}
+	return Periodic{P: p}, nil
+}
+
+// StandardPolicies returns the resampling policies the paper evaluates
+// head to head (§V-C): lazy sampling and periodic sampling at the period
+// used for Figures 7-10.
+func StandardPolicies() []Policy {
+	return []Policy{Lazy{}, Periodic{P: 250}}
+}

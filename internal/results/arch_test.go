@@ -1,0 +1,21 @@
+package results
+
+import "testing"
+
+func TestParseArch(t *testing.T) {
+	for _, a := range Arches() {
+		got, err := ParseArch(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseArch(%q) = %v, %v", a, got, err)
+		}
+	}
+	if got, err := ParseArch("hp"); err != nil || got != HighPerf {
+		t.Errorf("ParseArch(hp) = %v, %v", got, err)
+	}
+	if got, err := ParseArch("lp"); err != nil || got != LowPower {
+		t.Errorf("ParseArch(lp) = %v, %v", got, err)
+	}
+	if _, err := ParseArch("tpu"); err == nil {
+		t.Error("ParseArch(tpu): expected error")
+	}
+}

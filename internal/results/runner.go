@@ -33,6 +33,24 @@ const (
 	Native Arch = "native"
 )
 
+// Arches returns the evaluated architectures in paper order.
+func Arches() []Arch { return []Arch{HighPerf, LowPower, Native} }
+
+// ParseArch resolves an architecture from its name or the common short
+// forms "hp", "lp" and "native".
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case string(HighPerf), "hp":
+		return HighPerf, nil
+	case string(LowPower), "lp":
+		return LowPower, nil
+	case string(Native):
+		return Native, nil
+	default:
+		return "", fmt.Errorf("results: unknown architecture %q (want high-performance/hp, low-power/lp or native)", s)
+	}
+}
+
 // ConfigFor returns the simulator configuration of arch with the given
 // thread count.
 func ConfigFor(arch Arch, threads int) (sim.Config, error) {
@@ -86,6 +104,17 @@ func (r *Runner) acquire() func() {
 	return func() { <-r.sem }
 }
 
+// simOpts returns the simulation options of an architecture: the Native
+// machine carries the system-noise perturber (Fig 1), seeded identically
+// for every run at the same thread count so detailed references and
+// sampled runs see the same noise and remain comparable.
+func (r *Runner) simOpts(arch Arch, threads int) []sim.Option {
+	if arch != Native {
+		return nil
+	}
+	return []sim.Option{sim.WithPerturber(noise.New(noise.DefaultConfig(), r.Seed^uint64(threads)))}
+}
+
 // Program returns the (cached) generated program of a benchmark.
 func (r *Runner) Program(name string) (*trace.Program, error) {
 	r.mu.Lock()
@@ -129,12 +158,8 @@ func (r *Runner) Detailed(benchName string, arch Arch, threads int) (*sim.Result
 	if err != nil {
 		return nil, err
 	}
-	var opts []sim.Option
-	if arch == Native {
-		opts = append(opts, sim.WithPerturber(noise.New(noise.DefaultConfig(), r.Seed^uint64(threads))))
-	}
 	release := r.acquire()
-	res, err := sim.Simulate(cfg, prog, sim.DetailedController{}, opts...)
+	res, err := sim.Simulate(cfg, prog, sim.DetailedController{}, r.simOpts(arch, threads)...)
 	release()
 	if err != nil {
 		return nil, err
@@ -194,7 +219,7 @@ func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.P
 		return SampledRow{}, err
 	}
 	release := r.acquire()
-	res, err := sim.Simulate(cfg, prog, sampler)
+	res, err := sim.Simulate(cfg, prog, sampler, r.simOpts(arch, threads)...)
 	release()
 	if err != nil {
 		return SampledRow{}, err
@@ -266,6 +291,27 @@ type Averages struct {
 	MeanDetailFrac float64
 }
 
+// Aggregate folds per-run metrics into the averages the paper reports for
+// a group of runs: mean and max error, mean wall speedup, geometric-mean
+// detail speedup and mean detail fraction. All slices must have the same
+// length (one entry per run). It is shared by the figure averages here and
+// the sweep engine's campaign summaries.
+func Aggregate(errPct, wallSpeedup, detSpeedup, detailFrac []float64) Averages {
+	maxErr := 0.0
+	for _, e := range errPct {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return Averages{
+		MeanErrPct:     stats.Mean(errPct),
+		MaxErrPct:      maxErr,
+		MeanSpeedupW:   stats.Mean(wallSpeedup),
+		GeoSpeedupDet:  stats.GeoMean(detSpeedup),
+		MeanDetailFrac: stats.Mean(detailFrac),
+	}
+}
+
 // AverageByThreads folds figure rows into per-thread-count averages.
 func AverageByThreads(rows []SampledRow) []Averages {
 	byT := map[int][]SampledRow{}
@@ -280,24 +326,15 @@ func AverageByThreads(rows []SampledRow) []Averages {
 	for _, t := range order {
 		group := byT[t]
 		var errs, wall, det, frac []float64
-		maxErr := 0.0
 		for _, row := range group {
 			errs = append(errs, row.ErrPct)
 			wall = append(wall, row.SpeedupWall)
 			det = append(det, row.SpeedupDetail)
 			frac = append(frac, row.DetailFraction)
-			if row.ErrPct > maxErr {
-				maxErr = row.ErrPct
-			}
 		}
-		out = append(out, Averages{
-			Threads:        t,
-			MeanErrPct:     stats.Mean(errs),
-			MaxErrPct:      maxErr,
-			MeanSpeedupW:   stats.Mean(wall),
-			GeoSpeedupDet:  stats.GeoMean(det),
-			MeanDetailFrac: stats.Mean(frac),
-		})
+		avg := Aggregate(errs, wall, det, frac)
+		avg.Threads = t
+		out = append(out, avg)
 	}
 	return out
 }

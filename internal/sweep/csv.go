@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the fixed column layout of WriteCSV, one column per Record
+// field in declaration order with sampler statistics flattened.
+var csvHeader = []string{
+	"key", "bench", "arch", "threads", "policy", "seed",
+	"scale", "w", "h",
+	"err_pct", "speedup_wall", "speedup_detail", "detail_fraction",
+	"sampled_cycles", "detailed_cycles", "sampled_wall_ms", "detailed_wall_ms",
+	"detailed_started", "fast_started", "valid_samples", "transitions",
+	"resamples", "resamples_periodic", "resamples_new_type", "resamples_parallelism",
+}
+
+// WriteCSV exports records as CSV with a fixed header, the post-processing
+// path for campaigns (spreadsheets, pandas, gnuplot).
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range recs {
+		row := []string{
+			r.Key, r.Bench, r.Arch, strconv.Itoa(r.Threads), r.Policy,
+			strconv.FormatUint(r.Seed, 10),
+			f(r.Scale), strconv.Itoa(r.W), strconv.Itoa(r.H),
+			f(r.ErrPct), f(r.SpeedupWall), f(r.SpeedupDetail), f(r.DetailFraction),
+			f(r.SampledCycles), f(r.DetailedCycles), f(r.SampledWallMS), f(r.DetailedWallMS),
+			strconv.Itoa(r.Sampler.DetailedStarted), strconv.Itoa(r.Sampler.FastStarted),
+			strconv.Itoa(r.Sampler.ValidSamples), strconv.Itoa(r.Sampler.Transitions),
+			strconv.Itoa(r.Sampler.Resamples), strconv.Itoa(r.Sampler.ResamplesPeriodic),
+			strconv.Itoa(r.Sampler.ResamplesNewType), strconv.Itoa(r.Sampler.ResamplesParallelism),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: writing csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/results"
+)
+
+// Record is one completed cell, as streamed to the JSONL output. It is the
+// durable form of results.SampledRow: flat, self-identifying (Key) and
+// stable across interrupted campaigns.
+type Record struct {
+	// Key is Cell.Key() — the resume identity.
+	Key     string `json:"key"`
+	Bench   string `json:"bench"`
+	Arch    string `json:"arch"`
+	Threads int    `json:"threads"`
+	Policy  string `json:"policy"`
+	Seed    uint64 `json:"seed"`
+	// Scale, W and H record the campaign configuration the cell ran
+	// under; resume only skips a cell when they match the current spec,
+	// so changing the scale or sampling parameters re-runs the space
+	// instead of silently reusing stale results.
+	Scale float64 `json:"scale"`
+	W     int     `json:"w"`
+	H     int     `json:"h"`
+	// ErrPct is the absolute execution-time error against the detailed
+	// reference, in percent — the paper's accuracy metric.
+	ErrPct float64 `json:"err_pct"`
+	// SpeedupWall is detailed wall time / sampled wall time.
+	SpeedupWall float64 `json:"speedup_wall"`
+	// SpeedupDetail is total instructions / detailed instructions — the
+	// machine-independent speedup proxy.
+	SpeedupDetail float64 `json:"speedup_detail"`
+	// DetailFraction is the fraction of instructions simulated in detail.
+	DetailFraction float64 `json:"detail_fraction"`
+	// Simulated execution times of both runs, in cycles.
+	SampledCycles  float64 `json:"sampled_cycles"`
+	DetailedCycles float64 `json:"detailed_cycles"`
+	// Host wall-clock times of both runs, in milliseconds.
+	SampledWallMS  float64 `json:"sampled_wall_ms"`
+	DetailedWallMS float64 `json:"detailed_wall_ms"`
+	// Sampler is the sampling controller's internal statistics.
+	Sampler core.Stats `json:"sampler"`
+}
+
+func recordOf(cell Cell, spec Spec, row results.SampledRow) Record {
+	params := spec.Params()
+	return Record{
+		Key:            cell.Key(),
+		Bench:          cell.Bench,
+		Arch:           string(cell.Arch),
+		Threads:        cell.Threads,
+		Policy:         cell.Policy,
+		Seed:           cell.Seed,
+		Scale:          spec.Scale,
+		W:              params.W,
+		H:              params.H,
+		ErrPct:         row.ErrPct,
+		SpeedupWall:    row.SpeedupWall,
+		SpeedupDetail:  row.SpeedupDetail,
+		DetailFraction: row.DetailFraction,
+		SampledCycles:  row.SampledCycles,
+		DetailedCycles: row.DetailedCycles,
+		SampledWallMS:  float64(row.SampledWall.Microseconds()) / 1e3,
+		DetailedWallMS: float64(row.DetailedWall.Microseconds()) / 1e3,
+		Sampler:        row.Sampler,
+	}
+}
+
+// Engine executes a sweep. Cells are sharded across Workers goroutines;
+// one results.Runner per seed caches detailed baselines, so the reference
+// simulation of (benchmark, arch, threads) is paid once no matter how many
+// policies sweep over it.
+type Engine struct {
+	spec    Spec
+	workers int
+
+	// OnRecord, when set, observes every newly completed cell (from the
+	// completing worker's goroutine, serialised by the engine).
+	OnRecord func(done, total int, rec Record)
+}
+
+// New validates the spec and builds an engine with the given worker
+// parallelism (minimum 1).
+func New(spec Spec, workers int) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{spec: spec, workers: workers}, nil
+}
+
+// Spec returns the validated campaign specification.
+func (e *Engine) Spec() Spec { return e.spec }
+
+// Resumable returns how many cells of the spec are covered by completed
+// records (same key and same campaign configuration) and the total cell
+// count — what Run will skip and what it spans.
+func (e *Engine) Resumable(completed map[string]Record) (skip, total int) {
+	cells := e.spec.Cells()
+	params := e.spec.Params()
+	for _, c := range cells {
+		if rec, ok := completed[c.Key()]; ok &&
+			rec.Scale == e.spec.Scale && rec.W == params.W && rec.H == params.H {
+			skip++
+		}
+	}
+	return skip, len(cells)
+}
+
+// Run executes every cell of the spec not already present in completed
+// (keyed by Cell.Key), streaming one JSON line per newly completed cell to
+// out as it finishes. It returns all records of the campaign — resumed and
+// new — in deterministic cell order. Cells that fail do not abort the
+// rest of the campaign; their errors are joined into the returned error.
+func (e *Engine) Run(out io.Writer, completed map[string]Record) ([]Record, error) {
+	cells := e.spec.Cells()
+	params := e.spec.Params()
+
+	runners := make(map[uint64]*results.Runner)
+	for _, c := range cells {
+		if _, ok := runners[c.Seed]; !ok {
+			runners[c.Seed] = results.NewRunner(e.spec.Scale, c.Seed, e.workers)
+		}
+	}
+
+	type outcome struct {
+		rec Record
+		err error
+	}
+	outcomes := make([]outcome, len(cells))
+	pending := make([]int, 0, len(cells))
+	for i, c := range cells {
+		// A completed record only stands in for the cell when it ran
+		// under the same campaign configuration.
+		if rec, ok := completed[c.Key()]; ok &&
+			rec.Scale == e.spec.Scale && rec.W == params.W && rec.H == params.H {
+			outcomes[i] = outcome{rec: rec}
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	var (
+		mu   sync.Mutex // guards enc, done
+		enc  *json.Encoder
+		done int
+		wg   sync.WaitGroup
+	)
+	if out != nil {
+		enc = json.NewEncoder(out)
+	}
+	work := make(chan int)
+	emit := func(idx int, rec Record, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		outcomes[idx] = outcome{rec: rec, err: err}
+		done++
+		if err != nil {
+			return
+		}
+		if enc != nil {
+			if werr := enc.Encode(rec); werr != nil {
+				outcomes[idx].err = fmt.Errorf("sweep: writing record %s: %w", rec.Key, werr)
+				return
+			}
+		}
+		if e.OnRecord != nil {
+			e.OnRecord(len(cells)-len(pending)+done, len(cells), rec)
+		}
+	}
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				cell := cells[idx]
+				policy, err := core.ParsePolicy(cell.Policy)
+				if err != nil {
+					emit(idx, Record{}, err)
+					continue
+				}
+				row, err := runners[cell.Seed].Sampled(cell.Bench, cell.Arch, cell.Threads, params, policy)
+				if err != nil {
+					emit(idx, Record{}, fmt.Errorf("sweep: cell %s: %w", cell.Key(), err))
+					continue
+				}
+				emit(idx, recordOf(cell, e.spec, row), nil)
+			}
+		}()
+	}
+	for _, idx := range pending {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	recs := make([]Record, 0, len(cells))
+	var errs []error
+	for _, o := range outcomes {
+		if o.err != nil {
+			errs = append(errs, o.err)
+			continue
+		}
+		recs = append(recs, o.rec)
+	}
+	return recs, errors.Join(errs...)
+}
+
+// LoadCompleted reads a JSONL stream written by Run and returns its
+// records keyed by cell key — the resume set. A truncated final line
+// (an interrupted campaign killed mid-write) is ignored; malformed lines
+// elsewhere are an error.
+func LoadCompleted(r io.Reader) (map[string]Record, error) {
+	out := make(map[string]Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the trailing one.
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			pendingErr = fmt.Errorf("sweep: line %d: %w", line, err)
+			continue
+		}
+		if rec.Key == "" {
+			pendingErr = fmt.Errorf("sweep: line %d: record without key", line)
+			continue
+		}
+		out[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary aggregates one (architecture, policy, thread count) group of a
+// campaign — the granularity at which Figures 7-10 report averages.
+type Summary struct {
+	Arch    string
+	Policy  string
+	Threads int
+	// Cells is the number of records in the group
+	// (benchmarks × seeds).
+	Cells int
+	// MeanErrPct and MaxErrPct summarise execution-time error.
+	MeanErrPct float64
+	MaxErrPct  float64
+	// MeanSpeedupWall averages wall-clock speedup; GeoSpeedupDetail is
+	// the geometric mean of the instruction-level speedup.
+	MeanSpeedupWall  float64
+	GeoSpeedupDetail float64
+	// MeanDetailFrac averages the fraction of instructions simulated in
+	// detail.
+	MeanDetailFrac float64
+}
+
+// Summarize folds records into per-(arch, policy, threads) summaries,
+// sorted by architecture, then policy, then thread count.
+func Summarize(recs []Record) []Summary {
+	type key struct {
+		arch, policy string
+		threads      int
+	}
+	groups := make(map[key][]Record)
+	for _, r := range recs {
+		k := key{r.Arch, r.Policy, r.Threads}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].arch != keys[j].arch {
+			return keys[i].arch < keys[j].arch
+		}
+		if keys[i].policy != keys[j].policy {
+			return keys[i].policy < keys[j].policy
+		}
+		return keys[i].threads < keys[j].threads
+	})
+	out := make([]Summary, 0, len(keys))
+	for _, k := range keys {
+		group := groups[k]
+		var errsPct, wall, det, frac []float64
+		for _, r := range group {
+			errsPct = append(errsPct, r.ErrPct)
+			wall = append(wall, r.SpeedupWall)
+			det = append(det, r.SpeedupDetail)
+			frac = append(frac, r.DetailFraction)
+		}
+		avg := results.Aggregate(errsPct, wall, det, frac)
+		out = append(out, Summary{
+			Arch:             k.arch,
+			Policy:           k.policy,
+			Threads:          k.threads,
+			Cells:            len(group),
+			MeanErrPct:       avg.MeanErrPct,
+			MaxErrPct:        avg.MaxErrPct,
+			MeanSpeedupWall:  avg.MeanSpeedupW,
+			GeoSpeedupDetail: avg.GeoSpeedupDet,
+			MeanDetailFrac:   avg.MeanDetailFrac,
+		})
+	}
+	return out
+}
+
+// RenderSummary renders summaries as the aligned text table the sweep
+// command prints, mirroring the per-thread-count averages of Figures 7-10.
+func RenderSummary(title string, sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s %-15s %8s %6s %10s %10s %9s %9s\n",
+		"architecture", "policy", "threads", "cells", "mean-err%", "max-err%", "x-detail", "%detail")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-18s %-15s %8d %6d %10.2f %10.2f %9.1f %9.1f\n",
+			s.Arch, s.Policy, s.Threads, s.Cells,
+			s.MeanErrPct, s.MaxErrPct, s.GeoSpeedupDetail, 100*s.MeanDetailFrac)
+	}
+	return b.String()
+}

@@ -36,15 +36,19 @@
 //		1/sampled.DetailFraction())
 //	_ = stats
 //
-// See examples/ for runnable programs and DESIGN.md for the system map.
+// See examples/ for runnable programs and docs/ARCHITECTURE.md for the
+// system map.
 package taskpoint
 
 import (
+	"io"
+
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
+	"taskpoint/internal/sweep"
 	"taskpoint/internal/trace"
 )
 
@@ -85,6 +89,15 @@ type (
 	FinishInfo = sim.FinishInfo
 	// Decision is a controller's mode choice for one instance.
 	Decision = sim.Decision
+	// SweepSpec declares a design-space campaign (benchmarks ×
+	// architectures × thread counts × policies × seeds).
+	SweepSpec = sweep.Spec
+	// SweepEngine executes a campaign over a bounded worker pool.
+	SweepEngine = sweep.Engine
+	// SweepRecord is one completed campaign cell (one JSONL line).
+	SweepRecord = sweep.Record
+	// SweepSummary aggregates one (arch, policy, threads) cell group.
+	SweepSummary = sweep.Summary
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -185,4 +198,35 @@ func ErrorPct(sampled, detailed *Result) float64 {
 // experiments. Seed drives workload generation and the noise model.
 func NewRunner(scale float64, seed uint64, workers int) *Runner {
 	return results.NewRunner(scale, seed, workers)
+}
+
+// NewSweep validates a campaign spec and builds its sweep engine with the
+// given worker parallelism. See cmd/sweep for the command-line front end.
+func NewSweep(spec SweepSpec, workers int) (*SweepEngine, error) {
+	return sweep.New(spec, workers)
+}
+
+// DefaultSweepSpec returns a small representative campaign: four
+// benchmark classes × both Table II architectures × two thread counts ×
+// both §V-C resampling policies.
+func DefaultSweepSpec() SweepSpec { return sweep.DefaultSpec() }
+
+// LoadSweep reads the JSONL stream of a previous campaign, keyed by cell,
+// for resuming an interrupted sweep via SweepEngine.Run.
+func LoadSweep(r io.Reader) (map[string]SweepRecord, error) {
+	return sweep.LoadCompleted(r)
+}
+
+// SummarizeSweep folds campaign records into per-(arch, policy, threads)
+// aggregates mirroring the averages of the paper's Figures 7-10.
+func SummarizeSweep(recs []SweepRecord) []SweepSummary { return sweep.Summarize(recs) }
+
+// RenderSweepSummary renders campaign aggregates as an aligned text table.
+func RenderSweepSummary(title string, sums []SweepSummary) string {
+	return sweep.RenderSummary(title, sums)
+}
+
+// WriteSweepCSV exports campaign records as CSV for post-processing.
+func WriteSweepCSV(w io.Writer, recs []SweepRecord) error {
+	return sweep.WriteCSV(w, recs)
 }
