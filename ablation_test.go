@@ -17,6 +17,7 @@ import (
 	"taskpoint/internal/sched"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
+	"taskpoint/internal/strata"
 )
 
 // mustSpec resolves a Table I benchmark or fails the benchmark.
@@ -55,6 +56,39 @@ func BenchmarkAblationSizeClassing(b *testing.B) {
 	}
 	b.ReportMetric(stats.Mean(plain), "err_pct_plain")
 	b.ReportMetric(stats.Mean(classed), "err_pct_classed")
+}
+
+// BenchmarkAblationStratified compares the plain size-class sampler
+// against two-phase stratified sampling at an equal detailed budget
+// (B = the plain run's detailed-instance count) on the input-dependent
+// benchmarks, reporting both the execution-time error and the relative
+// width of the stratified confidence interval.
+func BenchmarkAblationStratified(b *testing.B) {
+	r := results.NewRunner(benchScale, 42, 2)
+	names := []string{"dedup", "freqmine", "sparse-matrix-vector-multiplication"}
+	var plain, strat, ciw []float64
+	for i := 0; i < b.N; i++ {
+		plain, strat, ciw = nil, nil, nil
+		for _, name := range names {
+			p := core.DefaultParams()
+			p.SizeClasses = true
+			row, err := r.Sampled(name, results.HighPerf, 8, p, core.Lazy{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain = append(plain, row.ErrPct)
+			pol := strata.MustNew(strata.DefaultConfig(row.Sampler.DetailedStarted))
+			srow, err := r.Sampled(name, results.HighPerf, 8, core.DefaultParams(), pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			strat = append(strat, srow.ErrPct)
+			ciw = append(ciw, srow.Confidence.RelWidth())
+		}
+	}
+	b.ReportMetric(stats.Mean(plain), "err_pct_sizeclass")
+	b.ReportMetric(stats.Mean(strat), "err_pct_stratified")
+	b.ReportMetric(stats.Mean(ciw), "ci_rel_width")
 }
 
 // BenchmarkAblationSchedulerPolicy measures TaskPoint's accuracy under

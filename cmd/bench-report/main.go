@@ -1,0 +1,167 @@
+// Command bench-report runs the repository's benchmark harness
+// (bench_test.go, ablation_test.go) through `go test -bench` and emits a
+// machine-readable BENCH_<date>.json, so the performance and accuracy
+// trajectory of the reproduction is recorded per change instead of
+// scrolling away in CI logs.
+//
+// Usage:
+//
+//	bench-report                       # run every benchmark once, write BENCH_<date>.json
+//	bench-report -bench 'Fig9|Ablation' -benchtime 2x
+//	go test -run '^$' -bench . . | bench-report -in -   # parse an existing run
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// "-procs" suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the run (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit to value: "ns/op" plus every b.ReportMetric
+	// unit (err_pct, speedup_x, ci_rel_width, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the file layout of BENCH_<date>.json.
+type Report struct {
+	// Generated is the RFC 3339 timestamp of the run.
+	Generated string `json:"generated"`
+	// GoVersion and GOOS/GOARCH identify the toolchain and host.
+	GoVersion string `json:"go_version"`
+	Platform  string `json:"platform"`
+	// Command is the go test invocation the results came from (empty
+	// when parsed from -in).
+	Command string `json:"command,omitempty"`
+	// Benchmarks are the parsed results in output order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		timeout   = flag.String("timeout", "30m", "go test -timeout value")
+		outPath   = flag.String("out", "", "output path; default BENCH_<date>.json")
+		inPath    = flag.String("in", "", "parse an existing go test -bench output file instead of running (\"-\" = stdin)")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+	}
+
+	var text []byte
+	var err error
+	switch {
+	case *inPath == "-":
+		text, err = io.ReadAll(os.Stdin)
+	case *inPath != "":
+		text, err = os.ReadFile(*inPath)
+	default:
+		args := []string{"test", "-run", "^$", "-bench", *benchRe,
+			"-benchtime", *benchtime, "-timeout", *timeout, *pkg}
+		rep.Command = "go " + strings.Join(args, " ")
+		fmt.Fprintln(os.Stderr, "bench-report:", rep.Command)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		var out bytes.Buffer
+		cmd.Stdout = io.MultiWriter(&out, os.Stderr)
+		err = cmd.Run()
+		text = out.Bytes()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rep.Benchmarks = ParseBenchOutput(string(text))
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results found"))
+	}
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench-report: wrote %d benchmarks to %s\n", len(rep.Benchmarks), path)
+}
+
+// ParseBenchOutput extracts benchmark results from `go test -bench`
+// output. A result line is
+//
+//	BenchmarkName-8   3   123456 ns/op   1.5 err_pct   2.0 speedup_x
+//
+// — the name, the iteration count, then (value, unit) pairs. Non-result
+// lines (goos/pkg headers, PASS, logs) are skipped.
+func ParseBenchOutput(text string) []Benchmark {
+	var out []Benchmark
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 0
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				procs = p
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // malformed tail; keep what parsed
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			out = append(out, b)
+		}
+	}
+	// Deterministic order regardless of -shuffle: by name, then procs.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Procs < out[j].Procs
+	})
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-report:", err)
+	os.Exit(1)
+}

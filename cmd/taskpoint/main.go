@@ -1,15 +1,19 @@
 // Command taskpoint runs one benchmark under detailed and sampled
-// simulation and reports execution-time error and speedup.
+// simulation and reports execution-time error and speedup — plus, for
+// stratified sampling, the confidence interval of the cycle estimate.
 //
 // Usage:
 //
 //	taskpoint -bench cholesky -threads 8 -arch hp -policy lazy -scale 0.125
+//	taskpoint -bench dedup -policy stratified -budget 400
+//	taskpoint -bench dedup -policy 'stratified(400)'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"taskpoint"
 )
@@ -19,8 +23,9 @@ func main() {
 		benchName = flag.String("bench", "cholesky", "benchmark name (see -list)")
 		threads   = flag.Int("threads", 8, "simulated threads (1-64)")
 		arch      = flag.String("arch", "hp", "architecture: hp (high-performance) or lp (low-power)")
-		policy    = flag.String("policy", "lazy", "sampling policy: lazy or periodic")
+		policy    = flag.String("policy", "lazy", "sampling policy: lazy, periodic, stratified, or any ParsePolicy form like periodic(250)")
 		period    = flag.Int("period", 250, "sampling period P for -policy periodic")
+		budget    = flag.Int("budget", 400, "detailed-instance budget B for -policy stratified")
 		scale     = flag.Float64("scale", 1.0/8, "benchmark scale (1.0 = Table I instance counts)")
 		seed      = flag.Uint64("seed", 42, "workload generation seed")
 		w         = flag.Int("W", 2, "warm-up instances per thread")
@@ -38,8 +43,7 @@ func main() {
 
 	prog, err := taskpoint.LookupBenchmark(*benchName, *scale, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "taskpoint:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	cfg := taskpoint.HighPerf(*threads)
 	if *arch == "lp" {
@@ -49,9 +53,21 @@ func main() {
 	params := taskpoint.DefaultParams()
 	params.W = *w
 	params.H = *h
-	var pol taskpoint.Policy = taskpoint.LazyPolicy()
-	if *policy == "periodic" {
-		pol = taskpoint.PeriodicPolicy(*period)
+
+	// Resolve the policy: bare family names take their argument from the
+	// matching flag; anything with an argument goes through ParsePolicy,
+	// which rejects unknown or malformed policies instead of silently
+	// falling back.
+	spec := strings.TrimSpace(*policy)
+	switch spec {
+	case "periodic":
+		spec = fmt.Sprintf("periodic(%d)", *period)
+	case "stratified":
+		spec = fmt.Sprintf("stratified(%d)", *budget)
+	}
+	pol, err := taskpoint.ParsePolicy(spec)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("benchmark  %s (%d types, %d instances, %.1fM instructions)\n",
@@ -60,15 +76,22 @@ func main() {
 
 	det, err := taskpoint.SimulateDetailed(cfg, prog)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "taskpoint: detailed simulation:", err)
-		os.Exit(1)
+		fatal(fmt.Errorf("detailed simulation: %w", err))
 	}
 	fmt.Printf("detailed   %.0f cycles in %v\n", det.Cycles, det.Wall.Round(1e6))
 
-	samp, st, err := taskpoint.SimulateSampled(cfg, prog, params, pol)
+	var (
+		samp *taskpoint.Result
+		st   taskpoint.SamplerStats
+		conf taskpoint.Confidence
+	)
+	if sp, ok := pol.(*taskpoint.Stratified); ok {
+		samp, st, conf, err = taskpoint.SimulateStratifiedWith(cfg, prog, params, sp)
+	} else {
+		samp, st, err = taskpoint.SimulateSampled(cfg, prog, params, pol)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "taskpoint: sampled simulation:", err)
-		os.Exit(1)
+		fatal(fmt.Errorf("sampled simulation: %w", err))
 	}
 	fmt.Printf("sampled    %.0f cycles in %v (%s, W=%d H=%d)\n",
 		samp.Cycles, samp.Wall.Round(1e6), pol.Name(), params.W, params.H)
@@ -77,7 +100,22 @@ func main() {
 		float64(det.Wall)/float64(samp.Wall),
 		float64(samp.TotalInstructions)/float64(samp.DetailedInstructions),
 		100*samp.DetailFraction())
-	fmt.Printf("sampling   %d detailed, %d fast, %d valid samples, %d resamples (periodic %d, new-type %d, parallelism %d)\n",
-		st.DetailedStarted, st.FastStarted, st.ValidSamples,
+	fmt.Printf("sampling   %d detailed (%d directed), %d fast, %d valid samples, %d resamples (periodic %d, new-type %d, parallelism %d)\n",
+		st.DetailedStarted, st.DirectedStarted, st.FastStarted, st.ValidSamples,
 		st.Resamples, st.ResamplesPeriodic, st.ResamplesNewType, st.ResamplesParallelism)
+	if conf.Strata > 0 {
+		trueTotal := det.TotalTaskCycles()
+		inside := "inside"
+		if !conf.Covers(trueTotal) {
+			inside = "OUTSIDE"
+		}
+		fmt.Printf("confidence total task cycles %.4g, 95%% CI [%.4g, %.4g] (±%.1f%%), %d strata, %d samples, calibration %.3f\n",
+			conf.Estimate, conf.Lo, conf.Hi, 100*conf.RelWidth()/2, conf.Strata, conf.Sampled, conf.Calibration)
+		fmt.Printf("           detailed reference total %.4g is %s the interval\n", trueTotal, inside)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskpoint:", err)
+	os.Exit(1)
 }

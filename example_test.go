@@ -68,6 +68,37 @@ func ExampleSimulateSampled() {
 	// fast-forwarded the rest: true
 }
 
+// Run two-phase stratified sampling with a detailed budget and read the
+// confidence interval of the cycle estimate. The detailed reference's
+// true total task cycles falls inside the reported 95% interval.
+func ExampleSimulateStratified() {
+	prog := taskpoint.Benchmark("dedup", 1.0/32, 42)
+	cfg := taskpoint.HighPerf(8)
+
+	detailed, err := taskpoint.SimulateDetailed(cfg, prog)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, stats, conf, err := taskpoint.SimulateStratified(cfg, prog, taskpoint.DefaultParams(), 150)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	fmt.Println("strata observed:", conf.Strata > 1)
+	fmt.Println("every instance accounted:", conf.Population == prog.NumTasks())
+	fmt.Println("directed samples taken:", stats.DirectedStarted > 0)
+	fmt.Println("interval is meaningful:", conf.RelWidth() > 0 && conf.RelWidth() < 0.5)
+	fmt.Println("true total inside 95% CI:", conf.Covers(detailed.TotalTaskCycles()))
+	// Output:
+	// strata observed: true
+	// every instance accounted: true
+	// directed samples taken: true
+	// interval is meaningful: true
+	// true total inside 95% CI: true
+}
+
 // Declare and run a small design-space campaign with the sweep engine.
 func ExampleNewSweep() {
 	spec := taskpoint.SweepSpec{

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+// scriptedBudget is a minimal BudgetedPolicy: it forces detail on a fixed
+// set of instance IDs, records every observation, and supplies no IPC
+// estimate of its own.
+type scriptedBudget struct {
+	force    map[int32]bool
+	resets   int
+	observed map[int32]SampleKind
+}
+
+func (b *scriptedBudget) Name() string                 { return "scripted" }
+func (b *scriptedBudget) ShouldResample(_, _ int) bool { return false }
+func (b *scriptedBudget) WantDetailed(si sim.StartInfo) bool {
+	return b.force[si.Instance.ID]
+}
+func (b *scriptedBudget) Observe(fi sim.FinishInfo, kind SampleKind) {
+	b.observed[fi.Instance.ID] = kind
+}
+func (b *scriptedBudget) FastIPC(sim.StartInfo) (float64, bool) { return 0, false }
+func (b *scriptedBudget) ResetRun() {
+	b.resets++
+	b.observed = map[int32]SampleKind{}
+}
+
+// drive pushes one instance through the sampler, reporting measuredIPC
+// for detailed decisions, and returns the decision.
+func drive(s *Sampler, id int, typ trace.TypeID, measuredIPC float64) sim.Decision {
+	in := makeSizedInst(id, typ, 1000)
+	dec := s.TaskStart(sim.StartInfo{Thread: 0, Instance: in, Now: 0, Running: 1})
+	ipc := measuredIPC
+	if dec.Mode == sim.ModeFast {
+		ipc = dec.IPC
+	}
+	s.TaskFinish(sim.FinishInfo{Thread: 0, Instance: in, Start: 0, End: 1000 / ipc, Mode: dec.Mode, IPC: ipc})
+	return dec
+}
+
+func TestBudgetedPolicyDirectedSamples(t *testing.T) {
+	pol := &scriptedBudget{force: map[int32]bool{3: true, 5: true}}
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 0
+	s := MustNew(p, pol)
+	if pol.resets != 1 {
+		t.Fatalf("core.New reset the policy %d times, want 1", pol.resets)
+	}
+
+	drive(s, 0, 0, 2.0) // sampling phase: fills the history, transition
+	if dec := drive(s, 1, 0, 0); dec.Mode != sim.ModeFast {
+		t.Fatalf("instance 1 = %+v, want fast", dec)
+	}
+	// Instance 3 is forced: detailed without leaving the fast phase.
+	if dec := drive(s, 3, 0, 4.0); dec.Mode != sim.ModeDetailed {
+		t.Fatalf("directed instance 3 = %+v, want detailed", dec)
+	}
+	// Still in fast phase: the next undirected instance fast-forwards,
+	// now at the directed sample's refreshed IPC (H=1).
+	if dec := drive(s, 4, 0, 0); dec.Mode != sim.ModeFast || dec.IPC != 4.0 {
+		t.Fatalf("instance 4 = %+v, want fast at the directed IPC 4.0", dec)
+	}
+
+	st := s.Stats()
+	if st.DirectedStarted != 1 {
+		t.Errorf("DirectedStarted = %d, want 1", st.DirectedStarted)
+	}
+	if st.Resamples != 0 {
+		t.Errorf("directed sampling caused %d resamples", st.Resamples)
+	}
+	// Observation kinds: 0 was a valid sampling-phase measurement (W=0),
+	// 1 fast, 3 directed.
+	if pol.observed[0] != KindValid || pol.observed[1] != KindFast || pol.observed[3] != KindDirected {
+		t.Errorf("observed kinds = %v", pol.observed)
+	}
+}
+
+// fixedIPCBudget always offers its own fast IPC estimate.
+type fixedIPCBudget struct {
+	scriptedBudget
+	ipc float64
+}
+
+func (b *fixedIPCBudget) FastIPC(sim.StartInfo) (float64, bool) { return b.ipc, true }
+
+func TestBudgetedPolicyFastIPCOverridesHistory(t *testing.T) {
+	pol := &fixedIPCBudget{ipc: 7.5}
+	pol.force = map[int32]bool{}
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 0
+	s := MustNew(p, pol)
+	drive(s, 0, 0, 2.0) // history holds 2.0; policy says 7.5
+	if dec := drive(s, 1, 0, 0); dec.Mode != sim.ModeFast || dec.IPC != 7.5 {
+		t.Fatalf("decision %+v, want fast at the policy's 7.5", dec)
+	}
+}
+
+func TestWarmupObservedAsWarmup(t *testing.T) {
+	pol := &scriptedBudget{force: map[int32]bool{}}
+	p := DefaultParams()
+	p.W = 1 // first instance per thread is warm-up
+	s := MustNew(p, pol)
+	drive(s, 0, 0, 2.0)
+	if pol.observed[0] != KindWarmup {
+		t.Errorf("warm-up instance observed as %v, want KindWarmup", pol.observed[0])
+	}
+}
+
+// TestDirectedStraddlingResampleDoesNotPolluteHistory: a directed sample
+// in flight when a resample clears the valid histories must not re-seed
+// them with a measurement from the discarded regime.
+func TestDirectedStraddlingResampleDoesNotPolluteHistory(t *testing.T) {
+	pol := &scriptedBudget{force: map[int32]bool{2: true}}
+	p := DefaultParams()
+	p.W = 0
+	p.H = 1
+	p.ResampleWarmup = 0
+	s := MustNew(p, pol)
+
+	drive(s, 0, 0, 2.0) // sample type 0, transition to fast
+	if s.phase != phaseFast {
+		t.Fatal("setup: not in fast phase")
+	}
+	// Thread 0 starts the directed sample of type 0 but does not finish.
+	in2 := makeSizedInst(2, 0, 1000)
+	if dec := s.TaskStart(sim.StartInfo{Thread: 0, Instance: in2, Running: 2}); dec.Mode != sim.ModeDetailed {
+		t.Fatalf("directed start = %+v, want detailed", dec)
+	}
+	// Thread 1 starts an unknown type: resample clears valid histories.
+	in3 := makeSizedInst(3, 1, 1000)
+	if dec := s.TaskStart(sim.StartInfo{Thread: 1, Instance: in3, Running: 2}); dec.Mode != sim.ModeDetailed {
+		t.Fatalf("new-type start = %+v, want detailed via resample", dec)
+	}
+	if s.Stats().ResamplesNewType != 1 {
+		t.Fatalf("setup: expected a new-type resample, got %+v", s.Stats())
+	}
+	// The straddling directed sample finishes now, in the new regime.
+	s.TaskFinish(sim.FinishInfo{Thread: 0, Instance: in2, Start: 0, End: 100, Mode: sim.ModeDetailed, IPC: 10})
+	if got := s.typeState(typeKey{typ: 0}).valid.Len(); got != 0 {
+		t.Errorf("straddling directed sample re-seeded the cleared valid history (len %d)", got)
+	}
+	// It still reaches the budgeted policy as an observation.
+	if pol.observed[2] != KindDirected {
+		t.Errorf("straddling sample observed as %v, want KindDirected", pol.observed[2])
+	}
+}

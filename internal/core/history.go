@@ -1,22 +1,25 @@
 package core
 
-// history is a FIFO buffer of the most recent IPC samples of one task
+// History is a FIFO (exported within the module so the strata package
+// shares the same structure for its per-stratum IPC windows).
+//
+// A History is a FIFO buffer of the most recent IPC samples of one task
 // type (paper §III-B: "two vectors holding the IPC histories of the most
 // recently simulated task instances... FIFO buffers in which a newly added
 // element replaces the oldest one").
-type history struct {
+type History struct {
 	buf  []float64
 	n    int // number of valid entries (<= cap)
 	next int // slot the next push writes to
 	sum  float64
 }
 
-func newHistory(capacity int) *history {
-	return &history{buf: make([]float64, capacity)}
+func NewHistory(capacity int) *History {
+	return &History{buf: make([]float64, capacity)}
 }
 
 // Push inserts a sample, evicting the oldest when full.
-func (h *history) Push(x float64) {
+func (h *History) Push(x float64) {
 	if h.n == len(h.buf) {
 		h.sum -= h.buf[h.next]
 	} else {
@@ -28,13 +31,13 @@ func (h *history) Push(x float64) {
 }
 
 // Len returns the number of stored samples.
-func (h *history) Len() int { return h.n }
+func (h *History) Len() int { return h.n }
 
 // Full reports whether the buffer holds its capacity of samples.
-func (h *history) Full() bool { return h.n == len(h.buf) }
+func (h *History) Full() bool { return h.n == len(h.buf) }
 
 // Mean returns the average of the stored samples, or 0 when empty.
-func (h *history) Mean() float64 {
+func (h *History) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
@@ -42,7 +45,7 @@ func (h *history) Mean() float64 {
 }
 
 // Clear discards all samples.
-func (h *history) Clear() {
+func (h *History) Clear() {
 	h.n = 0
 	h.next = 0
 	h.sum = 0

@@ -7,7 +7,7 @@ import (
 )
 
 func TestHistoryBasics(t *testing.T) {
-	h := newHistory(3)
+	h := NewHistory(3)
 	if h.Len() != 0 || h.Full() || h.Mean() != 0 {
 		t.Error("new history should be empty with mean 0")
 	}
@@ -29,7 +29,7 @@ func TestHistoryBasics(t *testing.T) {
 }
 
 func TestHistoryFIFOEviction(t *testing.T) {
-	h := newHistory(2)
+	h := NewHistory(2)
 	h.Push(10)
 	h.Push(20)
 	h.Push(30) // evicts 10
@@ -46,7 +46,7 @@ func TestHistoryFIFOEviction(t *testing.T) {
 }
 
 func TestHistoryClear(t *testing.T) {
-	h := newHistory(4)
+	h := NewHistory(4)
 	h.Push(5)
 	h.Push(6)
 	h.Clear()
@@ -64,7 +64,7 @@ func TestHistoryClear(t *testing.T) {
 func TestQuickHistoryMeanMatchesWindow(t *testing.T) {
 	f := func(raw []uint8, capRaw uint8) bool {
 		capacity := 1 + int(capRaw%8)
-		h := newHistory(capacity)
+		h := NewHistory(capacity)
 		var seq []float64
 		for _, v := range raw {
 			x := float64(v) / 4

@@ -116,32 +116,37 @@ type Stats struct {
 	ResamplesPeriodic    int
 	ResamplesNewType     int
 	ResamplesParallelism int
+	// DirectedStarted counts instances a BudgetedPolicy forced into
+	// detailed mode during the fast phase (also counted in
+	// DetailedStarted).
+	DirectedStarted int
 }
 
 // typeState is the per-task-type sampling state.
 type typeState struct {
-	valid *history // samples measured after warm-up (paper: "history of valid samples")
-	all   *history // every detailed sample (paper: "history of all samples")
+	valid *History // samples measured after warm-up (paper: "history of valid samples")
+	all   *History // every detailed sample (paper: "history of all samples")
 	seen  bool
 }
 
 // threadState is the per-thread sampling state.
 type threadState struct {
-	active        bool // started at least one instance in current sampling phase
-	detDone       int  // detailed instances completed in current sampling phase
-	noRareStreak  int  // consecutive starts of fully sampled types
-	fastRetired   int  // fast instances retired since last sampling
-	curValid      bool // current instance counts as a valid sample
-	curPhaseSeq   int  // phase sequence at current instance start
-	curIsDetailed bool
+	active       bool // started at least one instance in current sampling phase
+	detDone      int  // detailed instances completed in current sampling phase
+	noRareStreak int  // consecutive starts of fully sampled types
+	fastRetired  int  // fast instances retired since last sampling
+	curValid     bool // current instance counts as a valid sample
+	curPhaseSeq  int  // phase sequence at current instance start
+	curDirected  bool // current instance is a budget-directed sample
 }
 
 // Sampler is the TaskPoint controller: it decides per task instance
 // whether to simulate it in detailed or fast mode and maintains the IPC
 // histories that drive accurate fast-forwarding.
 type Sampler struct {
-	params Params
-	policy Policy
+	params   Params
+	policy   Policy
+	budgeted BudgetedPolicy // non-nil when policy is a BudgetedPolicy
 
 	phase      phase
 	phaseSeq   int // incremented at every phase change
@@ -162,6 +167,9 @@ type Sampler struct {
 var _ sim.Controller = (*Sampler)(nil)
 
 // New creates a sampler with the given parameters and resampling policy.
+// Policies implementing BudgetedPolicy are consulted per task start for
+// directed samples; stateful policies exposing ResetRun() are reset here so
+// one policy value can serve consecutive runs.
 func New(params Params, policy Policy) (*Sampler, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -169,14 +177,21 @@ func New(params Params, policy Policy) (*Sampler, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("core: nil policy")
 	}
-	return &Sampler{
+	if rp, ok := policy.(interface{ ResetRun() }); ok {
+		rp.ResetRun()
+	}
+	s := &Sampler{
 		params:     params,
 		policy:     policy,
 		phase:      phaseSampling,
 		warmupNeed: params.W,
 		types:      make(map[typeKey]*typeState),
 		threads:    make(map[int]*threadState),
-	}, nil
+	}
+	if bp, ok := policy.(BudgetedPolicy); ok {
+		s.budgeted = bp
+	}
+	return s, nil
 }
 
 // MustNew is New for callers with statically valid parameters.
@@ -201,11 +216,12 @@ type typeKey struct {
 	class uint8
 }
 
-// sizeClass buckets dynamic instruction counts into powers of four, so
+// SizeClass buckets dynamic instruction counts into powers of four, so
 // instances whose sizes differ by orders of magnitude (freqmine's
 // mine_subtree spans ~120x) land in separate classes while ordinary
-// size jitter does not split a type.
-func sizeClass(instr int64) uint8 {
+// size jitter does not split a type. The strata package shares these
+// buckets so its strata align with the sampler's per-class histories.
+func SizeClass(instr int64) uint8 {
 	if instr <= 0 {
 		return 0
 	}
@@ -215,7 +231,7 @@ func sizeClass(instr int64) uint8 {
 func (s *Sampler) keyFor(inst *trace.Instance) typeKey {
 	k := typeKey{typ: inst.Type}
 	if s.params.SizeClasses {
-		k.class = sizeClass(inst.Instructions())
+		k.class = SizeClass(inst.Instructions())
 	}
 	return k
 }
@@ -224,8 +240,8 @@ func (s *Sampler) typeState(k typeKey) *typeState {
 	ts, ok := s.types[k]
 	if !ok {
 		ts = &typeState{
-			valid: newHistory(s.params.H),
-			all:   newHistory(s.params.H),
+			valid: NewHistory(s.params.H),
+			all:   NewHistory(s.params.H),
 		}
 		s.types[k] = ts
 	}
@@ -247,6 +263,13 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 	ts.seen = true
 	th := s.threadState(si.Thread)
 
+	// A budgeted policy sees every start; its verdict only matters in
+	// fast phase (the sampling phase simulates everything in detail).
+	wantDirected := false
+	if s.budgeted != nil {
+		wantDirected = s.budgeted.WantDetailed(si)
+	}
+
 	if s.phase == phaseFast {
 		// Parallelism change invalidates the samples (paper Fig 4a).
 		// A sustained change is required (patience) so that a single
@@ -264,6 +287,19 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 		}
 	}
 	if s.phase == phaseFast {
+		if wantDirected {
+			// The budget demands a sample of this instance's stratum:
+			// simulate it in detail without leaving the fast phase
+			// (directed sample).
+			return s.startDirected(th)
+		}
+		// A budgeted policy's stratum estimate takes precedence over
+		// the windowed histories.
+		if s.budgeted != nil {
+			if ipc, ok := s.budgeted.FastIPC(si); ok && ipc > 0 {
+				return s.startFast(th, ipc)
+			}
+		}
 		// Fast-forward at the type's sample-history IPC; fall back to
 		// the history of all samples for rare types (paper §III-B).
 		switch {
@@ -281,7 +317,7 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 
 	// Sampling phase: detailed simulation.
 	th.active = true
-	th.curIsDetailed = true
+	th.curDirected = false
 	th.curPhaseSeq = s.phaseSeq
 	th.curValid = th.detDone >= s.warmupNeed
 	if th.curValid {
@@ -303,15 +339,37 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 }
 
 func (s *Sampler) startFast(th *threadState, ipc float64) sim.Decision {
-	th.curIsDetailed = false
+	th.curDirected = false
 	th.curPhaseSeq = s.phaseSeq
 	s.stats.FastStarted++
 	return sim.Fast(ipc)
 }
 
+// startDirected runs one instance in detailed mode during the fast phase
+// on a BudgetedPolicy's demand. The global phase is untouched: no
+// histories are cleared and no re-warm-up is required; the measurement
+// refreshes the type's histories when it completes.
+func (s *Sampler) startDirected(th *threadState) sim.Decision {
+	th.curDirected = true
+	th.curValid = false
+	th.curPhaseSeq = s.phaseSeq
+	s.stats.DetailedStarted++
+	s.stats.DirectedStarted++
+	return sim.Detailed()
+}
+
 // TaskFinish implements sim.Controller.
 func (s *Sampler) TaskFinish(fi sim.FinishInfo) {
 	th := s.threadState(fi.Thread)
+	kind := KindFast
+	if fi.Mode == sim.ModeDetailed {
+		kind = KindWarmup
+	}
+	if s.budgeted != nil {
+		// Every finish is observed, whichever mode it ran in, so the
+		// policy's population counts are exact.
+		defer func() { s.budgeted.Observe(fi, kind) }()
+	}
 	if fi.Mode == sim.ModeFast {
 		// Count toward the policy's period only while still in fast
 		// phase (instances straddling a resample do not).
@@ -328,10 +386,25 @@ func (s *Sampler) TaskFinish(fi sim.FinishInfo) {
 	ts := s.typeState(s.keyFor(fi.Instance))
 	ts.all.Push(fi.IPC)
 
+	if th.curDirected {
+		// A directed sample is a fresh measurement of its type: it also
+		// refreshes the valid history, so subsequent fast-forwarding of
+		// the type tracks the budget-driven measurements — unless a
+		// resample intervened while it ran: the cleared histories must
+		// not be re-seeded with a measurement from the discarded regime.
+		th.curDirected = false
+		kind = KindDirected
+		if th.curPhaseSeq == s.phaseSeq {
+			ts.valid.Push(fi.IPC)
+		}
+		return
+	}
+
 	if s.phase == phaseSampling && th.curPhaseSeq == s.phaseSeq {
 		th.detDone++
 		if th.curValid {
 			// Valid sample (paper §III-B, "Sampling").
+			kind = KindValid
 			ts.valid.Push(fi.IPC)
 			s.stats.ValidSamples++
 			s.maybeFinishSampling()

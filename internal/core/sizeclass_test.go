@@ -18,19 +18,19 @@ func makeSizedInst(id int, typ trace.TypeID, instr int64) *trace.Instance {
 func TestSizeClassBuckets(t *testing.T) {
 	// Power-of-four buckets: sizes within ~4x share a class, sizes
 	// orders of magnitude apart do not.
-	if sizeClass(0) != 0 || sizeClass(-5) != 0 {
+	if SizeClass(0) != 0 || SizeClass(-5) != 0 {
 		t.Error("non-positive sizes must map to class 0")
 	}
-	if sizeClass(1000) != sizeClass(1800) {
-		t.Errorf("similar sizes split: %d vs %d", sizeClass(1000), sizeClass(1800))
+	if SizeClass(1000) != SizeClass(1800) {
+		t.Errorf("similar sizes split: %d vs %d", SizeClass(1000), SizeClass(1800))
 	}
-	if sizeClass(500) == sizeClass(50000) {
+	if SizeClass(500) == SizeClass(50000) {
 		t.Error("100x size difference landed in one class")
 	}
 	// Monotone in size.
 	prev := uint8(0)
 	for n := int64(1); n < 1<<40; n *= 4 {
-		c := sizeClass(n)
+		c := SizeClass(n)
 		if c < prev {
 			t.Fatalf("sizeClass not monotone at %d", n)
 		}

@@ -16,6 +16,7 @@ import (
 	"taskpoint/internal/noise"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
+	"taskpoint/internal/strata"
 	"taskpoint/internal/trace"
 )
 
@@ -195,12 +196,30 @@ type SampledRow struct {
 	Sampler core.Stats
 	// Cycles are the simulated execution times.
 	SampledCycles, DetailedCycles float64
+	// DetailedTaskCycles is the detailed reference's total task
+	// execution time (Σ per-instance durations) — the quantity the
+	// stratified Confidence estimates.
+	DetailedTaskCycles float64
+	// Confidence is the stratified cycle estimate with its confidence
+	// interval; nil unless the run's policy was strata.Stratified.
+	Confidence *strata.Confidence
 	// Wall times of both runs.
 	SampledWall, DetailedWall time.Duration
 }
 
+// confidencePolicy is the optional policy surface the runner wires up:
+// strata.Stratified implements it, and so can any future budgeted policy
+// that prescans the program and reports a confidence interval.
+type confidencePolicy interface {
+	core.Policy
+	Prescan(prog *trace.Program)
+	Confidence() strata.Confidence
+}
+
 // Sampled runs one sampled simulation and compares it against the cached
-// detailed reference.
+// detailed reference. A confidence-reporting policy (strata.Stratified)
+// is prescanned over the program (exact stratum populations) and implies
+// size-class histories; its confidence interval lands in the row.
 func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.Params, policy core.Policy) (SampledRow, error) {
 	det, err := r.Detailed(benchName, arch, threads)
 	if err != nil {
@@ -213,6 +232,11 @@ func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.P
 	cfg, err := ConfigFor(arch, threads)
 	if err != nil {
 		return SampledRow{}, err
+	}
+	strat, _ := policy.(confidencePolicy)
+	if strat != nil {
+		strat.Prescan(prog)
+		params.SizeClasses = true
 	}
 	sampler, err := core.New(params, policy)
 	if err != nil {
@@ -229,20 +253,26 @@ func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.P
 	if res.Wall > 0 {
 		wallSpeedup = float64(det.Wall) / float64(res.Wall)
 	}
-	return SampledRow{
-		Bench:          benchName,
-		Arch:           arch,
-		Threads:        threads,
-		ErrPct:         stats.AbsPctError(res.Cycles, det.Cycles),
-		SpeedupWall:    wallSpeedup,
-		SpeedupDetail:  speedupDetail,
-		DetailFraction: res.DetailFraction(),
-		Sampler:        sampler.Stats(),
-		SampledCycles:  res.Cycles,
-		DetailedCycles: det.Cycles,
-		SampledWall:    res.Wall,
-		DetailedWall:   det.Wall,
-	}, nil
+	row := SampledRow{
+		Bench:              benchName,
+		Arch:               arch,
+		Threads:            threads,
+		ErrPct:             stats.AbsPctError(res.Cycles, det.Cycles),
+		SpeedupWall:        wallSpeedup,
+		SpeedupDetail:      speedupDetail,
+		DetailFraction:     res.DetailFraction(),
+		Sampler:            sampler.Stats(),
+		SampledCycles:      res.Cycles,
+		DetailedCycles:     det.Cycles,
+		DetailedTaskCycles: det.TotalTaskCycles(),
+		SampledWall:        res.Wall,
+		DetailedWall:       det.Wall,
+	}
+	if strat != nil {
+		conf := strat.Confidence()
+		row.Confidence = &conf
+	}
+	return row, nil
 }
 
 // Figure runs the full grid of one of Figures 7-10: every benchmark at

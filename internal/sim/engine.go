@@ -67,6 +67,17 @@ func (r *Result) DetailFraction() float64 {
 	return float64(r.DetailedInstructions) / float64(r.TotalInstructions)
 }
 
+// TotalTaskCycles returns the summed execution time of all task instances
+// (Σ End−Start) — the total work performed, as opposed to Cycles, the
+// makespan. The stratified confidence estimator targets this quantity.
+func (r *Result) TotalTaskCycles() float64 {
+	var sum float64
+	for i := range r.PerInstance {
+		sum += r.PerInstance[i].End - r.PerInstance[i].Start
+	}
+	return sum
+}
+
 // IPCOfType returns the measured IPC values of all detailed instances of
 // type t, in completion order of recording.
 func (r *Result) IPCOfType(t trace.TypeID) []float64 {

@@ -190,6 +190,16 @@ func (o *Online) Variance() float64 {
 	return o.m2 / float64(o.n)
 }
 
+// SampleVariance returns the unbiased (n-1 denominator) sample variance,
+// for estimating a population's variance from a sample, or 0 if fewer
+// than two values were added. Compare Variance, the population variance.
+func (o *Online) SampleVariance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
 // Stddev returns the current population standard deviation.
 func (o *Online) Stddev() float64 { return math.Sqrt(o.Variance()) }
 

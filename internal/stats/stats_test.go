@@ -277,3 +277,31 @@ func TestQuickBoxOrdered(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOnlineSampleVariance(t *testing.T) {
+	var o Online
+	if o.SampleVariance() != 0 {
+		t.Error("empty accumulator should report 0 sample variance")
+	}
+	o.Add(2)
+	if o.SampleVariance() != 0 {
+		t.Error("single value should report 0 sample variance")
+	}
+	for _, x := range []float64{4, 4, 4, 5, 5, 7} {
+		o.Add(x)
+	}
+	// Values {2,4,4,4,5,5,7}: mean 31/7, unbiased variance Σ(x-m)²/6.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7}
+	m := Mean(xs)
+	var want float64
+	for _, x := range xs {
+		want += (x - m) * (x - m)
+	}
+	want /= float64(len(xs) - 1)
+	if got := o.SampleVariance(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if popWant := want * 6 / 7; math.Abs(o.Variance()-popWant) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", o.Variance(), popWant)
+	}
+}

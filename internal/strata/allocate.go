@@ -1,0 +1,65 @@
+package strata
+
+import "sort"
+
+// apportion distributes total integer units over weights, capped per
+// index, by iterated largest-remainder rounding: each round splits the
+// remaining units proportionally among uncapped indices, floors the
+// shares, hands the leftovers to the largest fractional parts (ties to
+// the lower index, keeping the result deterministic), and repeats until
+// the units are spent or every positive-weight index is capped.
+func apportion(total int, weights []float64, caps []int) []int {
+	out := make([]int, len(weights))
+	for total > 0 {
+		var sumW float64
+		for i, w := range weights {
+			if out[i] < caps[i] && w > 0 {
+				sumW += w
+			}
+		}
+		if sumW <= 0 {
+			break
+		}
+		type frac struct {
+			idx int
+			rem float64
+		}
+		var fracs []frac
+		granted := 0
+		for i, w := range weights {
+			if out[i] >= caps[i] || w <= 0 {
+				continue
+			}
+			share := float64(total) * w / sumW
+			add := int(share)
+			if out[i]+add >= caps[i] {
+				add = caps[i] - out[i]
+			} else {
+				fracs = append(fracs, frac{idx: i, rem: share - float64(add)})
+			}
+			out[i] += add
+			granted += add
+		}
+		left := total - granted
+		sort.Slice(fracs, func(a, b int) bool {
+			if fracs[a].rem != fracs[b].rem {
+				return fracs[a].rem > fracs[b].rem
+			}
+			return fracs[a].idx < fracs[b].idx
+		})
+		for _, f := range fracs {
+			if left == 0 {
+				break
+			}
+			if out[f.idx] < caps[f.idx] {
+				out[f.idx]++
+				left--
+			}
+		}
+		if left == total {
+			break // no progress possible
+		}
+		total = left
+	}
+	return out
+}

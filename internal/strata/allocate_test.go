@@ -1,0 +1,73 @@
+package strata
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestApportionProportions(t *testing.T) {
+	out := apportion(100, []float64{3, 1}, []int{math.MaxInt32, math.MaxInt32})
+	if out[0] != 75 || out[1] != 25 {
+		t.Errorf("apportion(100, 3:1) = %v, want [75 25]", out)
+	}
+}
+
+func TestApportionExactTotal(t *testing.T) {
+	// Fractional shares must still hand out exactly the total.
+	out := apportion(10, []float64{1, 1, 1}, []int{99, 99, 99})
+	if sum(out) != 10 {
+		t.Errorf("apportion distributed %d of 10: %v", sum(out), out)
+	}
+	// Largest remainder is deterministic: ties resolve to lower index.
+	out2 := apportion(10, []float64{1, 1, 1}, []int{99, 99, 99})
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("apportion not deterministic: %v vs %v", out, out2)
+		}
+	}
+}
+
+func TestApportionRespectsCaps(t *testing.T) {
+	out := apportion(100, []float64{10, 1}, []int{5, math.MaxInt32})
+	if out[0] != 5 {
+		t.Errorf("capped index got %d, want 5", out[0])
+	}
+	if sum(out) != 100 {
+		t.Errorf("cap overflow not redistributed: %v sums to %d", out, sum(out))
+	}
+}
+
+func TestApportionAllCapped(t *testing.T) {
+	out := apportion(100, []float64{1, 1}, []int{3, 4})
+	if out[0] != 3 || out[1] != 4 {
+		t.Errorf("apportion under caps = %v, want [3 4]", out)
+	}
+}
+
+func TestApportionZeroWeights(t *testing.T) {
+	out := apportion(10, []float64{0, 0}, []int{99, 99})
+	if sum(out) != 0 {
+		t.Errorf("zero weights received %v", out)
+	}
+	out = apportion(10, []float64{0, 2}, []int{99, 99})
+	if out[0] != 0 || out[1] != 10 {
+		t.Errorf("apportion(0,2) = %v, want [0 10]", out)
+	}
+}
+
+func TestBandBuckets(t *testing.T) {
+	cases := map[int]uint8{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 64: 6}
+	for running, want := range cases {
+		if got := Band(running); got != want {
+			t.Errorf("Band(%d) = %d, want %d", running, got, want)
+		}
+	}
+}

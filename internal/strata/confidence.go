@@ -1,0 +1,187 @@
+package strata
+
+import "math"
+
+// Confidence is the stratified estimate of the program's total task
+// execution cycles (the sum of every instance's duration — total work,
+// as opposed to the makespan) with a finite-population confidence
+// interval.
+//
+// Each stratum is estimated with a ratio estimator using dynamic
+// instruction count as the auxiliary variable: the sampled
+// cycles-per-instruction rate R_h = Σd_i/Σx_i is applied to the stratum's
+// exact instruction total I_h (observed for every instance), so a sampled
+// subset skewed toward small or large instances within the stratum does
+// not bias the estimate — exactly the failure mode of input-dependent
+// task types:
+//
+//	T̂   = Σ_h R_h·I_h
+//	Var = Σ_h N_h·(N_h−n_h)·s²_e,h/n_h     e_i = d_i − R_h·x_i
+//	CI  = T̂ ± z·√Var
+//
+// Directed samples are measured while co-running threads fast-forward
+// (no memory traffic), so their durations run fast by an uncertain
+// contention factor. Rather than asserting the noisy stratum-matched
+// calibration estimate (Calibration) as truth, the interval brackets it:
+// its low anchor is the uncalibrated estimate (r=1), its high anchor the
+// fully calibrated one, and both are widened by the z-scaled sampling
+// error; Estimate reports the midpoint. Strata with a single sample
+// borrow the pooled residual variance; fully sampled strata contribute
+// no variance; and the half-width never drops below MinRelErr of the
+// estimate, covering residual measurement bias sampling variance cannot
+// see.
+type Confidence struct {
+	// Strata is the number of strata observed.
+	Strata int
+	// Population is the total number of task instances.
+	Population int
+	// Sampled is the number of valid detailed observations the estimate
+	// uses.
+	Sampled int
+	// Unsampled counts instances of strata that received no valid
+	// detailed sample at all (budget exhausted); their rate falls back
+	// to pooled or modelled rates and carries no variance, so a
+	// non-zero value flags an over-tight interval.
+	Unsampled int
+	// Calibration is the contention calibration factor applied to
+	// directed-sample durations: the stratum-matched ratio of
+	// sampling-phase rates to directed rates (1 when no stratum was
+	// measured in both regimes).
+	Calibration float64
+	// Estimate is T̂, the estimated total task cycles.
+	Estimate float64
+	// StdErr is √Var.
+	StdErr float64
+	// Lo and Hi bound the interval at the configured confidence level.
+	Lo, Hi float64
+	// Z is the critical value the interval was built with.
+	Z float64
+}
+
+// RelWidth is the interval width relative to the estimate — the
+// "how trustworthy" headline of a sampled run.
+func (c Confidence) RelWidth() float64 {
+	if c.Estimate <= 0 {
+		return 0
+	}
+	return (c.Hi - c.Lo) / c.Estimate
+}
+
+// Covers reports whether x (e.g. the detailed reference's total task
+// cycles) falls inside the interval.
+func (c Confidence) Covers(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// calibration estimates the global contention factor r: over every
+// stratum measured in both regimes, the instruction-weighted ratio of
+// the sampling-phase rate to the directed rate. Missing contention can
+// only make a directed measurement faster (less queueing on shared
+// caches and DRAM), so ratios below 1 are small-sample noise and clamp
+// to 1; the upper clamp of 2 guards against blow-ups from sparsely
+// sampled strata.
+func (s *Stratified) calibration() float64 {
+	var num, den float64
+	for _, k := range s.order {
+		st := s.strata[k]
+		if st.dir.n == 0 || st.phase.n == 0 || st.phase.sumX <= 0 || st.dir.sumX <= 0 {
+			continue
+		}
+		// Weight by the directed group's instruction mass: what those
+		// instructions would have cost at the phase rate vs what they
+		// measured.
+		w := st.dir.sumX
+		num += w * (st.phase.sumD / st.phase.sumX)
+		den += w * (st.dir.sumD / st.dir.sumX)
+	}
+	if den <= 0 || num <= 0 {
+		return 1
+	}
+	return math.Min(2, math.Max(1, num/den))
+}
+
+// estimateAt computes the stratified ratio estimate and its sampling
+// variance at calibration factor r, plus the sample/population tallies.
+func (s *Stratified) estimateAt(r float64) (estimate, variance float64, population, sampled, unsampled int) {
+	// Pooled quantities: the valid rate over all strata (fallback for
+	// unsampled strata) and the pooled residual variance (fallback for
+	// single-sample strata).
+	var pooledD, pooledX, pooledSe2Sum, pooledDF float64
+	for _, k := range s.order {
+		n, sumD, sumX, se2 := s.strata[k].rateMoments(r)
+		pooledD += sumD
+		pooledX += sumX
+		if n >= 2 {
+			pooledSe2Sum += float64(n-1) * se2
+			pooledDF += float64(n - 1)
+		}
+	}
+	pooledSe2 := 0.0
+	if pooledDF > 0 {
+		pooledSe2 = pooledSe2Sum / pooledDF
+	}
+
+	for _, k := range s.order {
+		st := s.strata[k]
+		N := st.arrived
+		if N == 0 {
+			continue
+		}
+		n, sumD, sumX, se2 := st.rateMoments(r)
+		population += N
+		sampled += n
+		rate := 0.0
+		switch {
+		case n > 0 && sumX > 0:
+			rate = sumD / sumX
+		case pooledX > 0:
+			// No valid sample: the pooled valid rate is the best
+			// stand-in; beyond that, the modelled fast-forward rate,
+			// then raw warm-up measurements.
+			rate = pooledD / pooledX
+			unsampled += N
+		case st.fast.sumX > 0:
+			rate = st.fast.sumD / st.fast.sumX
+			unsampled += N
+		case st.raw.sumX > 0:
+			rate = st.raw.sumD / st.raw.sumX
+			unsampled += N
+		}
+		estimate += rate * st.instrTotal
+		if n > 0 && n < N {
+			if n < 2 {
+				se2 = pooledSe2
+			}
+			variance += float64(N) * float64(N-n) * se2 / float64(n)
+		}
+	}
+	return estimate, variance, population, sampled, unsampled
+}
+
+// Confidence computes the stratified estimate from the run's accumulated
+// strata. Call it after the simulation completes.
+func (s *Stratified) Confidence() Confidence {
+	r := s.calibration()
+	c := Confidence{Strata: len(s.order), Z: s.cfg.Z, Calibration: r}
+
+	// Bracket the calibration: the low anchor trusts the measurements
+	// as taken (r=1), the high anchor applies the full contention
+	// correction (r >= 1 by construction).
+	var lo, hi, variance float64
+	hi, variance, c.Population, c.Sampled, c.Unsampled = s.estimateAt(r)
+	lo = hi
+	if r > 1 {
+		lo, _, _, _, _ = s.estimateAt(1)
+	}
+	c.Estimate = (lo + hi) / 2
+	c.StdErr = math.Sqrt(variance)
+	half := c.Z * c.StdErr
+	c.Lo = lo - half
+	c.Hi = hi + half
+	// The half-width floor covers the measurement bias of mid-run
+	// detailed samples, which pure sampling variance cannot see
+	// (Config.MinRelErr).
+	if floor := s.cfg.MinRelErr * c.Estimate; c.Estimate-c.Lo < floor || c.Hi-c.Estimate < floor {
+		c.Lo = math.Min(c.Lo, c.Estimate-floor)
+		c.Hi = math.Max(c.Hi, c.Estimate+floor)
+	}
+	return c
+}

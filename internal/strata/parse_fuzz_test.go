@@ -1,0 +1,69 @@
+package strata_test
+
+import (
+	"testing"
+
+	"taskpoint/internal/core"
+
+	// Importing the package registers the "stratified" policy family.
+	_ "taskpoint/internal/strata"
+)
+
+// TestParsePolicyStratified checks the registered "stratified" family:
+// accepted spellings round-trip through Policy.Name and malformed
+// arguments are rejected instead of silently defaulting.
+func TestParsePolicyStratified(t *testing.T) {
+	for in, want := range map[string]string{
+		"stratified(400)":  "stratified(400)",
+		"stratified:250":   "stratified(250)",
+		" stratified( 7 )": "stratified(7)",
+	} {
+		p, err := core.ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{
+		"stratified", "stratified()", "stratified(0)", "stratified(-3)",
+		"stratified(1.5)", "stratified(x)", "stratified:", "stratified( )",
+		"stratified(99999999999999999999)",
+	} {
+		if _, err := core.ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q): expected error", bad)
+		}
+	}
+}
+
+// FuzzParsePolicy fuzzes the parser over every registered family: any
+// accepted input must produce a Policy whose Name reparses to an
+// identical policy (Name is the canonical form), and the parser must
+// never panic on arbitrary input.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"lazy", " lazy ", "periodic(250)", "periodic:1000", "periodic( 42 )",
+		"stratified(400)", "stratified:250", "stratified(1)",
+		"", "eager", "periodic", "periodic()", "periodic(0)", "periodic:-5",
+		"periodic(x)", "stratified()", "stratified(1e3)", "périodic(9)",
+		"periodic(9(", ":(", "stratified((1))", "periodic:2:3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := core.ParsePolicy(s)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		name := p.Name()
+		back, err := core.ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) accepted but canonical name %q rejected: %v", s, name, err)
+		}
+		if back.Name() != name {
+			t.Fatalf("round trip drifted: %q -> %q -> %q", s, name, back.Name())
+		}
+	})
+}

@@ -1,0 +1,80 @@
+// Package strata implements two-phase stratified sampling on top of the
+// TaskPoint sampler, the direction "CPU Simulation Using Two-Phase
+// Stratified Sampling" (Ekman) points to for the residual bias the paper's
+// §V-B names: input-dependent task types whose IPC correlates with
+// instance size.
+//
+// Task instances are partitioned into strata by (task type × size class ×
+// observed concurrency band). A cheap pilot phase simulates a fixed small
+// number of instances per stratum in detail; the per-stratum variance
+// estimated from the pilots then drives a Neyman allocation of the
+// remaining detailed budget (quota_h ∝ N_h·σ_h), so strata whose
+// durations vary the most receive the most detailed samples. The
+// Stratified policy plugs into core.Sampler through the BudgetedPolicy
+// extension point: quotas force detailed simulation of specific instances
+// (directed samples) and suppress periodic resampling entirely.
+//
+// Because every instance passes through the policy, final stratum
+// populations are exact, and the accumulated per-stratum means and
+// variances propagate into a stratified estimate of the program's total
+// task execution cycles with a finite-population 95% confidence interval
+// (Confidence) — every sampled run can report how trustworthy it is.
+package strata
+
+import (
+	"fmt"
+	"math/bits"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+// Key identifies a stratum: a task type, refined by the instance-size
+// class shared with the sampler's history keys and by the concurrency
+// band observed when the instance starts.
+type Key struct {
+	// Type is the task type.
+	Type trace.TypeID
+	// Class is the power-of-four instruction-count bucket
+	// (core.SizeClass).
+	Class uint8
+	// Band is the power-of-two concurrency band (Band) observed at the
+	// instance's start, or 0 when banding is disabled.
+	Band uint8
+}
+
+// String renders the key for reports, e.g. "T3/c7/b2".
+func (k Key) String() string {
+	return fmt.Sprintf("T%d/c%d/b%d", k.Type, k.Class, k.Band)
+}
+
+// tcKey is a stratum key without the band dimension — the granularity at
+// which populations are known statically from the program.
+type tcKey struct {
+	typ   trace.TypeID
+	class uint8
+}
+
+// Band buckets the number of concurrently running threads into powers of
+// two: 1 → 0, 2 → 1, 3-4 → 2, 5-8 → 3, and so on. Instances of one type
+// executed at very different parallelism levels contend differently for
+// shared resources, so they are sampled as separate strata.
+func Band(running int) uint8 {
+	if running <= 1 {
+		return 0
+	}
+	return uint8(bits.Len(uint(running - 1)))
+}
+
+// keyOf derives the stratum key of a starting instance.
+func (s *Stratified) keyOf(si sim.StartInfo) Key {
+	k := Key{
+		Type:  si.Instance.Type,
+		Class: core.SizeClass(si.Instance.Instructions()),
+	}
+	if s.cfg.Bands {
+		k.Band = Band(si.Running)
+	}
+	return k
+}

@@ -1,0 +1,534 @@
+package strata
+
+import (
+	"fmt"
+	"math"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+// Config parameterises the Stratified policy.
+type Config struct {
+	// Budget is B: the target number of task instances simulated in
+	// detail over the whole run, counting the sampler's own warm-up and
+	// sampling-phase instances as well as directed samples.
+	Budget int
+	// Pilot is the number of detailed samples the pilot phase collects
+	// per stratum before variance-driven allocation.
+	Pilot int
+	// PilotCutoff ends the pilot phase after this many consecutive task
+	// starts that needed no pilot sample, mirroring the sampler's
+	// rare-type cut-off: strata too rare to fill their pilot must not
+	// stall allocation forever.
+	PilotCutoff int
+	// Bands enables the concurrency-band dimension of the stratifier.
+	Bands bool
+	// Z is the normal critical value of the confidence interval
+	// (1.96 for 95%).
+	Z float64
+	// StaleAfter bounds how long a stratum's own IPC estimate stays in
+	// use: after this many starts of the stratum without a fresh
+	// detailed sample, FastIPC abstains and fast-forwarding falls back
+	// to the sampler's histories (which the remaining resampling
+	// triggers keep refreshing). Micro-architectural drift makes old
+	// windows misleading once the budget stops directing samples.
+	StaleAfter int
+	// MinRelErr floors the interval's half-width at this fraction of
+	// the estimate. The statistical interval covers sampling error
+	// only; detailed measurements taken mid-run (after fast-forwarded
+	// stretches) additionally carry a small measurement bias from
+	// stale micro-architectural state that does not shrink with more
+	// samples, so a run that samples nearly everything must not report
+	// a near-zero interval.
+	MinRelErr float64
+}
+
+// DefaultConfig returns the stratified configuration used throughout the
+// evaluation: 3 pilot samples per stratum, pilot cut-off 64, concurrency
+// bands on, 95% confidence with a 0.5% relative-error floor.
+func DefaultConfig(budget int) Config {
+	return Config{
+		Budget: budget, Pilot: 3, PilotCutoff: 64, Bands: true,
+		StaleAfter: 48, Z: 1.96, MinRelErr: 0.005,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Budget < 1:
+		return fmt.Errorf("strata: budget %d must be >= 1", c.Budget)
+	case c.Pilot < 1:
+		return fmt.Errorf("strata: pilot size %d must be >= 1", c.Pilot)
+	case c.PilotCutoff < 1:
+		return fmt.Errorf("strata: pilot cutoff %d must be >= 1", c.PilotCutoff)
+	case c.StaleAfter < 1:
+		return fmt.Errorf("strata: staleness horizon %d must be >= 1", c.StaleAfter)
+	case !(c.Z > 0):
+		return fmt.Errorf("strata: z-score %v must be > 0", c.Z)
+	case c.MinRelErr < 0 || c.MinRelErr >= 1:
+		return fmt.Errorf("strata: relative-error floor %v out of range [0, 1)", c.MinRelErr)
+	}
+	return nil
+}
+
+// biSample accumulates (duration, instructions) pairs of one sample
+// group, keeping the cross-moments the ratio estimator needs.
+type biSample struct {
+	n                               int
+	sumD, sumX, sumDD, sumXX, sumDX float64
+}
+
+func (b *biSample) Add(dur, instr float64) {
+	b.n++
+	b.sumD += dur
+	b.sumX += instr
+	b.sumDD += dur * dur
+	b.sumXX += instr * instr
+	b.sumDX += dur * instr
+}
+
+// stratum is the per-stratum run state.
+type stratum struct {
+	key     Key
+	started int // instances started (WantDetailed calls)
+	arrived int // instances finished (exact population counter)
+	// instrTotal is the stratum's exact dynamic instruction total over
+	// all arrived instances — the auxiliary variable of the ratio
+	// estimator.
+	instrTotal float64
+	// Valid (duration, instructions) measurements, split by contention
+	// regime: phase samples were taken while every thread ran detailed
+	// (realistic contention); dir samples during fast-forwarding
+	// (co-runners generated no memory traffic). The estimator
+	// calibrates dir against phase; allocation and quota targets use
+	// their union.
+	phase biSample
+	dir   biSample
+	raw   biSample      // all detailed samples incl. warm-up (fallback)
+	fast  biSample      // fast-forwarded instances (fallback)
+	ipc   *core.History // recent valid detailed IPCs (fast-forward estimate)
+
+	inFlight   int // granted directed samples not yet observed
+	target     int // current total detailed-sample target
+	quota      int // Neyman grant beyond the pilot (reporting)
+	gap        int // starts between directed grants (systematic pacing)
+	sinceGrant int // starts since the last grant
+	sinceDet   int // starts since the last detailed observation
+}
+
+// sampled is the stratum's valid detailed sample count (both regimes).
+func (st *stratum) sampled() int { return st.phase.n + st.dir.n }
+
+// rateMoments combines the stratum's valid sample groups with directed
+// durations scaled by the contention calibration factor r, returning the
+// sample count, the combined duration and instruction sums (whose
+// quotient is the cycles-per-instruction rate R), and the unbiased
+// variance of the ratio residuals dur−R·instr. Because R is the combined
+// ratio, the residuals sum to zero and their variance is what survives
+// once instruction count has explained all it can — the uncertainty that
+// drives both Neyman allocation and the confidence interval.
+func (st *stratum) rateMoments(r float64) (n int, sumD, sumX, se2 float64) {
+	n = st.phase.n + st.dir.n
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	sumD = st.phase.sumD + r*st.dir.sumD
+	sumX = st.phase.sumX + st.dir.sumX
+	if n < 2 || sumX <= 0 {
+		return n, sumD, sumX, 0
+	}
+	rate := sumD / sumX
+	sumDD := st.phase.sumDD + r*r*st.dir.sumDD
+	sumXX := st.phase.sumXX + st.dir.sumXX
+	sumDX := st.phase.sumDX + r*st.dir.sumDX
+	resid := sumDD - 2*rate*sumDX + rate*rate*sumXX
+	if resid < 0 {
+		resid = 0 // floating-point cancellation
+	}
+	return n, sumD, sumX, resid / float64(n-1)
+}
+
+// ipcWindowSize is the depth of each stratum's IPC window (a
+// core.History): recency matters because micro-architectural state
+// drifts over the run, so the fast-forward estimate tracks the newest
+// samples like the sampler's H-deep histories do — but per stratum. It
+// matches the paper's selected depth H=4; the sensitivity scan showed
+// deeper windows hurt on input-dependent types.
+const ipcWindowSize = 4
+
+// pending remembers the stratum of an in-flight instance between start and
+// finish (FinishInfo does not carry the concurrency level) and whether the
+// policy granted it a directed sample.
+type pending struct {
+	key     Key
+	granted bool
+}
+
+// Stratified is the two-phase stratified sampling policy. It implements
+// core.Policy and core.BudgetedPolicy: per-stratum quotas force detailed
+// simulation (directed samples) while ShouldResample suppresses periodic
+// resampling entirely. One value serves one run at a time; core.New
+// resets it via ResetRun, so it can be reused across sequential runs.
+//
+// Phase one (pilot) forces the first Pilot instances of every stratum into
+// detailed mode. Once every seen stratum's pilot is full — or PilotCutoff
+// consecutive starts needed no pilot — the remaining budget is
+// Neyman-allocated: quota_h ∝ N̂_h·σ_h with σ_h estimated from the pilot
+// samples and N̂_h from the Prescan populations (apportioned over observed
+// concurrency bands) or, without a prescan, from observed arrivals. Phase
+// two (measure) spends the quotas as directed samples, paced evenly over
+// each stratum's expected remaining instances.
+type Stratified struct {
+	cfg Config
+
+	// popTC holds exact (type, size-class) populations from Prescan;
+	// totalPop is their sum (0 without a prescan).
+	popTC    map[tcKey]int
+	totalPop int
+
+	strata  map[Key]*stratum
+	order   []Key // creation order: deterministic iteration
+	pend    map[int32]pending
+	started int // total instances started
+
+	detTotal      int // detailed observations, all causes
+	inFlightTotal int
+	allocated     bool
+	streak        int // consecutive starts without a pilot grant
+}
+
+var (
+	_ core.Policy         = (*Stratified)(nil)
+	_ core.BudgetedPolicy = (*Stratified)(nil)
+)
+
+// New builds a Stratified policy.
+func New(cfg Config) (*Stratified, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stratified{cfg: cfg}
+	s.ResetRun()
+	return s, nil
+}
+
+// MustNew is New for statically valid configurations.
+func MustNew(cfg Config) *Stratified {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func init() {
+	core.RegisterPolicyParser("stratified", func(arg string) (core.Policy, error) {
+		b, err := core.PositiveIntArg(arg, "stratified budget")
+		if err != nil {
+			return nil, err
+		}
+		return New(DefaultConfig(b))
+	})
+}
+
+// Name returns "stratified(B)", the form core.ParsePolicy accepts.
+func (s *Stratified) Name() string { return fmt.Sprintf("stratified(%d)", s.cfg.Budget) }
+
+// ShouldResample never triggers: the budget directs detail per instance,
+// so whole-phase resampling is suppressed (the sampler's new-type and
+// parallelism triggers remain active).
+func (s *Stratified) ShouldResample(_, _ int) bool { return false }
+
+// Config returns the policy's configuration.
+func (s *Stratified) Config() Config { return s.cfg }
+
+// ResetRun clears all run state (strata, quotas, counters) while keeping
+// the configuration and Prescan populations. core.New calls it, so one
+// policy value can drive consecutive runs.
+func (s *Stratified) ResetRun() {
+	s.strata = make(map[Key]*stratum)
+	s.order = s.order[:0]
+	s.pend = make(map[int32]pending)
+	s.started = 0
+	s.detTotal = 0
+	s.inFlightTotal = 0
+	s.allocated = false
+	s.streak = 0
+}
+
+// Prescan counts the exact (type, size-class) populations of prog, giving
+// the allocator true stratum sizes instead of arrival estimates. Optional;
+// survives ResetRun. The evaluation runner prescans automatically.
+func (s *Stratified) Prescan(prog *trace.Program) {
+	s.popTC = make(map[tcKey]int)
+	for i := range prog.Instances {
+		inst := &prog.Instances[i]
+		s.popTC[tcKey{inst.Type, core.SizeClass(inst.Instructions())}]++
+	}
+	s.totalPop = len(prog.Instances)
+}
+
+func (s *Stratified) stratum(k Key) *stratum {
+	st, ok := s.strata[k]
+	if !ok {
+		st = &stratum{key: k, target: s.cfg.Pilot, ipc: core.NewHistory(ipcWindowSize)}
+		s.strata[k] = st
+		s.order = append(s.order, k)
+	}
+	return st
+}
+
+// budgetLeft is the number of detailed samples the budget still covers,
+// net of everything observed or committed.
+func (s *Stratified) budgetLeft() int {
+	return s.cfg.Budget - s.detTotal - s.inFlightTotal
+}
+
+// WantDetailed implements core.BudgetedPolicy: it grants a directed sample
+// when the instance's stratum is below its pilot or allocated target.
+func (s *Stratified) WantDetailed(si sim.StartInfo) bool {
+	k := s.keyOf(si)
+	st := s.stratum(k)
+	s.started++
+	st.started++
+	st.sinceGrant++
+	st.sinceDet++
+
+	if s.grant(st) {
+		s.pend[si.Instance.ID] = pending{key: k, granted: true}
+		return true
+	}
+	s.streak++
+	// Allocation fires when every seen stratum filled its pilot, after a
+	// pilot-free streak (rare strata must not stall it), or — with a
+	// prescan — once half the program has started: strata seen only
+	// during the start-up concurrency ramp can never fill their pilots,
+	// and a short program must not end before its budget is allocated.
+	if !s.allocated && (s.streak >= s.cfg.PilotCutoff || s.pilotsDone() ||
+		(s.totalPop > 0 && 2*s.started >= s.totalPop)) {
+		s.allocate()
+		// Re-evaluate this instance against its freshly allocated target.
+		if s.grant(st) {
+			s.pend[si.Instance.ID] = pending{key: k, granted: true}
+			return true
+		}
+	}
+	s.pend[si.Instance.ID] = pending{key: k}
+	return false
+}
+
+// grant decides whether st gets a directed sample now and commits it.
+func (s *Stratified) grant(st *stratum) bool {
+	if st.sampled()+st.inFlight >= st.target || s.budgetLeft() <= 0 {
+		return false
+	}
+	if s.allocated && st.sinceGrant < st.gap {
+		return false // systematic pacing across the stratum's remainder
+	}
+	st.inFlight++
+	s.inFlightTotal++
+	st.sinceGrant = 0
+	s.streak = 0
+	return true
+}
+
+// Observe implements core.BudgetedPolicy: it finalises population counts
+// and accumulates per-stratum duration measurements. Only valid samples
+// (warm state) feed the estimators, bucketed by contention regime;
+// warm-up measurements still count toward the budget.
+func (s *Stratified) Observe(fi sim.FinishInfo, kind core.SampleKind) {
+	p, ok := s.pend[fi.Instance.ID]
+	if !ok {
+		return // not started through WantDetailed; nothing to account
+	}
+	delete(s.pend, fi.Instance.ID)
+	st := s.strata[p.key]
+	st.arrived++
+	dur := fi.End - fi.Start
+	instr := float64(fi.Instance.Instructions())
+	st.instrTotal += instr
+	if kind == core.KindFast {
+		st.fast.Add(dur, instr)
+		return
+	}
+	st.raw.Add(dur, instr)
+	s.detTotal++
+	switch kind {
+	case core.KindValid:
+		st.phase.Add(dur, instr)
+	case core.KindDirected:
+		st.dir.Add(dur, instr)
+	}
+	if kind != core.KindWarmup {
+		st.ipc.Push(fi.IPC)
+		st.sinceDet = 0
+	}
+	if p.granted && st.inFlight > 0 {
+		st.inFlight--
+		s.inFlightTotal--
+	}
+}
+
+// FastIPC implements core.BudgetedPolicy: the mean over the stratum's
+// most recent detailed IPC samples — the sampler's windowed estimate, at
+// the stratifier's finer (type × size class × band) granularity.
+func (s *Stratified) FastIPC(si sim.StartInfo) (float64, bool) {
+	st, ok := s.strata[s.keyOf(si)]
+	if !ok || st.sinceDet > s.cfg.StaleAfter || st.ipc.Len() == 0 {
+		return 0, false
+	}
+	return st.ipc.Mean(), true
+}
+
+// pilotsDone reports whether every seen stratum reached its pilot target.
+func (s *Stratified) pilotsDone() bool {
+	for _, k := range s.order {
+		st := s.strata[k]
+		if st.sampled()+st.inFlight < s.cfg.Pilot {
+			return false
+		}
+	}
+	return len(s.order) > 0
+}
+
+// allocate ends the pilot phase: the remaining budget is Neyman-allocated
+// over the strata seen so far, and each stratum's pacing gap is derived
+// from its expected remaining instances.
+func (s *Stratified) allocate() {
+	s.allocated = true
+	left := s.budgetLeft()
+	if left <= 0 {
+		return
+	}
+	n := len(s.order)
+	pops := make([]float64, n)
+	weights := make([]float64, n)
+	caps := make([]int, n)
+
+	// Pooled pilot residual deviation stands in for strata with < 2
+	// samples. Calibration is unknown this early (pilots are mostly
+	// phase samples), so the moments use r=1.
+	var pooledSum, pooledN float64
+	for _, k := range s.order {
+		if n, _, _, se2 := s.strata[k].rateMoments(1); n >= 2 {
+			pooledSum += float64(n) * math.Sqrt(se2)
+			pooledN += float64(n)
+		}
+	}
+	pooled := 0.0
+	if pooledN > 0 {
+		pooled = pooledSum / pooledN
+	}
+
+	var sumW float64
+	for i, k := range s.order {
+		st := s.strata[k]
+		pops[i] = s.estimatePop(st)
+		sd := pooled
+		if n, _, _, se2 := st.rateMoments(1); n >= 2 {
+			sd = math.Sqrt(se2)
+		}
+		weights[i] = pops[i] * sd
+		sumW += weights[i]
+		caps[i] = math.MaxInt32
+		if s.popTC != nil {
+			// With exact populations, never allocate beyond the
+			// stratum's remaining instances.
+			if remain := int(pops[i]) - st.sampled() - st.inFlight; remain > 0 {
+				caps[i] = remain
+			} else {
+				caps[i] = 0
+			}
+		}
+	}
+	if sumW <= 0 {
+		// Pilot saw no variance at all: fall back to proportional
+		// allocation so the budget is still spent.
+		copy(weights, pops)
+	}
+
+	quotas := apportion(left, weights, caps)
+	for i, k := range s.order {
+		st := s.strata[k]
+		st.quota = quotas[i]
+		st.target = st.sampled() + st.inFlight + quotas[i]
+		st.gap = 1
+		if s.popTC != nil && quotas[i] > 0 {
+			if remain := int(pops[i]) - st.started; remain > 0 {
+				if g := remain / (quotas[i] + 1); g > 1 {
+					st.gap = g
+				}
+			}
+		}
+		st.sinceGrant = 0
+	}
+}
+
+// estimatePop estimates the stratum's population N̂_h: the exact
+// (type, class) population apportioned by observed band shares when a
+// prescan is available, observed starts otherwise.
+func (s *Stratified) estimatePop(st *stratum) float64 {
+	if s.popTC == nil {
+		return float64(st.started)
+	}
+	tc := tcKey{st.key.Type, st.key.Class}
+	total := s.popTC[tc]
+	if total == 0 {
+		return float64(st.started)
+	}
+	if !s.cfg.Bands {
+		return float64(total)
+	}
+	startedTC := 0
+	for _, k := range s.order {
+		if k.Type == tc.typ && k.Class == tc.class {
+			startedTC += s.strata[k].started
+		}
+	}
+	if startedTC == 0 {
+		return float64(total)
+	}
+	return float64(total) * float64(st.started) / float64(startedTC)
+}
+
+// StratumStat summarises one stratum for reports and tests.
+type StratumStat struct {
+	Key Key
+	// Population and Sampled count finished instances and valid
+	// detailed observations.
+	Population, Sampled int
+	// Quota is the Neyman grant beyond the pilot.
+	Quota int
+	// Instructions is the stratum's exact dynamic instruction total.
+	Instructions float64
+	// Rate is the sampled cycles-per-instruction rate; ResidStd is the
+	// residual standard deviation around it (what Neyman allocation
+	// weighs).
+	Rate, ResidStd float64
+}
+
+// Strata returns per-stratum summaries in first-seen order.
+func (s *Stratified) Strata() []StratumStat {
+	out := make([]StratumStat, 0, len(s.order))
+	for _, k := range s.order {
+		st := s.strata[k]
+		n, sumD, sumX, se2 := st.rateMoments(1)
+		rate := 0.0
+		if sumX > 0 {
+			rate = sumD / sumX
+		}
+		out = append(out, StratumStat{
+			Key:          k,
+			Population:   st.arrived,
+			Sampled:      n,
+			Quota:        st.quota,
+			Instructions: st.instrTotal,
+			Rate:         rate,
+			ResidStd:     math.Sqrt(se2),
+		})
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package strata
+
+import (
+	"math"
+	"testing"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+func inst(id int, typ trace.TypeID, instr int64) *trace.Instance {
+	return &trace.Instance{
+		ID: int32(id), Type: typ, Seed: uint64(id + 1),
+		Segments: []trace.Segment{{N: instr, DepDist: 4}},
+	}
+}
+
+// start feeds one instance start through the policy and returns the grant.
+func start(s *Stratified, in *trace.Instance, running int) bool {
+	return s.WantDetailed(sim.StartInfo{Thread: 0, Instance: in, Running: running})
+}
+
+// finish observes one instance finish with the given duration and kind.
+func finish(s *Stratified, in *trace.Instance, dur float64, kind core.SampleKind) {
+	mode := sim.ModeDetailed
+	if kind == core.KindFast {
+		mode = sim.ModeFast
+	}
+	ipc := float64(in.Instructions()) / dur
+	s.Observe(sim.FinishInfo{Thread: 0, Instance: in, Start: 0, End: dur, Mode: mode, IPC: ipc}, kind)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(100)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{},
+		{Budget: 0, Pilot: 1, PilotCutoff: 1, StaleAfter: 1, Z: 1.96},
+		{Budget: 1, Pilot: 0, PilotCutoff: 1, StaleAfter: 1, Z: 1.96},
+		{Budget: 1, Pilot: 1, PilotCutoff: 0, StaleAfter: 1, Z: 1.96},
+		{Budget: 1, Pilot: 1, PilotCutoff: 1, StaleAfter: 0, Z: 1.96},
+		{Budget: 1, Pilot: 1, PilotCutoff: 1, StaleAfter: 1, Z: 0},
+		{Budget: 1, Pilot: 1, PilotCutoff: 1, StaleAfter: 1, Z: 1.96, MinRelErr: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestPilotForcesFirstInstances(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Pilot = 2
+	s := MustNew(cfg)
+	for i := 0; i < 2; i++ {
+		in := inst(i, 0, 1000)
+		if !start(s, in, 1) {
+			t.Fatalf("pilot instance %d not forced", i)
+		}
+		finish(s, in, 500, core.KindDirected)
+	}
+	// Pilot full: next instance of the same stratum is not forced.
+	in := inst(2, 0, 1000)
+	if start(s, in, 1) {
+		t.Error("post-pilot instance forced before allocation")
+	}
+	finish(s, in, 500, core.KindFast)
+	// A new stratum (different type) still gets its pilot.
+	in = inst(3, 1, 1000)
+	if !start(s, in, 1) {
+		t.Error("new stratum's pilot not forced")
+	}
+	finish(s, in, 500, core.KindDirected)
+}
+
+func TestBudgetExhaustionStopsGrants(t *testing.T) {
+	cfg := DefaultConfig(2) // budget smaller than one stratum's pilot
+	cfg.Pilot = 5
+	s := MustNew(cfg)
+	granted := 0
+	for i := 0; i < 8; i++ {
+		in := inst(i, 0, 1000)
+		g := start(s, in, 1)
+		if g {
+			granted++
+			finish(s, in, 400, core.KindDirected)
+		} else {
+			finish(s, in, 400, core.KindFast)
+		}
+	}
+	if granted != 2 {
+		t.Errorf("granted %d directed samples on budget 2", granted)
+	}
+}
+
+func TestAllocationFavorsHighVarianceStratum(t *testing.T) {
+	cfg := DefaultConfig(40)
+	cfg.Pilot = 3
+	cfg.PilotCutoff = 4
+	cfg.Bands = false
+	s := MustNew(cfg)
+	// Two strata with equal populations: type 0 has constant durations,
+	// type 1 noisy ones. Feed pilots, then spin starts until allocation.
+	id := 0
+	noisy := []float64{200, 900, 1600}
+	for i := 0; i < 3; i++ {
+		a := inst(id, 0, 1000)
+		id++
+		if !start(s, a, 1) {
+			t.Fatal("pilot not granted")
+		}
+		finish(s, a, 500, core.KindValid)
+		b := inst(id, 1, 1000)
+		id++
+		if !start(s, b, 1) {
+			t.Fatal("pilot not granted")
+		}
+		finish(s, b, noisy[i], core.KindValid)
+	}
+	// Alternate fast arrivals until the pilot cut-off fires allocation.
+	for i := 0; i < 8; i++ {
+		typ := trace.TypeID(i % 2)
+		in := inst(id, typ, 1000)
+		id++
+		if start(s, in, 1) {
+			finish(s, in, 500, core.KindDirected)
+		} else {
+			finish(s, in, 500, core.KindFast)
+		}
+	}
+	if !s.allocated {
+		t.Fatal("allocation never fired")
+	}
+	var quiet, loud int
+	for _, st := range s.Strata() {
+		switch st.Key.Type {
+		case 0:
+			quiet = st.Quota
+		case 1:
+			loud = st.Quota
+		}
+	}
+	if loud <= quiet {
+		t.Errorf("Neyman allocation gave noisy stratum %d <= quiet stratum %d", loud, quiet)
+	}
+}
+
+func TestConfidenceHandComputed(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Pilot = 4
+	cfg.MinRelErr = 0 // pure statistical interval for the hand check
+	s := MustNew(cfg)
+	// One stratum: 4 sampled instances (valid), 6 fast ones. All sizes in
+	// one power-of-four class.
+	durs := []float64{500, 520, 480, 500}
+	instr := []int64{1000, 1100, 950, 1000}
+	var sumD, sumX, totalX float64
+	for i := 0; i < 10; i++ {
+		sz := int64(1000)
+		if i < 4 {
+			sz = instr[i]
+		}
+		in := inst(i, 0, sz)
+		totalX += float64(sz)
+		if i < 4 {
+			if !start(s, in, 1) {
+				t.Fatal("sample not granted")
+			}
+			finish(s, in, durs[i], core.KindValid)
+			sumD += durs[i]
+			sumX += float64(sz)
+		} else {
+			start(s, in, 1)
+			finish(s, in, 490, core.KindFast)
+		}
+	}
+	c := s.Confidence()
+	rate := sumD / sumX
+	wantEst := rate * totalX
+	if math.Abs(c.Estimate-wantEst) > 1e-9*wantEst {
+		t.Errorf("estimate %.6f, want %.6f", c.Estimate, wantEst)
+	}
+	var resid float64
+	for i := 0; i < 4; i++ {
+		e := durs[i] - rate*float64(instr[i])
+		resid += e * e
+	}
+	se2 := resid / 3
+	wantVar := 10.0 * 6.0 * se2 / 4.0
+	if math.Abs(c.StdErr-math.Sqrt(wantVar)) > 1e-9*c.StdErr {
+		t.Errorf("stderr %.6f, want %.6f", c.StdErr, math.Sqrt(wantVar))
+	}
+	if math.Abs((c.Hi-c.Lo)/2-1.96*c.StdErr) > 1e-9*c.StdErr {
+		t.Errorf("interval [%f, %f] not ±1.96·stderr around %f", c.Lo, c.Hi, c.Estimate)
+	}
+	if c.Population != 10 || c.Sampled != 4 || c.Strata != 1 || c.Unsampled != 0 {
+		t.Errorf("tallies %+v", c)
+	}
+}
+
+func TestConfidenceFullySampledIsExact(t *testing.T) {
+	cfg := DefaultConfig(100)
+	s := MustNew(cfg)
+	total := 0.0
+	for i := 0; i < 6; i++ {
+		in := inst(i, 0, 1000)
+		start(s, in, 1)
+		d := 400 + float64(i)*20
+		finish(s, in, d, core.KindValid)
+		total += d
+	}
+	c := s.Confidence()
+	if math.Abs(c.Estimate-total) > 1e-9*total {
+		t.Errorf("fully sampled estimate %.3f, want exact %.3f", c.Estimate, total)
+	}
+	if c.StdErr != 0 {
+		t.Errorf("fully sampled stderr %v, want 0", c.StdErr)
+	}
+	if !c.Covers(total) {
+		t.Errorf("interval [%f, %f] misses its own total %f", c.Lo, c.Hi, total)
+	}
+	if c.RelWidth() <= 0 {
+		t.Error("MinRelErr floor not applied")
+	}
+}
+
+func TestCalibrationBracketsInterval(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.MinRelErr = 0
+	s := MustNew(cfg)
+	// Phase samples at rate 0.6, directed at rate 0.5 in the same
+	// stratum: calibration r = 1.2, so the interval must span the
+	// uncalibrated and calibrated estimates.
+	id := 0
+	for i := 0; i < 3; i++ {
+		in := inst(id, 0, 1000)
+		id++
+		start(s, in, 1)
+		finish(s, in, 600, core.KindValid)
+	}
+	for i := 0; i < 3; i++ {
+		in := inst(id, 0, 1000)
+		id++
+		start(s, in, 1)
+		finish(s, in, 500, core.KindDirected)
+	}
+	for i := 0; i < 4; i++ {
+		in := inst(id, 0, 1000)
+		id++
+		start(s, in, 1)
+		finish(s, in, 550, core.KindFast)
+	}
+	c := s.Confidence()
+	if math.Abs(c.Calibration-1.2) > 1e-9 {
+		t.Fatalf("calibration %.6f, want 1.2", c.Calibration)
+	}
+	// Low anchor: uncalibrated rate (600*3+500*3)/6000 = 0.55 → 5500.
+	// High anchor: calibrated rate (1800+1.2*1500)/6000 = 0.6 → 6000.
+	if c.Lo > 5500 || c.Hi < 6000 {
+		t.Errorf("interval [%f, %f] does not bracket [5500, 6000]", c.Lo, c.Hi)
+	}
+	if c.Estimate < 5500 || c.Estimate > 6000 {
+		t.Errorf("estimate %f outside anchors", c.Estimate)
+	}
+}
+
+func TestResetRunClearsState(t *testing.T) {
+	s := MustNew(DefaultConfig(10))
+	in := inst(0, 0, 1000)
+	start(s, in, 1)
+	finish(s, in, 500, core.KindDirected)
+	if len(s.strata) == 0 || s.detTotal == 0 {
+		t.Fatal("setup did not accumulate state")
+	}
+	s.ResetRun()
+	if len(s.strata) != 0 || len(s.pend) != 0 || s.detTotal != 0 || s.allocated || s.started != 0 {
+		t.Errorf("ResetRun left state behind: %+v", s)
+	}
+	// core.New resets stateful policies automatically.
+	start(s, in, 1)
+	finish(s, in, 500, core.KindDirected)
+	if _, err := core.New(core.DefaultParams(), s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.strata) != 0 {
+		t.Error("core.New did not reset the policy")
+	}
+}
+
+// TestEndToEndBimodalCoverage runs the policy through the real simulator
+// on a bimodal single-type workload (the §V-B scenario) and checks the
+// interval covers the detailed reference's total task cycles.
+func TestEndToEndBimodalCoverage(t *testing.T) {
+	prog := &trace.Program{Name: "bimodal", Types: []trace.TypeInfo{{Name: "chunk"}}}
+	for i := 0; i < 256; i++ {
+		instr, dep := int64(900), 1.2
+		if i%2 == 1 {
+			instr, dep = 24000, 8
+		}
+		prog.Instances = append(prog.Instances, trace.Instance{
+			ID: int32(i), Type: 0, Seed: uint64(i + 1),
+			Segments: []trace.Segment{{
+				N: instr, MemRatio: 0.08, Pat: trace.PatStride, Stride: 8,
+				Base: uint64(1)<<32 + uint64(i)<<20, Footprint: 16 << 10, DepDist: dep,
+			}},
+		})
+	}
+	cfg := sim.HighPerfConfig(4)
+	det, err := sim.Simulate(cfg, prog, sim.DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := MustNew(DefaultConfig(60))
+	pol.Prescan(prog)
+	params := core.DefaultParams()
+	params.SizeClasses = true
+	sampler, err := core.New(params, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(cfg, prog, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampler.Stats().DirectedStarted == 0 {
+		t.Error("no directed samples on a budgeted run")
+	}
+	if res.DetailFraction() >= 1 {
+		t.Error("budgeted run simulated everything in detail")
+	}
+	c := pol.Confidence()
+	if trueTot := det.TotalTaskCycles(); !c.Covers(trueTot) {
+		t.Errorf("true total %.4g outside [%.4g, %.4g]", trueTot, c.Lo, c.Hi)
+	}
+	if c.Population != 256 {
+		t.Errorf("population %d, want 256", c.Population)
+	}
+}

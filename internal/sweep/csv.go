@@ -8,7 +8,9 @@ import (
 )
 
 // csvHeader is the fixed column layout of WriteCSV, one column per Record
-// field in declaration order with sampler statistics flattened.
+// field in declaration order with sampler statistics flattened and the
+// confidence-interval columns of stratified cells at the end (empty-ish
+// zeros for other policies).
 var csvHeader = []string{
 	"key", "bench", "arch", "threads", "policy", "seed",
 	"scale", "w", "h",
@@ -16,6 +18,9 @@ var csvHeader = []string{
 	"sampled_cycles", "detailed_cycles", "sampled_wall_ms", "detailed_wall_ms",
 	"detailed_started", "fast_started", "valid_samples", "transitions",
 	"resamples", "resamples_periodic", "resamples_new_type", "resamples_parallelism",
+	"directed_started",
+	"est_total_cycles", "ci_lo", "ci_hi", "ci_rel_width", "ci_strata",
+	"ci_sampled", "detailed_task_cycles", "ci_covered",
 }
 
 // WriteCSV exports records as CSV with a fixed header, the post-processing
@@ -37,6 +42,10 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.Itoa(r.Sampler.ValidSamples), strconv.Itoa(r.Sampler.Transitions),
 			strconv.Itoa(r.Sampler.Resamples), strconv.Itoa(r.Sampler.ResamplesPeriodic),
 			strconv.Itoa(r.Sampler.ResamplesNewType), strconv.Itoa(r.Sampler.ResamplesParallelism),
+			strconv.Itoa(r.Sampler.DirectedStarted),
+			f(r.EstTotalCycles), f(r.CILo), f(r.CIHi), f(r.CIRelWidth),
+			strconv.Itoa(r.CIStrata), strconv.Itoa(r.CISampled),
+			f(r.DetailedTaskCycles), strconv.FormatBool(r.CICovered),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"taskpoint/internal/core"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Key: "cholesky|high-performance|8|lazy|42", Bench: "cholesky",
+			Arch: "high-performance", Threads: 8, Policy: "lazy", Seed: 42,
+			Scale: 0.125, W: 2, H: 4,
+			ErrPct: 1.25, SpeedupWall: 3.5, SpeedupDetail: 4.25, DetailFraction: 0.25,
+			SampledCycles: 1e6, DetailedCycles: 1.0125e6,
+			SampledWallMS: 12.5, DetailedWallMS: 44.5,
+			Sampler: core.Stats{DetailedStarted: 100, FastStarted: 900, ValidSamples: 64,
+				Transitions: 3, Resamples: 2, ResamplesPeriodic: 1, ResamplesNewType: 1,
+				DirectedStarted: 7},
+		},
+		{
+			Key: "dedup|low-power|4|stratified(200)|7", Bench: "dedup",
+			Arch: "low-power", Threads: 4, Policy: "stratified(200)", Seed: 7,
+			Scale: 0.03125, W: 2, H: 4,
+			ErrPct: 0.5, SpeedupWall: 2, SpeedupDetail: 3, DetailFraction: 0.33,
+			EstTotalCycles: 5.5e6, CILo: 5.2e6, CIHi: 5.8e6, CIRelWidth: 0.109,
+			CIStrata: 13, CISampled: 180, DetailedTaskCycles: 5.6e6, CICovered: true,
+		},
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2 records", len(rows))
+	}
+	if len(rows[0]) != len(csvHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Errorf("record %d has %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+}
+
+// col returns the named column of a parsed row.
+func col(t *testing.T, row []string, name string) string {
+	t.Helper()
+	for i, h := range csvHeader {
+		if h == name {
+			return row[i]
+		}
+	}
+	t.Fatalf("no column %q in header", name)
+	return ""
+}
+
+func TestWriteCSVConfidenceColumns(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, strat := rows[1], rows[2]
+	if got := col(t, strat, "est_total_cycles"); got != "5500000" {
+		t.Errorf("est_total_cycles = %q", got)
+	}
+	if got := col(t, strat, "ci_lo"); got != "5200000" {
+		t.Errorf("ci_lo = %q", got)
+	}
+	if got := col(t, strat, "ci_covered"); got != "true" {
+		t.Errorf("ci_covered = %q", got)
+	}
+	if got := col(t, strat, "ci_strata"); got != "13" {
+		t.Errorf("ci_strata = %q", got)
+	}
+	// Non-stratified records carry zero-valued CI columns, not garbage.
+	if got := col(t, lazy, "ci_covered"); got != "false" {
+		t.Errorf("lazy ci_covered = %q", got)
+	}
+	if got := col(t, lazy, "ci_strata"); got != "0" {
+		t.Errorf("lazy ci_strata = %q", got)
+	}
+	if got := col(t, lazy, "directed_started"); got != "7" {
+		t.Errorf("directed_started = %q", got)
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	rec := sampleRecords()[0]
+	rec.Bench = `odd,"bench` + "\nname"
+	rec.Key = rec.Bench + "|hp|1|lazy|1"
+	var b strings.Builder
+	if err := WriteCSV(&b, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("quoted output is not valid CSV: %v", err)
+	}
+	if got := col(t, rows[1], "bench"); got != rec.Bench {
+		t.Errorf("bench round-tripped as %q, want %q", got, rec.Bench)
+	}
+}
+
+func TestCSVHeaderMatchesRecordLayout(t *testing.T) {
+	// The header must stay unique and keep the resume identity first.
+	seen := map[string]bool{}
+	for _, h := range csvHeader {
+		if seen[h] {
+			t.Errorf("duplicate column %q", h)
+		}
+		seen[h] = true
+	}
+	if csvHeader[0] != "key" {
+		t.Errorf("first column %q, want key", csvHeader[0])
+	}
+}

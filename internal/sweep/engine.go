@@ -12,6 +12,7 @@ import (
 
 	"taskpoint/internal/core"
 	"taskpoint/internal/results"
+	"taskpoint/internal/stats"
 )
 
 // Record is one completed cell, as streamed to the JSONL output. It is the
@@ -50,11 +51,24 @@ type Record struct {
 	DetailedWallMS float64 `json:"detailed_wall_ms"`
 	// Sampler is the sampling controller's internal statistics.
 	Sampler core.Stats `json:"sampler"`
+	// Confidence fields, filled for stratified cells only: the
+	// estimated total task cycles with its 95% interval, the interval
+	// width relative to the estimate, stratum/sample counts, the
+	// detailed reference's true total, and whether the interval covers
+	// it — the columns a budget-vs-error campaign sweeps.
+	EstTotalCycles     float64 `json:"est_total_cycles,omitempty"`
+	CILo               float64 `json:"ci_lo,omitempty"`
+	CIHi               float64 `json:"ci_hi,omitempty"`
+	CIRelWidth         float64 `json:"ci_rel_width,omitempty"`
+	CIStrata           int     `json:"ci_strata,omitempty"`
+	CISampled          int     `json:"ci_sampled,omitempty"`
+	DetailedTaskCycles float64 `json:"detailed_task_cycles,omitempty"`
+	CICovered          bool    `json:"ci_covered,omitempty"`
 }
 
 func recordOf(cell Cell, spec Spec, row results.SampledRow) Record {
 	params := spec.Params()
-	return Record{
+	rec := Record{
 		Key:            cell.Key(),
 		Bench:          cell.Bench,
 		Arch:           string(cell.Arch),
@@ -74,6 +88,17 @@ func recordOf(cell Cell, spec Spec, row results.SampledRow) Record {
 		DetailedWallMS: float64(row.DetailedWall.Microseconds()) / 1e3,
 		Sampler:        row.Sampler,
 	}
+	if c := row.Confidence; c != nil {
+		rec.EstTotalCycles = c.Estimate
+		rec.CILo = c.Lo
+		rec.CIHi = c.Hi
+		rec.CIRelWidth = c.RelWidth()
+		rec.CIStrata = c.Strata
+		rec.CISampled = c.Sampled
+		rec.DetailedTaskCycles = row.DetailedTaskCycles
+		rec.CICovered = c.Covers(row.DetailedTaskCycles)
+	}
+	return rec
 }
 
 // Engine executes a sweep. Cells are sharded across Workers goroutines;
@@ -274,6 +299,12 @@ type Summary struct {
 	// MeanDetailFrac averages the fraction of instructions simulated in
 	// detail.
 	MeanDetailFrac float64
+	// CICells counts records carrying a confidence interval (stratified
+	// cells); MeanCIRelWidth and CICovered summarise them. Zero/empty
+	// for non-stratified groups.
+	CICells        int
+	MeanCIRelWidth float64
+	CICovered      int
 }
 
 // Summarize folds records into per-(arch, policy, threads) summaries,
@@ -304,12 +335,19 @@ func Summarize(recs []Record) []Summary {
 	out := make([]Summary, 0, len(keys))
 	for _, k := range keys {
 		group := groups[k]
-		var errsPct, wall, det, frac []float64
+		var errsPct, wall, det, frac, ciw []float64
+		ciCovered := 0
 		for _, r := range group {
 			errsPct = append(errsPct, r.ErrPct)
 			wall = append(wall, r.SpeedupWall)
 			det = append(det, r.SpeedupDetail)
 			frac = append(frac, r.DetailFraction)
+			if r.CIStrata > 0 {
+				ciw = append(ciw, r.CIRelWidth)
+				if r.CICovered {
+					ciCovered++
+				}
+			}
 		}
 		avg := results.Aggregate(errsPct, wall, det, frac)
 		out = append(out, Summary{
@@ -322,6 +360,9 @@ func Summarize(recs []Record) []Summary {
 			MeanSpeedupWall:  avg.MeanSpeedupW,
 			GeoSpeedupDetail: avg.GeoSpeedupDet,
 			MeanDetailFrac:   avg.MeanDetailFrac,
+			CICells:          len(ciw),
+			MeanCIRelWidth:   stats.Mean(ciw),
+			CICovered:        ciCovered,
 		})
 	}
 	return out
@@ -329,15 +370,23 @@ func Summarize(recs []Record) []Summary {
 
 // RenderSummary renders summaries as the aligned text table the sweep
 // command prints, mirroring the per-thread-count averages of Figures 7-10.
+// Stratified groups additionally report the mean relative CI width and how
+// many of their intervals covered the detailed reference.
 func RenderSummary(title string, sums []Summary) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-18s %-15s %8s %6s %10s %10s %9s %9s\n",
-		"architecture", "policy", "threads", "cells", "mean-err%", "max-err%", "x-detail", "%detail")
+	fmt.Fprintf(&b, "%-18s %-15s %8s %6s %10s %10s %9s %9s %9s %8s\n",
+		"architecture", "policy", "threads", "cells", "mean-err%", "max-err%", "x-detail", "%detail", "ci-width%", "covered")
 	for _, s := range sums {
-		fmt.Fprintf(&b, "%-18s %-15s %8d %6d %10.2f %10.2f %9.1f %9.1f\n",
+		ciWidth, covered := "-", "-"
+		if s.CICells > 0 {
+			ciWidth = fmt.Sprintf("%.2f", 100*s.MeanCIRelWidth)
+			covered = fmt.Sprintf("%d/%d", s.CICovered, s.CICells)
+		}
+		fmt.Fprintf(&b, "%-18s %-15s %8d %6d %10.2f %10.2f %9.1f %9.1f %9s %8s\n",
 			s.Arch, s.Policy, s.Threads, s.Cells,
-			s.MeanErrPct, s.MaxErrPct, s.GeoSpeedupDetail, 100*s.MeanDetailFrac)
+			s.MeanErrPct, s.MaxErrPct, s.GeoSpeedupDetail, 100*s.MeanDetailFrac,
+			ciWidth, covered)
 	}
 	return b.String()
 }

@@ -290,3 +290,75 @@ func TestResumeIgnoresStaleConfig(t *testing.T) {
 		t.Errorf("re-run record kept stale scale %v", recs2[0].Scale)
 	}
 }
+
+// TestSweepStratifiedCells runs a campaign whose policy dimension
+// includes stratified sampling and checks the confidence columns land in
+// the records and the summary.
+func TestSweepStratifiedCells(t *testing.T) {
+	spec := Spec{
+		Name:       "strat",
+		Scale:      1.0 / 64,
+		Benchmarks: []string{"cholesky"},
+		Archs:      []string{"hp"},
+		Threads:    []int{4},
+		Policies:   []string{"lazy", "stratified(120)"},
+		Seeds:      []uint64{7},
+	}
+	eng, err := New(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	recs, err := eng.Run(&out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	var lazy, strat *Record
+	for i := range recs {
+		switch recs[i].Policy {
+		case "lazy":
+			lazy = &recs[i]
+		case "stratified(120)":
+			strat = &recs[i]
+		}
+	}
+	if lazy == nil || strat == nil {
+		t.Fatalf("policies missing from records: %+v", recs)
+	}
+	if strat.CIStrata == 0 || strat.CIHi <= strat.CILo || strat.EstTotalCycles <= 0 {
+		t.Errorf("stratified record lacks CI fields: %+v", strat)
+	}
+	if strat.DetailedTaskCycles <= 0 {
+		t.Errorf("stratified record lacks the detailed task-cycle reference: %+v", strat)
+	}
+	if lazy.CIStrata != 0 || lazy.EstTotalCycles != 0 {
+		t.Errorf("lazy record unexpectedly carries CI fields: %+v", lazy)
+	}
+	sums := Summarize(recs)
+	var found bool
+	for _, s := range sums {
+		if s.Policy == "stratified(120)" {
+			found = true
+			if s.CICells != 1 || s.MeanCIRelWidth <= 0 {
+				t.Errorf("stratified summary lacks CI aggregates: %+v", s)
+			}
+		} else if s.CICells != 0 {
+			t.Errorf("non-stratified summary carries CI aggregates: %+v", s)
+		}
+	}
+	if !found {
+		t.Error("no stratified summary group")
+	}
+	// The JSONL stream must resume stratified cells like any other.
+	completed, err := LoadCompleted(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, total := eng.Resumable(completed)
+	if skip != total {
+		t.Errorf("resume skips %d of %d cells", skip, total)
+	}
+}

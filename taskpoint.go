@@ -48,6 +48,7 @@ import (
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
+	"taskpoint/internal/strata"
 	"taskpoint/internal/sweep"
 	"taskpoint/internal/trace"
 )
@@ -98,6 +99,15 @@ type (
 	SweepRecord = sweep.Record
 	// SweepSummary aggregates one (arch, policy, threads) cell group.
 	SweepSummary = sweep.Summary
+	// Confidence is the stratified estimate of total task cycles with
+	// its 95% confidence interval.
+	Confidence = strata.Confidence
+	// StratifiedConfig parameterises the two-phase stratified policy
+	// (budget, pilot size, banding, confidence level).
+	StratifiedConfig = strata.Config
+	// Stratified is the two-phase stratified sampling policy, as built
+	// by StratifiedPolicy or ParsePolicy("stratified(B)").
+	Stratified = strata.Stratified
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -135,6 +145,20 @@ func LazyPolicy() Policy { return core.Lazy{} }
 // PeriodicPolicy returns periodic sampling with period p: the simulation is
 // resampled whenever a thread retires p instances in fast-forward mode.
 func PeriodicPolicy(p int) Policy { return core.Periodic{P: p} }
+
+// StratifiedPolicy returns two-phase stratified sampling with a detailed
+// budget of b task instances: a pilot phase measures every stratum
+// (task type × size class × concurrency band), the remaining budget is
+// Neyman-allocated by stratum variance, and the run reports a confidence
+// interval. The policy is stateful: pass a fresh (or finished) value per
+// run. It panics on b < 1; use ParsePolicy("stratified(B)") for error
+// handling.
+func StratifiedPolicy(b int) Policy { return strata.MustNew(strata.DefaultConfig(b)) }
+
+// ParsePolicy builds a policy from its textual name — "lazy",
+// "periodic(250)", "stratified(400)" or the flag-friendly colon forms —
+// the inverse of Policy.Name.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 
 // Benchmarks returns the names of the 19 Table I benchmarks in paper order.
 func Benchmarks() []string { return bench.Names() }
@@ -179,6 +203,38 @@ func SimulateSampled(cfg Config, prog *Program, params Params, policy Policy) (*
 		return nil, SamplerStats{}, err
 	}
 	return res, sampler.Stats(), nil
+}
+
+// SimulateStratified runs prog under two-phase stratified sampling with a
+// detailed budget of b task instances and returns, besides the result and
+// sampler statistics, the stratified estimate of the program's total task
+// cycles with its 95% confidence interval. Size-class histories are
+// implied, and stratum populations are prescanned from prog so the budget
+// allocation uses exact sizes. Compare Confidence against
+// Result.TotalTaskCycles() of a detailed reference to check coverage.
+func SimulateStratified(cfg Config, prog *Program, params Params, b int) (*Result, SamplerStats, Confidence, error) {
+	pol, err := strata.New(strata.DefaultConfig(b))
+	if err != nil {
+		return nil, SamplerStats{}, Confidence{}, err
+	}
+	return SimulateStratifiedWith(cfg, prog, params, pol)
+}
+
+// SimulateStratifiedWith is SimulateStratified for an existing stratified
+// policy value — e.g. one parsed from "stratified(B)" — preserving its
+// configuration (budget, pilot size, banding, confidence level).
+func SimulateStratifiedWith(cfg Config, prog *Program, params Params, pol *Stratified) (*Result, SamplerStats, Confidence, error) {
+	pol.Prescan(prog)
+	params.SizeClasses = true
+	sampler, err := core.New(params, pol)
+	if err != nil {
+		return nil, SamplerStats{}, Confidence{}, err
+	}
+	res, err := sim.Simulate(cfg, prog, sampler)
+	if err != nil {
+		return nil, SamplerStats{}, Confidence{}, err
+	}
+	return res, sampler.Stats(), pol.Confidence(), nil
 }
 
 // SimulateWith runs prog under a custom Controller, for users implementing
