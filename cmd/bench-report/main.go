@@ -1,5 +1,7 @@
 // Command bench-report runs the repository's benchmark harness
-// (bench_test.go, ablation_test.go) through `go test -bench` and emits a
+// (bench_test.go, ablation_test.go) through `go test -bench`, runs a
+// small fixed-seed generated-scenario corpus for accuracy headline
+// metrics (worst-case error, CI coverage rate), and emits a
 // machine-readable BENCH_<date>.json, so the performance and accuracy
 // trajectory of the reproduction is recorded per change instead of
 // scrolling away in CI logs.
@@ -8,6 +10,7 @@
 //
 //	bench-report                       # run every benchmark once, write BENCH_<date>.json
 //	bench-report -bench 'Fig9|Ablation' -benchtime 2x
+//	bench-report -corpus 25            # size the corpus section (0 skips it)
 //	go test -run '^$' -bench . . | bench-report -in -   # parse an existing run
 package main
 
@@ -24,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"taskpoint"
 )
 
 // Benchmark is one parsed benchmark result.
@@ -52,6 +57,36 @@ type Report struct {
 	Command string `json:"command,omitempty"`
 	// Benchmarks are the parsed results in output order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Corpus summarises a fixed-seed generated-scenario accuracy corpus
+	// (nil when -corpus 0 or in -in parse mode).
+	Corpus *CorpusReport `json:"corpus,omitempty"`
+}
+
+// CorpusReport is the corpus section of the report: the campaign shape
+// and the per-policy accuracy summaries (mean and worst-case error,
+// speedup, CI coverage rate).
+type CorpusReport struct {
+	Scenarios int                             `json:"scenarios"`
+	Seed      uint64                          `json:"seed"`
+	Policies  []taskpoint.CorpusPolicySummary `json:"policies"`
+}
+
+// runCorpus runs the fixed-seed corpus and folds it into the report
+// section.
+func runCorpus(n, workers int) (*CorpusReport, error) {
+	// Normalized fills the defaulted fields, so the report records the
+	// seed the corpus actually ran under.
+	spec := taskpoint.DefaultCorpus(n).Normalized()
+	fmt.Fprintf(os.Stderr, "bench-report: running %d-scenario accuracy corpus\n", n)
+	recs, err := taskpoint.RunCorpus(spec, workers, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &CorpusReport{
+		Scenarios: spec.Scenarios,
+		Seed:      spec.Seed,
+		Policies:  taskpoint.SummarizeCorpus(recs),
+	}, nil
 }
 
 func main() {
@@ -62,6 +97,8 @@ func main() {
 		timeout   = flag.String("timeout", "30m", "go test -timeout value")
 		outPath   = flag.String("out", "", "output path; default BENCH_<date>.json")
 		inPath    = flag.String("in", "", "parse an existing go test -bench output file instead of running (\"-\" = stdin)")
+		corpusN   = flag.Int("corpus", 10, "scenarios in the fixed-seed accuracy corpus section (0 skips it)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent corpus simulations")
 	)
 	flag.Parse()
 
@@ -97,6 +134,15 @@ func main() {
 	rep.Benchmarks = ParseBenchOutput(string(text))
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results found"))
+	}
+
+	// The corpus section runs in-process; parse-only invocations (-in)
+	// summarise a past run and get no new corpus numbers.
+	if *corpusN > 0 && *inPath == "" {
+		rep.Corpus, err = runCorpus(*corpusN, *workers)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	path := *outPath

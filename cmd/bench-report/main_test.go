@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 const sampleOutput = `goos: linux
 goarch: amd64
@@ -39,5 +42,44 @@ func TestParseBenchOutput(t *testing.T) {
 func TestParseBenchOutputEmpty(t *testing.T) {
 	if bs := ParseBenchOutput("PASS\nok \ttaskpoint\t0.1s\n"); len(bs) != 0 {
 		t.Errorf("parsed %d benchmarks from an empty run", len(bs))
+	}
+}
+
+// TestRunCorpusSection: the corpus section carries per-policy accuracy
+// summaries — worst-case error and CI coverage — and marshals into the
+// report JSON.
+func TestRunCorpusSection(t *testing.T) {
+	cr, err := runCorpus(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Scenarios != 3 || cr.Seed != 42 || len(cr.Policies) != 3 {
+		t.Fatalf("corpus section %+v", cr)
+	}
+	sawCI := false
+	for _, p := range cr.Policies {
+		if p.Scenarios != 3 {
+			t.Errorf("%s summarises %d scenarios, want 3", p.Policy, p.Scenarios)
+		}
+		if p.WorstErrPct < p.MeanErrPct {
+			t.Errorf("%s worst error %v below mean %v", p.Policy, p.WorstErrPct, p.MeanErrPct)
+		}
+		if p.CICells > 0 {
+			sawCI = true
+		}
+	}
+	if !sawCI {
+		t.Error("no policy reported confidence intervals")
+	}
+	data, err := json.Marshal(Report{Corpus: cr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Corpus == nil || len(back.Corpus.Policies) != 3 {
+		t.Errorf("corpus section lost in JSON round trip: %s", data)
 	}
 }

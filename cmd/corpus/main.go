@@ -1,0 +1,159 @@
+// Command corpus runs a generated accuracy-stress campaign: it draws N
+// scenarios from the property-driven generator (internal/gen) across the
+// family × knob grid, runs every sampling policy against the detailed
+// reference in parallel across a worker pool, and reports per-policy
+// error, CI coverage and speedup. Records stream as JSONL in the sweep
+// engine's shape, so corpora are resumable and post-processable with the
+// same tooling as design-space sweeps.
+//
+// Usage:
+//
+//	corpus -n 50                          # 50 scenarios, default grid
+//	corpus -n 100 -families forkjoin,random -policies lazy,stratified:400
+//	corpus -n 50 -out corpus.jsonl -csv corpus.csv   # resume + CSV export
+//	corpus -list                          # print the drawn scenarios and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"taskpoint/internal/gen/corpus"
+	"taskpoint/internal/sweep"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 50, "number of generated scenarios")
+		families = flag.String("families", "", "comma-separated family subset (default: all)")
+		arch     = flag.String("arch", "", "architecture (hp, lp, native; default high-performance)")
+		threads  = flag.Int("threads", 0, "simulated thread count (default 4)")
+		policies = flag.String("policies", "", "comma-separated policies (default lazy,periodic(250),stratified(256))")
+		seed     = flag.Uint64("seed", 0, "master seed for knob draws and workload generation (default 42)")
+		minTasks = flag.Int("min-tasks", 0, "minimum instances per scenario (default 192)")
+		maxTasks = flag.Int("max-tasks", 0, "maximum instances per scenario (default 640)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
+		outPath  = flag.String("out", "", "JSONL output; existing cells in it are skipped (resume)")
+		csvPath  = flag.String("csv", "", "also export the campaign as CSV to this path")
+		list     = flag.Bool("list", false, "print the drawn scenario specs and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	spec := corpus.Spec{
+		Scenarios: *n,
+		Arch:      *arch,
+		Threads:   *threads,
+		Seed:      *seed,
+		MinTasks:  *minTasks,
+		MaxTasks:  *maxTasks,
+	}
+	if *families != "" {
+		spec.Families = splitCSV(*families)
+	}
+	if *policies != "" {
+		spec.Policies = splitCSV(*policies)
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *list {
+		scs, err := spec.Draw()
+		if err != nil {
+			fatal(err)
+		}
+		for _, sc := range scs {
+			fmt.Println(sc.Spec())
+		}
+		return
+	}
+
+	var completed map[string]sweep.Record
+	var out io.Writer
+	if *outPath != "" {
+		if f, err := os.Open(*outPath); err == nil {
+			completed, err = sweep.LoadCompleted(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("resuming from %s: %w", *outPath, err))
+			}
+		}
+		// Drop a partial trailing record (interrupted campaign) before
+		// appending, so new records never glue onto it.
+		if err := sweep.DropPartialTail(*outPath); err != nil {
+			fatal(err)
+		}
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var onRecord func(done, total int, rec sweep.Record)
+	if !*quiet {
+		onRecord = func(done, total int, rec sweep.Record) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-60s err %6.2f%%  %5.1fx detail\n",
+				done, total, rec.Bench+" "+rec.Policy, rec.ErrPct, rec.SpeedupDetail)
+		}
+	}
+
+	start := time.Now()
+	recs, runErr := corpus.Run(spec, *workers, out, completed, onRecord)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "corpus: some cells failed:\n%v\n", runErr)
+	}
+	fmt.Fprintf(os.Stderr, "corpus: %d records (%d scenarios × policies) in %v, %d workers\n\n",
+		len(recs), *n, time.Since(start).Round(time.Millisecond), *workers)
+
+	fmt.Print(corpus.RenderSummary(
+		fmt.Sprintf("corpus %q — per-policy accuracy over %d generated scenarios", specName(spec), *n),
+		corpus.Summarize(recs)))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sweep.WriteCSV(f, recs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+func specName(s corpus.Spec) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "corpus"
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpus:", err)
+	os.Exit(1)
+}

@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -72,7 +71,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := dropPartialTail(*outPath); err != nil {
+	if err := sweep.DropPartialTail(*outPath); err != nil {
 		fatal(err)
 	}
 	out, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -185,47 +184,6 @@ func loadResume(path string) (map[string]sweep.Record, error) {
 		return nil, fmt.Errorf("resuming from %s: %w", path, err)
 	}
 	return completed, nil
-}
-
-// dropPartialTail truncates an output file that does not end in a newline
-// back to its last complete line: the partial record of an interrupted
-// campaign is ignored by LoadCompleted, and appending to it would glue the
-// next record onto the same line, so its cell would never register as
-// completed on later resumes.
-func dropPartialTail(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil || size == 0 {
-		return err
-	}
-	buf := make([]byte, 64*1024)
-	end := size
-	for end > 0 {
-		n := int64(len(buf))
-		if n > end {
-			n = end
-		}
-		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
-			return err
-		}
-		if end == size && buf[n-1] == '\n' {
-			return nil // file ends cleanly
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				return f.Truncate(end - n + i + 1)
-			}
-		}
-		end -= n
-	}
-	return f.Truncate(0) // a single partial line
 }
 
 func exportCSV(path string, recs []sweep.Record) error {

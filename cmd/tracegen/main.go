@@ -1,14 +1,20 @@
 // Command tracegen generates benchmark traces as binary trace files and
 // inspects existing ones, playing the role of the paper's tracing
-// infrastructure for the simulator's trace-driven operation.
+// infrastructure for the simulator's trace-driven operation. Besides the
+// Table I registry it accepts generated-scenario specs
+// ("gen:family(knob=value,...)"), so synthetic stress workloads can be
+// frozen into trace files too.
 //
 // Usage:
 //
 //	tracegen -bench dedup -scale 0.125 -o dedup.tpt
+//	tracegen -bench 'gen:pipeline(depth=6,size=heavytail)' -o pipe.tpt
 //	tracegen -info dedup.tpt
+//	tracegen -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,15 +25,19 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark to generate")
+		benchName = flag.String("bench", "", "benchmark name or gen: scenario spec to generate")
 		scale     = flag.Float64("scale", 1.0/8, "benchmark scale (1.0 = Table I)")
 		seed      = flag.Uint64("seed", 42, "generation seed")
 		out       = flag.String("o", "", "output trace file")
 		info      = flag.String("info", "", "print a summary of an existing trace file")
+		list      = flag.Bool("list", false, "list all benchmark names and scenario families")
 	)
 	flag.Parse()
 
 	switch {
+	case *list:
+		printNames(os.Stdout)
+
 	case *info != "":
 		f, err := os.Open(*info)
 		if err != nil {
@@ -48,6 +58,14 @@ func main() {
 
 	case *benchName != "" && *out != "":
 		prog, err := taskpoint.LookupBenchmark(*benchName, *scale, *seed)
+		if errors.Is(err, taskpoint.ErrUnknownName) {
+			// An unknown name is the one error a listing fixes: print
+			// every valid spelling instead of the bare lookup failure.
+			// Malformed knobs of a known family keep their own message.
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n\nvalid -bench values:\n", err)
+			printNames(os.Stderr)
+			os.Exit(1)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -66,9 +84,24 @@ func main() {
 		fmt.Printf("wrote %s: %d instances, %d bytes\n", *out, prog.NumTasks(), st.Size())
 
 	default:
-		fmt.Fprintln(os.Stderr, "usage: tracegen -bench NAME -o FILE | tracegen -info FILE")
+		fmt.Fprintln(os.Stderr, "usage: tracegen -bench NAME -o FILE | tracegen -info FILE | tracegen -list")
 		os.Exit(2)
 	}
+}
+
+// printNames lists the Table I registry and the generator's scenario
+// families with their spec grammar.
+func printNames(w *os.File) {
+	fmt.Fprintln(w, "Table I benchmarks:")
+	for _, n := range taskpoint.Benchmarks() {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "\nGenerated scenario families (spec: \"gen:FAMILY(knob=value,...)\"):")
+	for _, f := range taskpoint.ScenarioFamilies() {
+		fmt.Fprintf(w, "  gen:%-10s %s\n", f.Name, f.Blurb)
+	}
+	fmt.Fprintln(w, "\nKnobs: tasks, width, depth, types, size (loguniform|fixed|bimodal|heavytail),")
+	fmt.Fprintln(w, "       mean, cv, phases, inputdep — e.g. gen:forkjoin(width=16,size=heavytail,inputdep=0.8)")
 }
 
 func fatal(err error) {

@@ -131,3 +131,53 @@ func ExampleNewSweep() {
 	// low-power/lazy: error below 10%: true
 	// low-power/periodic(250): error below 10%: true
 }
+
+// Generate a synthetic scenario from the property-driven generator: a
+// DAG pattern family plus orthogonal knobs (size distribution, phases,
+// input dependence), named by a spec string that works everywhere a
+// benchmark name does.
+func ExampleParseScenario() {
+	sc, err := taskpoint.ParseScenario("gen:pipeline(tasks=128,depth=4,size=heavytail,inputdep=0.8)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prog, err := taskpoint.LookupBenchmark(sc.Spec(), 1, 42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	again, _ := taskpoint.LookupBenchmark(sc.Spec(), 1, 42)
+
+	fmt.Println("spec:", sc.Spec())
+	fmt.Println("task types:", prog.NumTypes())
+	fmt.Println("instances:", prog.NumTasks())
+	fmt.Println("deterministic:", prog.TotalInstructions() == again.TotalInstructions())
+	// Output:
+	// spec: gen:pipeline(tasks=128,depth=4,size=heavytail,inputdep=0.8)
+	// task types: 4
+	// instances: 128
+	// deterministic: true
+}
+
+// Run a small generated accuracy-stress corpus: scenarios drawn across
+// the family x knob grid, every policy vs the detailed reference, with
+// per-policy error and CI-coverage summaries.
+func ExampleRunCorpus() {
+	spec := taskpoint.DefaultCorpus(3)
+	recs, err := taskpoint.RunCorpus(spec, 2, nil, nil, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sums := taskpoint.SummarizeCorpus(recs)
+	fmt.Println("records:", len(recs))
+	for _, s := range sums {
+		fmt.Printf("%s: %d scenarios, ci cells %d\n", s.Policy, s.Scenarios, s.CICells)
+	}
+	// Output:
+	// records: 9
+	// lazy: 3 scenarios, ci cells 0
+	// periodic(64): 3 scenarios, ci cells 0
+	// stratified(256): 3 scenarios, ci cells 3
+}

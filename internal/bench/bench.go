@@ -12,13 +12,22 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strings"
 
 	"taskpoint/internal/trace"
 )
+
+// ErrUnknownName marks lookup failures caused by a name that matches no
+// registry benchmark, resolver scheme or resolver family — the one error
+// class a "valid names" listing fixes. Resolvers wrap it for their own
+// unknown-name cases; malformed-argument errors deliberately do not
+// carry it.
+var ErrUnknownName = errors.New("unknown benchmark name")
 
 // Spec describes one benchmark of Table I.
 type Spec struct {
@@ -111,14 +120,62 @@ func Registry() []*Spec {
 	}
 }
 
-// ByName returns the benchmark with the given Table I name.
+// NewSpec builds a benchmark spec outside the Table I registry — the
+// constructor resolver packages (internal/gen) use to adapt their
+// workloads to the registry's lookup-and-Build contract. build must
+// generate a program with exactly types task types and roughly n
+// instances; Build validates both.
+func NewSpec(name string, types, instances int, properties string, build func(n int, seed uint64) *trace.Program) *Spec {
+	return &Spec{Name: name, Types: types, Instances: instances,
+		Properties: properties, build: build}
+}
+
+// Resolver resolves a scheme-prefixed benchmark name ("gen:forkjoin(...)")
+// into a Spec. Resolvers must be strict: a malformed name is an error,
+// never a silent default.
+type Resolver func(name string) (*Spec, error)
+
+// resolvers maps name schemes ("gen") to their resolver.
+var resolvers = map[string]Resolver{}
+
+// RegisterResolver registers a resolver for names of the form
+// "scheme:rest". Extension packages (internal/gen) register themselves in
+// init; registering a duplicate or empty scheme panics.
+func RegisterResolver(scheme string, r Resolver) {
+	if scheme == "" || r == nil {
+		panic("bench: RegisterResolver with empty scheme or nil resolver")
+	}
+	if _, dup := resolvers[scheme]; dup {
+		panic(fmt.Sprintf("bench: resolver scheme %q registered twice", scheme))
+	}
+	resolvers[scheme] = r
+}
+
+// Schemes returns the registered resolver schemes in sorted order.
+func Schemes() []string {
+	out := make([]string, 0, len(resolvers))
+	for s := range resolvers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the benchmark with the given Table I name, or resolves a
+// scheme-prefixed name ("gen:pipeline(depth=6)") through its registered
+// resolver.
 func ByName(name string) (*Spec, error) {
 	for _, s := range Registry() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	if scheme, _, ok := strings.Cut(name, ":"); ok {
+		if r := resolvers[scheme]; r != nil {
+			return r(name)
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q: %w", name, ErrUnknownName)
 }
 
 // Names returns all benchmark names in Table I order.

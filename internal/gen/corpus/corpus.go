@@ -1,0 +1,309 @@
+// Package corpus is the accuracy-stress harness over the scenario
+// generator: it draws N scenarios across the family × knob grid
+// deterministically from a master seed, runs every sampling policy
+// against the detailed reference in parallel across the sweep engine's
+// worker pool (scenarios are embarrassingly parallel while each
+// simulation stays single-threaded), and emits per-scenario error,
+// CI-coverage and speedup records in the exact JSONL/CSV shape
+// internal/sweep already uses — so campaigns can sweep over generated
+// workloads, not just the Table I registry.
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"taskpoint/internal/gen"
+	"taskpoint/internal/results"
+	"taskpoint/internal/stats"
+	"taskpoint/internal/sweep"
+)
+
+// Spec declares a corpus campaign. Zero values select the defaults noted
+// per field; Draw and Run normalise them.
+type Spec struct {
+	// Name labels the campaign.
+	Name string `json:"name,omitempty"`
+	// Scenarios is N, the number of generated scenarios.
+	Scenarios int `json:"scenarios"`
+	// Families restricts the family pool (default: every gen family).
+	// Scenarios round-robin over the pool so each family is covered.
+	Families []string `json:"families,omitempty"`
+	// Arch is the simulated architecture (default high-performance).
+	Arch string `json:"arch,omitempty"`
+	// Threads is the simulated thread count (default 4).
+	Threads int `json:"threads,omitempty"`
+	// Policies are the sampling policies under test (default lazy,
+	// periodic(64) and stratified(256); the default period is sized so
+	// periodic resampling actually fires at corpus task counts — the
+	// paper's periodic(250) cannot trigger within ~50-160 fast
+	// instances per thread and would duplicate lazy cell for cell).
+	Policies []string `json:"policies,omitempty"`
+	// Seed is the master seed: it drives both the knob draws and every
+	// scenario's generative model (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// MinTasks and MaxTasks bound the per-scenario instance count draw
+	// (default 192..640).
+	MinTasks int `json:"min_tasks,omitempty"`
+	MaxTasks int `json:"max_tasks,omitempty"`
+	// W and H override the paper's sampling parameters when positive.
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+}
+
+// DefaultSpec returns a corpus campaign of n scenarios at the default
+// grid: all seven families, high-performance architecture, 4 threads,
+// lazy/periodic/stratified policies, master seed 42.
+func DefaultSpec(n int) Spec { return Spec{Scenarios: n} }
+
+// Normalized returns the spec with every defaulted field filled — what
+// Draw and Run actually execute, and the single source of truth for
+// reports that record the campaign configuration.
+func (s Spec) Normalized() Spec {
+	if s.Name == "" {
+		s.Name = "corpus"
+	}
+	if len(s.Families) == 0 {
+		s.Families = gen.FamilyNames()
+	}
+	if s.Arch == "" {
+		s.Arch = string(results.HighPerf)
+	}
+	if s.Threads == 0 {
+		s.Threads = 4
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{"lazy", "periodic(64)", "stratified(256)"}
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.MinTasks == 0 {
+		s.MinTasks = 192
+	}
+	if s.MaxTasks == 0 {
+		s.MaxTasks = 640
+	}
+	return s
+}
+
+// Validate checks the campaign after normalisation: the draw dimensions
+// directly, and the architecture/threads/policies/sampling parameters
+// through the sweep spec the corpus expands into.
+func (s Spec) Validate() error {
+	if err := s.validateDraw(); err != nil {
+		return err
+	}
+	sw, err := s.SweepSpec()
+	if err != nil {
+		return err
+	}
+	return sw.Validate()
+}
+
+// validateDraw checks the fields Draw consumes.
+func (s Spec) validateDraw() error {
+	n := s.Normalized()
+	if n.Scenarios < 1 {
+		return fmt.Errorf("corpus: scenario count %d must be >= 1", s.Scenarios)
+	}
+	for _, f := range n.Families {
+		if _, err := gen.FamilyByName(f); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	if n.MinTasks < 8 || n.MaxTasks < n.MinTasks {
+		return fmt.Errorf("corpus: task range [%d, %d] invalid (want 8 <= min <= max)", n.MinTasks, n.MaxTasks)
+	}
+	return nil
+}
+
+// Draw expands the campaign into its N scenarios. The draw is
+// deterministic per master seed and — because each scenario derives its
+// own PCG stream from (seed, index) — a prefix of a larger corpus is
+// identical to a smaller one, so fixed-seed gate corpora stay stable as
+// campaigns grow. Duplicate knob draws are nudged until every canonical
+// spec is unique (specs are cache and resume keys downstream).
+func (s Spec) Draw() ([]*gen.Scenario, error) {
+	n := s.Normalized()
+	if err := n.validateDraw(); err != nil {
+		return nil, err
+	}
+	fams := make([]*gen.Family, len(n.Families))
+	for i, name := range n.Families {
+		fams[i], _ = gen.FamilyByName(name)
+	}
+	widths := []int{4, 8, 16, 32}
+	seen := make(map[string]bool, n.Scenarios)
+	out := make([]*gen.Scenario, 0, n.Scenarios)
+	for i := 0; i < n.Scenarios; i++ {
+		rng := rand.New(rand.NewPCG(n.Seed, 0xC0FFEE^uint64(i)))
+		k := gen.DefaultKnobs()
+		k.Tasks = n.MinTasks + rng.IntN(n.MaxTasks-n.MinTasks+1)
+		k.Width = widths[rng.IntN(len(widths))]
+		k.Depth = 2 + rng.IntN(9)
+		k.Types = 2 + rng.IntN(5)
+		k.Size = gen.SizeDist(rng.IntN(4))
+		k.Mean = 2000 + int64(rng.IntN(1601))
+		k.CV = float64(rng.IntN(51)) / 100
+		k.Phases = 1 + rng.IntN(3)
+		k.InputDep = float64(rng.IntN(101)) / 100
+		sc := &gen.Scenario{Family: fams[i%len(fams)], Knobs: k}
+		for seen[sc.Spec()] {
+			sc.Knobs.Tasks++
+		}
+		seen[sc.Spec()] = true
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// SweepSpec expands the corpus into the design-space sweep it is: the N
+// scenario specs as the benchmark dimension, one architecture, one thread
+// count, the policies under test, the master seed.
+func (s Spec) SweepSpec() (sweep.Spec, error) {
+	n := s.Normalized()
+	scs, err := n.Draw()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	benchNames := make([]string, len(scs))
+	for i, sc := range scs {
+		benchNames[i] = sc.Spec()
+	}
+	return sweep.Spec{
+		Name:       n.Name,
+		Scale:      1,
+		Benchmarks: benchNames,
+		Archs:      []string{n.Arch},
+		Threads:    []int{n.Threads},
+		Policies:   n.Policies,
+		Seeds:      []uint64{n.Seed},
+		W:          n.W,
+		H:          n.H,
+	}, nil
+}
+
+// Run executes the corpus campaign across a pool of workers goroutines,
+// streaming one JSONL record per completed (scenario, policy) cell to out
+// (nil discards) and reporting progress through onRecord (also nil-able).
+// completed records from a previous run (sweep.LoadCompleted) are skipped,
+// making corpora resumable exactly like sweeps. Records come back in
+// deterministic scenario-major order regardless of worker count.
+func Run(s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
+	onRecord func(done, total int, rec sweep.Record)) ([]sweep.Record, error) {
+	sw, err := s.SweepSpec()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sweep.New(sw, workers)
+	if err != nil {
+		return nil, err
+	}
+	eng.OnRecord = onRecord
+	return eng.Run(out, completed)
+}
+
+// PolicySummary aggregates one policy over every scenario of a corpus —
+// the harness's headline: where does the policy's error and CI coverage
+// actually break.
+type PolicySummary struct {
+	Policy string `json:"policy"`
+	// Scenarios is the number of corpus cells the policy ran.
+	Scenarios int `json:"scenarios"`
+	// MeanErrPct and WorstErrPct summarise execution-time error against
+	// the detailed reference; WorstBench names the scenario behind the
+	// worst case.
+	MeanErrPct  float64 `json:"mean_err_pct"`
+	WorstErrPct float64 `json:"worst_err_pct"`
+	WorstBench  string  `json:"worst_bench,omitempty"`
+	// GeoSpeedupDetail and MeanDetailFrac summarise the sampling
+	// speedup.
+	GeoSpeedupDetail float64 `json:"geo_speedup_detail"`
+	MeanDetailFrac   float64 `json:"mean_detail_frac"`
+	// CICells counts cells reporting a confidence interval; CICovered of
+	// them covered the detailed reference, CoverRate is their ratio and
+	// MeanCIRelWidth the mean relative interval width.
+	CICells        int     `json:"ci_cells,omitempty"`
+	CICovered      int     `json:"ci_covered,omitempty"`
+	CoverRate      float64 `json:"cover_rate,omitempty"`
+	MeanCIRelWidth float64 `json:"mean_ci_rel_width,omitempty"`
+}
+
+// Summarize folds corpus records into per-policy summaries, sorted by
+// policy name.
+func Summarize(recs []sweep.Record) []PolicySummary {
+	groups := make(map[string][]sweep.Record)
+	for _, r := range recs {
+		groups[r.Policy] = append(groups[r.Policy], r)
+	}
+	names := make([]string, 0, len(groups))
+	for p := range groups {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	out := make([]PolicySummary, 0, len(names))
+	for _, p := range names {
+		group := groups[p]
+		sum := PolicySummary{Policy: p, Scenarios: len(group)}
+		var errs, det, frac, ciw []float64
+		for _, r := range group {
+			errs = append(errs, r.ErrPct)
+			det = append(det, r.SpeedupDetail)
+			frac = append(frac, r.DetailFraction)
+			if r.ErrPct > sum.WorstErrPct {
+				sum.WorstErrPct = r.ErrPct
+				sum.WorstBench = r.Bench
+			}
+			if r.CIStrata > 0 {
+				ciw = append(ciw, r.CIRelWidth)
+				sum.CICells++
+				if r.CICovered {
+					sum.CICovered++
+				}
+			}
+		}
+		sum.MeanErrPct = stats.Mean(errs)
+		sum.GeoSpeedupDetail = stats.GeoMean(det)
+		sum.MeanDetailFrac = stats.Mean(frac)
+		if sum.CICells > 0 {
+			sum.CoverRate = float64(sum.CICovered) / float64(sum.CICells)
+			sum.MeanCIRelWidth = stats.Mean(ciw)
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// RenderSummary renders per-policy corpus summaries as an aligned text
+// table, the cmd/corpus report.
+func RenderSummary(title string, sums []PolicySummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s %9s %10s %10s %9s %9s %9s %9s\n",
+		"policy", "scenarios", "mean-err%", "worst-err%", "x-detail", "%detail", "ci-width%", "covered")
+	for _, s := range sums {
+		ciWidth, covered := "-", "-"
+		if s.CICells > 0 {
+			ciWidth = fmt.Sprintf("%.2f", 100*s.MeanCIRelWidth)
+			covered = fmt.Sprintf("%d/%d", s.CICovered, s.CICells)
+		}
+		fmt.Fprintf(&b, "%-16s %9d %10.2f %10.2f %9.1f %9.1f %9s %9s\n",
+			s.Policy, s.Scenarios, s.MeanErrPct, s.WorstErrPct,
+			s.GeoSpeedupDetail, 100*s.MeanDetailFrac, ciWidth, covered)
+	}
+	worstIdx := -1
+	for i, s := range sums {
+		if s.WorstBench != "" && (worstIdx < 0 || s.WorstErrPct > sums[worstIdx].WorstErrPct) {
+			worstIdx = i
+		}
+	}
+	if worstIdx >= 0 {
+		fmt.Fprintf(&b, "worst cell: %s at %.2f%% (%s)\n",
+			sums[worstIdx].Policy, sums[worstIdx].WorstErrPct, sums[worstIdx].WorstBench)
+	}
+	return b.String()
+}

@@ -1,0 +1,337 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"taskpoint/internal/bench"
+)
+
+// Families returns the DAG pattern families in fixed order. The slice and
+// its entries are shared; callers must not modify them.
+func Families() []*Family { return families }
+
+// FamilyNames returns the family names in Families order.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// FamilyByName returns the named family. The error wraps
+// bench.ErrUnknownName: an unknown family is a name problem a listing
+// fixes, unlike a malformed knob.
+func FamilyByName(name string) (*Family, error) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown family %q (want one of %v): %w", name, FamilyNames(), bench.ErrUnknownName)
+}
+
+var families = []*Family{
+	{
+		Name:  "forkjoin",
+		Blurb: "repeated fork-join rounds: width workers per round, a join barrier between rounds",
+		typeNames: func(Knobs) []string {
+			return []string{"fork_worker", "join_barrier"}
+		},
+		shape: shapeForkJoin,
+	},
+	{
+		Name:  "pipeline",
+		Blurb: "linear pipeline: depth stages over a stream of items, in-order per stage and per item",
+		typeNames: func(k Knobs) []string {
+			stages := k.Depth
+			if stages > maxPipelineTypes {
+				stages = maxPipelineTypes
+			}
+			out := make([]string, stages)
+			for s := range out {
+				out[s] = fmt.Sprintf("stage%d", s)
+			}
+			return out
+		},
+		shape: shapePipeline,
+	},
+	{
+		Name:  "wavefront",
+		Blurb: "2D wavefront/stencil sweep: cell (i,j) waits on (i-1,j) and (i,j-1)",
+		typeNames: func(Knobs) []string {
+			return []string{"wave_edge", "wave_cell"}
+		},
+		shape: shapeWavefront,
+	},
+	{
+		Name:  "divide",
+		Blurb: "divide-and-conquer: binary split tree down, leaf work, merge tree back up",
+		typeNames: func(Knobs) []string {
+			return []string{"dac_split", "dac_leaf", "dac_merge"}
+		},
+		shape: shapeDivide,
+	},
+	{
+		Name:  "reduce",
+		Blurb: "reduction tree: wide leaf level, parallelism halves per combine level",
+		typeNames: func(Knobs) []string {
+			return []string{"reduce_leaf", "reduce_combine"}
+		},
+		shape: shapeReduce,
+	},
+	{
+		Name:  "random",
+		Blurb: "irregular random-token DAG: each task depends on a few random earlier tasks in a sliding window",
+		typeNames: func(k Knobs) []string {
+			out := make([]string, k.Types)
+			for t := range out {
+				out[t] = fmt.Sprintf("irr_t%d", t)
+			}
+			return out
+		},
+		shape: shapeRandom,
+	},
+	{
+		Name:  "chains",
+		Blurb: "width deep chains advancing in lockstep, with speculative cross-chain links",
+		typeNames: func(Knobs) []string {
+			return []string{"chain_step", "chain_bridge"}
+		},
+		shape: shapeChains,
+	},
+}
+
+// maxPipelineTypes caps the pipeline's task-type count; deeper pipelines
+// reuse the last type for their tail stages.
+const maxPipelineTypes = 16
+
+// shapeForkJoin emits rounds of Width parallel workers separated by join
+// barriers; workers of round r+1 depend on round r's join.
+func shapeForkJoin(k Knobs, n int, _ *rand.Rand) []node {
+	nodes := make([]node, 0, n)
+	prev := -1
+	for len(nodes) < n {
+		w := k.Width
+		if rem := n - len(nodes); w > rem {
+			w = rem
+		}
+		start := len(nodes)
+		for j := 0; j < w; j++ {
+			var preds []int32
+			if prev >= 0 {
+				preds = []int32{int32(prev)}
+			}
+			nodes = append(nodes, node{typ: 0, preds: preds})
+		}
+		if len(nodes) < n {
+			preds := make([]int32, w)
+			for j := range preds {
+				preds[j] = int32(start + j)
+			}
+			nodes = append(nodes, node{typ: 1, preds: preds})
+			prev = len(nodes) - 1
+		}
+	}
+	return nodes
+}
+
+// shapePipeline emits items × Depth stages; task (item, stage) depends on
+// the same item's previous stage and the same stage's previous item.
+func shapePipeline(k Knobs, n int, _ *rand.Rand) []node {
+	stages := k.Depth
+	items := (n + stages - 1) / stages
+	nodes := make([]node, 0, n)
+	for i := 0; i < items && len(nodes) < n; i++ {
+		for s := 0; s < stages && len(nodes) < n; s++ {
+			var preds []int32
+			if s > 0 {
+				preds = append(preds, int32(i*stages+s-1))
+			}
+			if i > 0 {
+				preds = append(preds, int32((i-1)*stages+s))
+			}
+			typ := s
+			if typ >= maxPipelineTypes {
+				typ = maxPipelineTypes - 1
+			}
+			nodes = append(nodes, node{typ: typ, preds: preds})
+		}
+	}
+	return nodes
+}
+
+// shapeWavefront emits a row-major G×G grid; interior cells depend on
+// their north and west neighbours. Boundary cells get their own type
+// (different work on the sweep's leading edges).
+func shapeWavefront(_ Knobs, n int, _ *rand.Rand) []node {
+	g := int(math.Ceil(math.Sqrt(float64(n))))
+	if g < 2 {
+		g = 2
+	}
+	nodes := make([]node, 0, n)
+	for i := 0; i < g && len(nodes) < n; i++ {
+		for j := 0; j < g && len(nodes) < n; j++ {
+			var preds []int32
+			if i > 0 {
+				preds = append(preds, int32((i-1)*g+j))
+			}
+			if j > 0 {
+				preds = append(preds, int32(i*g+j-1))
+			}
+			typ := 1
+			if i == 0 || j == 0 {
+				typ = 0
+			}
+			nodes = append(nodes, node{typ: typ, preds: preds})
+		}
+	}
+	return nodes
+}
+
+// shapeDivide emits a forest of full binary divide-and-conquer trees
+// (split nodes top-down, a leaf level, merge nodes back up), each as deep
+// as the Depth knob and the remaining task budget allow. Shallow depth
+// knobs therefore yield many small independent recursions rather than one
+// under-sized tree, keeping the instance count near n.
+func shapeDivide(k Knobs, n int, _ *rand.Rand) []node {
+	nodes := make([]node, 0, n)
+	for len(nodes) < n {
+		rem := n - len(nodes)
+		d := 1
+		for d+1 <= k.Depth && d < 18 && 3*(1<<(d+1))-2 <= rem {
+			d++
+		}
+		base := len(nodes)
+		// Split levels 0..d-1: level l starts at base + 2^l - 1 and has
+		// 2^l nodes.
+		for l := 0; l < d; l++ {
+			for j := 0; j < 1<<l; j++ {
+				var preds []int32
+				if l > 0 {
+					preds = []int32{int32(base + 1<<(l-1) - 1 + j/2)}
+				}
+				nodes = append(nodes, node{typ: 0, preds: preds})
+			}
+		}
+		// Leaves: 2^d nodes, parents on split level d-1.
+		leafBase := len(nodes)
+		for j := 0; j < 1<<d; j++ {
+			parent := int32(base + 1<<(d-1) - 1 + j/2)
+			nodes = append(nodes, node{typ: 1, preds: []int32{parent}})
+		}
+		// Merge levels d-1 down to 0; level d-1 combines leaf pairs,
+		// each higher merge combines the two merges below it.
+		childBase := leafBase
+		for l := d - 1; l >= 0; l-- {
+			levelBase := len(nodes)
+			for j := 0; j < 1<<l; j++ {
+				nodes = append(nodes, node{typ: 2, preds: []int32{
+					int32(childBase + 2*j), int32(childBase + 2*j + 1),
+				}})
+			}
+			childBase = levelBase
+		}
+	}
+	return nodes
+}
+
+// shapeReduce emits (n+1)/2 parallel leaves and a binary combine tree:
+// the available parallelism halves every level, the structure that
+// exercises resampling on parallelism change (paper Fig 4a).
+func shapeReduce(_ Knobs, n int, _ *rand.Rand) []node {
+	leaves := (n + 1) / 2
+	if leaves < 2 {
+		leaves = 2
+	}
+	nodes := make([]node, 0, 2*leaves-1)
+	level := make([]int32, leaves)
+	for j := range level {
+		nodes = append(nodes, node{typ: 0})
+		level[j] = int32(j)
+	}
+	for len(level) > 1 {
+		next := level[:0:cap(level)]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 >= len(level) {
+				next = append(next, level[i]) // odd element carries over
+				break
+			}
+			nodes = append(nodes, node{typ: 1, preds: []int32{level[i], level[i+1]}})
+			next = append(next, int32(len(nodes)-1))
+		}
+		level = next
+	}
+	return nodes
+}
+
+// shapeRandom emits an irregular DAG: each task depends on 1-3 random
+// earlier tasks within a window of 4*Width, except ~10% fresh roots.
+// Task types are assigned randomly over the Types knob.
+func shapeRandom(k Knobs, n int, rng *rand.Rand) []node {
+	win := 4 * k.Width
+	nodes := make([]node, 0, n)
+	for i := 0; i < n; i++ {
+		typ := rng.IntN(k.Types)
+		var preds []int32
+		if i > 0 && rng.Float64() >= 0.1 {
+			lo := i - win
+			if lo < 0 {
+				lo = 0
+			}
+			indeg := 1 + rng.IntN(3)
+			for j := 0; j < indeg; j++ {
+				p := int32(lo + rng.IntN(i-lo))
+				dup := false
+				for _, q := range preds {
+					if q == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					preds = append(preds, p)
+				}
+			}
+		}
+		nodes = append(nodes, node{typ: typ, preds: preds})
+	}
+	return nodes
+}
+
+// shapeChains emits Width independent chains advanced in lockstep; with
+// probability ~8% a step additionally waits on another chain's tail
+// (a speculative cross-link), and such bridge steps get their own type.
+func shapeChains(k Knobs, n int, rng *rand.Rand) []node {
+	c := k.Width
+	if c > n {
+		c = n
+	}
+	length := (n + c - 1) / c
+	nodes := make([]node, 0, n)
+	tails := make([]int, c)
+	for i := range tails {
+		tails[i] = -1
+	}
+	for s := 0; s < length && len(nodes) < n; s++ {
+		for ch := 0; ch < c && len(nodes) < n; ch++ {
+			var preds []int32
+			typ := 0
+			if tails[ch] >= 0 {
+				preds = append(preds, int32(tails[ch]))
+			}
+			if s > 0 && c > 1 && rng.Float64() < 0.08 {
+				o := rng.IntN(c)
+				if o != ch && tails[o] >= 0 {
+					preds = append(preds, int32(tails[o]))
+					typ = 1
+				}
+			}
+			nodes = append(nodes, node{typ: typ, preds: preds})
+			tails[ch] = len(nodes) - 1
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"taskpoint/internal/taskgraph"
+)
+
+// FuzzParse feeds arbitrary spec strings to the strict parser. Anything
+// that parses must canonicalise to a spec that re-parses to the same
+// scenario and must build a valid, acyclic, seed-deterministic program.
+func FuzzParse(f *testing.F) {
+	f.Add("gen:forkjoin")
+	f.Add("gen:pipeline(depth=6,tasks=96)")
+	f.Add("gen:random(types=5,width=4,size=heavytail,inputdep=0.7)")
+	f.Add("chains(width=3,cv=0.4,phases=2)")
+	f.Add("gen:wavefront(size=bimodal,mean=900)")
+	f.Add("gen:forkjoin(width=8,width=9)")
+	f.Add("gen:divide(depth=banana)")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := Parse(spec)
+		if err != nil {
+			return // rejected input: nothing else to hold
+		}
+		canon := sc.Spec()
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if back.Family != sc.Family || back.Knobs != sc.Knobs {
+			t.Fatalf("canonical round trip of %q changed the scenario", spec)
+		}
+		// Keep the build bounded: fuzzing explores the grammar, the
+		// builder property is covered at a capped task count.
+		k := sc.Knobs
+		if k.Tasks > 512 {
+			k.Tasks = 512
+		}
+		small := &Scenario{Family: sc.Family, Knobs: k}
+		prog, err := small.Build(1, 1)
+		if err != nil {
+			t.Fatalf("build of parsed %q: %v", spec, err)
+		}
+		if _, err := taskgraph.Build(prog); err != nil {
+			t.Fatalf("task graph of parsed %q: %v", spec, err)
+		}
+	})
+}
+
+// FuzzBuild drives the materialiser directly with fuzzer-chosen knobs and
+// seeds: any knob set Validate accepts must build a valid, acyclic
+// program, identically on a second build.
+func FuzzBuild(f *testing.F) {
+	f.Add(uint8(0), uint64(42), 512, 16, 8, 3, uint8(0), int64(2600), 0.1, 1, 0.0)
+	f.Add(uint8(4), uint64(7), 64, 1, 1, 1, uint8(3), int64(64), 1.0, 4, 1.0)
+	f.Add(uint8(6), uint64(1), 300, 4096, 64, 16, uint8(2), int64(1<<20), 0.0, 16, 0.5)
+	f.Fuzz(func(t *testing.T, famIdx uint8, seed uint64,
+		tasks, width, depth, types int, sizeIdx uint8, mean int64,
+		cv float64, phases int, inputDep float64) {
+		fams := Families()
+		sc := &Scenario{
+			Family: fams[int(famIdx)%len(fams)],
+			Knobs: Knobs{
+				Tasks: tasks, Width: width, Depth: depth, Types: types,
+				Size: SizeDist(sizeIdx % uint8(numSizeDists)), Mean: mean,
+				CV: cv, Phases: phases, InputDep: inputDep,
+			},
+		}
+		if err := sc.Knobs.Validate(); err != nil {
+			return // out-of-range knobs are rejected, not built
+		}
+		if sc.Knobs.Tasks > 1024 {
+			sc.Knobs.Tasks = 1024 // keep fuzz iterations fast
+		}
+		prog, err := sc.Build(1, seed)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", sc.Spec(), seed, err)
+		}
+		if _, err := taskgraph.Build(prog); err != nil {
+			t.Fatalf("%s seed %d: task graph: %v", sc.Spec(), seed, err)
+		}
+		again, err := sc.Build(1, seed)
+		if err != nil || !reflect.DeepEqual(prog, again) {
+			t.Fatalf("%s seed %d: non-deterministic build (err %v)", sc.Spec(), seed, err)
+		}
+	})
+}

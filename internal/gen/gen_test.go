@@ -1,0 +1,279 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"taskpoint/internal/bench"
+	"taskpoint/internal/taskgraph"
+)
+
+// arbitraryKnobs draws a uniformly random valid knob set.
+func arbitraryKnobs(r *rand.Rand) Knobs {
+	return Knobs{
+		Tasks:    8 + r.Intn(1200),
+		Width:    1 + r.Intn(64),
+		Depth:    1 + r.Intn(16),
+		Types:    1 + r.Intn(16),
+		Size:     SizeDist(r.Intn(int(numSizeDists))),
+		Mean:     64 + int64(r.Intn(8000)),
+		CV:       float64(r.Intn(101)) / 100,
+		Phases:   1 + r.Intn(4),
+		InputDep: float64(r.Intn(101)) / 100,
+	}
+}
+
+// scenarioProps checks the generator invariants for one (scenario, seed):
+// the built program validates, derives an acyclic task graph, covers the
+// declared type count, and is bit-identical on a second build.
+func scenarioProps(t *testing.T, sc *Scenario, scale float64, seed uint64) {
+	t.Helper()
+	prog, err := sc.Build(scale, seed)
+	if err != nil {
+		t.Fatalf("%s seed %d: %v", sc.Spec(), seed, err)
+	}
+	// Every family must track the requested instance count (bench.Build's
+	// scaled n): trees may overshoot by a final sub-tree, nothing more.
+	want := int(float64(sc.Knobs.Tasks)*scale + 0.5)
+	if want < 64 {
+		want = 64
+	}
+	if want > sc.Knobs.Tasks {
+		want = sc.Knobs.Tasks
+	}
+	if got := prog.NumTasks(); got < want-1 || got > want+3 {
+		t.Fatalf("%s seed %d: built %d instances, want ~%d", sc.Spec(), seed, got, want)
+	}
+	g, err := taskgraph.Build(prog)
+	if err != nil {
+		t.Fatalf("%s seed %d: task graph: %v", sc.Spec(), seed, err)
+	}
+	if g.NumTasks() != prog.NumTasks() {
+		t.Fatalf("%s seed %d: graph has %d nodes, program %d instances",
+			sc.Spec(), seed, g.NumTasks(), prog.NumTasks())
+	}
+	again, err := sc.Build(scale, seed)
+	if err != nil {
+		t.Fatalf("%s seed %d: rebuild: %v", sc.Spec(), seed, err)
+	}
+	if !reflect.DeepEqual(prog, again) {
+		t.Fatalf("%s seed %d: program differs between identical builds", sc.Spec(), seed)
+	}
+}
+
+// TestFamiliesQuick is the property-based sweep: for every family, any
+// valid knob set and any seed must yield a valid, acyclic, deterministic
+// program.
+func TestFamiliesQuick(t *testing.T) {
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				r := rand.New(rand.NewSource(int64(seed)))
+				sc := &Scenario{Family: fam, Knobs: arbitraryKnobs(r)}
+				scenarioProps(t, sc, 1, seed)
+				return !t.Failed()
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFamilyDefaults: every family at default knobs builds across scales
+// and distinct seeds give distinct programs.
+func TestFamilyDefaults(t *testing.T) {
+	for _, fam := range Families() {
+		sc := &Scenario{Family: fam, Knobs: DefaultKnobs()}
+		for _, scale := range []float64{1.0 / 4, 1} {
+			scenarioProps(t, sc, scale, 42)
+		}
+		a, _ := sc.Build(1, 1)
+		b, _ := sc.Build(1, 2)
+		if reflect.DeepEqual(a, b) {
+			t.Errorf("%s: seeds 1 and 2 built identical programs", fam.Name)
+		}
+	}
+}
+
+// TestKnobsShapeStructure: structural knobs must show up in the derived
+// graph — reduction trees shrink, chains serialise, wavefronts ramp.
+func TestKnobsShapeStructure(t *testing.T) {
+	build := func(spec string) ([]int, int) {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := sc.Build(1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := taskgraph.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.WidthProfile(), g.NumEdges()
+	}
+
+	if width, _ := build("gen:reduce(tasks=256)"); width[0] <= width[len(width)-1]*4 {
+		t.Errorf("reduce: width profile does not shrink: first %d, last %d", width[0], width[len(width)-1])
+	}
+	if width, _ := build("gen:chains(width=2,tasks=128)"); len(width) < 32 {
+		t.Errorf("chains(width=2): depth %d, want a deep graph", len(width))
+	}
+	if width, _ := build("gen:forkjoin(width=32,tasks=256)"); width[0] != 32 {
+		t.Errorf("forkjoin(width=32): first level has %d tasks, want 32", width[0])
+	}
+	if _, edges := build("gen:random(tasks=256)"); edges == 0 {
+		t.Error("random: no dependency edges")
+	}
+}
+
+// TestInputDepAndPhasesMatter: the input-dependence and phase knobs must
+// change instance sizes of the same structural scenario.
+func TestInputDepAndPhasesMatter(t *testing.T) {
+	sizes := func(spec string) []int64 {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := sc.Build(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, prog.NumTasks())
+		for i := range prog.Instances {
+			out[i] = prog.Instances[i].Instructions()
+		}
+		return out
+	}
+	base := sizes("gen:wavefront(tasks=128,size=fixed,cv=0)")
+	for i := 1; i < len(base); i++ {
+		if base[i] != base[0] {
+			t.Fatalf("fixed size, cv=0: instance sizes differ (%d vs %d)", base[i], base[0])
+		}
+	}
+	dep := sizes("gen:wavefront(tasks=128,size=fixed,cv=0,inputdep=0.8)")
+	if reflect.DeepEqual(base, dep) {
+		t.Error("inputdep=0.8 did not change instance sizes")
+	}
+	ph := sizes("gen:wavefront(tasks=128,size=fixed,cv=0,phases=4)")
+	if reflect.DeepEqual(base, ph) {
+		t.Error("phases=4 did not change instance sizes")
+	}
+}
+
+// TestParseRoundTrip: Parse(sc.Spec()) must rebuild identical knobs for
+// arbitrary valid knob sets.
+func TestParseRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		fam := Families()[r.Intn(len(Families()))]
+		sc := &Scenario{Family: fam, Knobs: arbitraryKnobs(r)}
+		back, err := Parse(sc.Spec())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", sc.Spec(), err)
+			return false
+		}
+		if back.Family != fam || back.Knobs != sc.Knobs {
+			t.Errorf("round trip of %q: got %+v, want %+v", sc.Spec(), back.Knobs, sc.Knobs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseErrors: the grammar is strict — malformed specs are rejected
+// with an error, never silently defaulted.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"gen:",
+		"gen:unknownfamily",
+		"gen:forkjoin(",
+		"gen:forkjoin)",
+		"gen:forkjoin(width)",
+		"gen:forkjoin(width=)",
+		"gen:forkjoin(=8)",
+		"gen:forkjoin(width=eight)",
+		"gen:forkjoin(width=0)",
+		"gen:forkjoin(width=8,width=9)",
+		"gen:forkjoin(bogus=1)",
+		"gen:forkjoin(size=normal)",
+		"gen:forkjoin(cv=1.5)",
+		"gen:forkjoin(inputdep=-0.1)",
+		"gen:forkjoin(tasks=4)",
+		"gen:forkjoin(phases=0)",
+		"gen:pipeline(depth=65)",
+		"gen:random(types=17)",
+		"gen:forkjoin(mean=1)",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	// The gen: prefix is optional; whitespace around knobs is tolerated.
+	for _, ok := range []string{"forkjoin", "gen:forkjoin", "gen:forkjoin( width=8 , depth=2 )"} {
+		if _, err := Parse(ok); err != nil {
+			t.Errorf("Parse(%q): %v", ok, err)
+		}
+	}
+}
+
+// TestBenchLookup: scenario specs resolve through the benchmark registry
+// and honour its Build contract (scaling, validation, canonical naming).
+func TestBenchLookup(t *testing.T) {
+	spec, err := bench.ByName("gen:divide(tasks=256,size=heavytail)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Types != 3 {
+		t.Errorf("divide spec declares %d types, want 3", spec.Types)
+	}
+	prog, err := spec.Build(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "gen:divide(tasks=256,size=heavytail)" {
+		t.Errorf("program name %q is not the canonical spec", prog.Name)
+	}
+	if prog.NumTypes() != 3 {
+		t.Errorf("program has %d types, want 3", prog.NumTypes())
+	}
+	if _, err := bench.ByName("gen:nope"); err == nil {
+		t.Error("unknown family resolved through bench.ByName")
+	}
+	if !contains(bench.Schemes(), Scheme) {
+		t.Errorf("bench.Schemes() = %v does not list %q", bench.Schemes(), Scheme)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSpecDefaultsCanonical: a scenario at pure defaults canonicalises to
+// the bare family name.
+func TestSpecDefaultsCanonical(t *testing.T) {
+	for _, fam := range Families() {
+		sc := &Scenario{Family: fam, Knobs: DefaultKnobs()}
+		if got, want := sc.Spec(), "gen:"+fam.Name; got != want {
+			t.Errorf("default spec %q, want %q", got, want)
+		}
+		if !strings.HasPrefix(sc.Spec(), Scheme+":") {
+			t.Errorf("spec %q lacks scheme prefix", sc.Spec())
+		}
+	}
+}

@@ -18,6 +18,12 @@ import (
 	"taskpoint/internal/stats"
 	"taskpoint/internal/strata"
 	"taskpoint/internal/trace"
+
+	// Register the "gen:" scenario resolver so generated workloads are
+	// runnable wherever a Table I benchmark name is (Runner, sweeps,
+	// commands), mirroring how the strata import registers its policy
+	// parser.
+	_ "taskpoint/internal/gen"
 )
 
 // Arch selects one of the evaluated machine configurations.

@@ -19,17 +19,20 @@ import "math"
 //	Var = Σ_h N_h·(N_h−n_h)·s²_e,h/n_h     e_i = d_i − R_h·x_i
 //	CI  = T̂ ± z·√Var
 //
-// Directed samples are measured while co-running threads fast-forward
-// (no memory traffic), so their durations run fast by an uncertain
-// contention factor. Rather than asserting the noisy stratum-matched
-// calibration estimate (Calibration) as truth, the interval brackets it:
-// its low anchor is the uncalibrated estimate (r=1), its high anchor the
-// fully calibrated one, and both are widened by the z-scaled sampling
-// error; Estimate reports the midpoint. Strata with a single sample
-// borrow the pooled residual variance; fully sampled strata contribute
-// no variance; and the half-width never drops below MinRelErr of the
-// estimate, covering residual measurement bias sampling variance cannot
-// see.
+// Directed samples are measured while co-running threads fast-forward,
+// so their durations are off by an uncertain regime factor: fast on the
+// missing memory contention, or slow on cold micro-architectural state
+// after a fast-forwarded stretch. Rather than asserting the noisy
+// stratum-matched calibration estimate (Calibration) as truth, the
+// interval brackets it two-sidedly: one anchor is the uncalibrated
+// estimate (r=1), the other the fully calibrated one in whichever
+// direction the matched strata indicate, and both are widened by the
+// z-scaled sampling error; Estimate reports the midpoint. Strata with a
+// single sample borrow the pooled residual variance; fully sampled
+// strata contribute no variance; and the half-width never drops below
+// MinRelErr of the estimate — widened by DirBiasRelErr in proportion to
+// the directed share of the estimate — covering residual measurement
+// bias sampling variance cannot see.
 type Confidence struct {
 	// Strata is the number of strata observed.
 	Strata int
@@ -73,11 +76,12 @@ func (c Confidence) Covers(x float64) bool { return x >= c.Lo && x <= c.Hi }
 
 // calibration estimates the global contention factor r: over every
 // stratum measured in both regimes, the instruction-weighted ratio of
-// the sampling-phase rate to the directed rate. Missing contention can
-// only make a directed measurement faster (less queueing on shared
-// caches and DRAM), so ratios below 1 are small-sample noise and clamp
-// to 1; the upper clamp of 2 guards against blow-ups from sparsely
-// sampled strata.
+// the sampling-phase rate to the directed rate. A directed measurement
+// can err in either direction — missing memory contention from
+// fast-forwarding co-runners makes it fast (r > 1), stale or cold
+// micro-architectural state after a fast-forwarded stretch makes it
+// slow (r < 1) — so the ratio is taken as observed, with clamps at
+// [1/2, 2] guarding against blow-ups from sparsely sampled strata.
 func (s *Stratified) calibration() float64 {
 	var num, den float64
 	for _, k := range s.order {
@@ -95,12 +99,15 @@ func (s *Stratified) calibration() float64 {
 	if den <= 0 || num <= 0 {
 		return 1
 	}
-	return math.Min(2, math.Max(1, num/den))
+	return math.Min(2, math.Max(0.5, num/den))
 }
 
 // estimateAt computes the stratified ratio estimate and its sampling
-// variance at calibration factor r, plus the sample/population tallies.
-func (s *Stratified) estimateAt(r float64) (estimate, variance float64, population, sampled, unsampled int) {
+// variance at calibration factor r, plus the sample/population tallies
+// and the "uncertain mass": the part of the estimate carried by directed
+// samples or regime-fallback rates rather than sampling-phase
+// measurements, which scales the interval's bias floor.
+func (s *Stratified) estimateAt(r float64) (estimate, variance, uncertain float64, population, sampled, unsampled int) {
 	// Pooled quantities: the valid rate over all strata (fallback for
 	// unsampled strata) and the pooled residual variance (fallback for
 	// single-sample strata).
@@ -132,18 +139,25 @@ func (s *Stratified) estimateAt(r float64) (estimate, variance float64, populati
 		switch {
 		case n > 0 && sumX > 0:
 			rate = sumD / sumX
+			// The stratum's directed instruction share of its
+			// contribution was measured under an uncertain contention
+			// regime.
+			uncertain += rate * st.instrTotal * st.dir.sumX / (st.phase.sumX + st.dir.sumX)
 		case pooledX > 0:
 			// No valid sample: the pooled valid rate is the best
 			// stand-in; beyond that, the modelled fast-forward rate,
 			// then raw warm-up measurements.
 			rate = pooledD / pooledX
 			unsampled += N
+			uncertain += rate * st.instrTotal
 		case st.fast.sumX > 0:
 			rate = st.fast.sumD / st.fast.sumX
 			unsampled += N
+			uncertain += rate * st.instrTotal
 		case st.raw.sumX > 0:
 			rate = st.raw.sumD / st.raw.sumX
 			unsampled += N
+			uncertain += rate * st.instrTotal
 		}
 		estimate += rate * st.instrTotal
 		if n > 0 && n < N {
@@ -153,7 +167,7 @@ func (s *Stratified) estimateAt(r float64) (estimate, variance float64, populati
 			variance += float64(N) * float64(N-n) * se2 / float64(n)
 		}
 	}
-	return estimate, variance, population, sampled, unsampled
+	return estimate, variance, uncertain, population, sampled, unsampled
 }
 
 // Confidence computes the stratified estimate from the run's accumulated
@@ -162,14 +176,18 @@ func (s *Stratified) Confidence() Confidence {
 	r := s.calibration()
 	c := Confidence{Strata: len(s.order), Z: s.cfg.Z, Calibration: r}
 
-	// Bracket the calibration: the low anchor trusts the measurements
-	// as taken (r=1), the high anchor applies the full contention
-	// correction (r >= 1 by construction).
-	var lo, hi, variance float64
-	hi, variance, c.Population, c.Sampled, c.Unsampled = s.estimateAt(r)
+	// Bracket the calibration two-sidedly: one anchor trusts the
+	// measurements as taken (r=1), the other applies the full regime
+	// correction, whichever direction the stratum-matched data
+	// indicates (r > 1: directed samples ran fast on missing
+	// contention; r < 1: they ran slow on cold micro-architectural
+	// state).
+	rLo, rHi := math.Min(r, 1), math.Max(r, 1)
+	var lo, hi, variance, uncertain float64
+	hi, variance, uncertain, c.Population, c.Sampled, c.Unsampled = s.estimateAt(rHi)
 	lo = hi
-	if r > 1 {
-		lo, _, _, _, _ = s.estimateAt(1)
+	if rLo < rHi {
+		lo, _, _, _, _, _ = s.estimateAt(rLo)
 	}
 	c.Estimate = (lo + hi) / 2
 	c.StdErr = math.Sqrt(variance)
@@ -177,9 +195,17 @@ func (s *Stratified) Confidence() Confidence {
 	c.Lo = lo - half
 	c.Hi = hi + half
 	// The half-width floor covers the measurement bias of mid-run
-	// detailed samples, which pure sampling variance cannot see
-	// (Config.MinRelErr).
-	if floor := s.cfg.MinRelErr * c.Estimate; c.Estimate-c.Lo < floor || c.Hi-c.Estimate < floor {
+	// detailed samples, which pure sampling variance cannot see: a base
+	// MinRelErr, widened by DirBiasRelErr in proportion to the share of
+	// the estimate resting on directed samples or fallback rates — a run
+	// whose rates were all measured in realistic sampling phases keeps a
+	// tight floor, a run living off directed samples admits the regime
+	// bias they carry.
+	relFloor := s.cfg.MinRelErr
+	if c.Estimate > 0 {
+		relFloor += s.cfg.DirBiasRelErr * uncertain / c.Estimate
+	}
+	if floor := relFloor * c.Estimate; c.Estimate-c.Lo < floor || c.Hi-c.Estimate < floor {
 		c.Lo = math.Min(c.Lo, c.Estimate-floor)
 		c.Hi = math.Max(c.Hi, c.Estimate+floor)
 	}

@@ -43,15 +43,27 @@ type Config struct {
 	// samples, so a run that samples nearly everything must not report
 	// a near-zero interval.
 	MinRelErr float64
+	// DirBiasRelErr widens the half-width floor in proportion to the
+	// share of the estimate carried by directed samples or fallback
+	// rates. Directed samples are measured while co-runners
+	// fast-forward — the wrong contention regime, with possibly cold
+	// micro-architectural state — and the stratum-matched calibration
+	// bracket only sees the part of that bias strata measured in both
+	// regimes reveal. The floor admits the remainder: an estimate built
+	// purely from sampling-phase measurements keeps the MinRelErr
+	// floor, one living entirely off directed samples gets
+	// MinRelErr + DirBiasRelErr.
+	DirBiasRelErr float64
 }
 
 // DefaultConfig returns the stratified configuration used throughout the
 // evaluation: 3 pilot samples per stratum, pilot cut-off 64, concurrency
-// bands on, 95% confidence with a 0.5% relative-error floor.
+// bands on, 95% confidence with a 2% relative-error floor widened by up
+// to 5% on directed-sample-dominated runs.
 func DefaultConfig(budget int) Config {
 	return Config{
 		Budget: budget, Pilot: 3, PilotCutoff: 64, Bands: true,
-		StaleAfter: 48, Z: 1.96, MinRelErr: 0.005,
+		StaleAfter: 48, Z: 1.96, MinRelErr: 0.02, DirBiasRelErr: 0.05,
 	}
 }
 
@@ -70,6 +82,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("strata: z-score %v must be > 0", c.Z)
 	case c.MinRelErr < 0 || c.MinRelErr >= 1:
 		return fmt.Errorf("strata: relative-error floor %v out of range [0, 1)", c.MinRelErr)
+	case c.DirBiasRelErr < 0 || c.DirBiasRelErr >= 1:
+		return fmt.Errorf("strata: directed-bias floor %v out of range [0, 1)", c.DirBiasRelErr)
 	}
 	return nil
 }
@@ -291,7 +305,16 @@ func (s *Stratified) budgetLeft() int {
 // when the instance's stratum is below its pilot or allocated target.
 func (s *Stratified) WantDetailed(si sim.StartInfo) bool {
 	k := s.keyOf(si)
+	_, seen := s.strata[k]
 	st := s.stratum(k)
+	if s.allocated && !seen {
+		// A stratum surfacing after allocation — a late task type or a
+		// phase change shifting the type mix — would otherwise be capped
+		// at its pilot while the budget sits spent on early strata.
+		// Re-allocate what remains (including any unseen-population
+		// reserve) over the updated stratum set.
+		s.allocate()
+	}
 	s.started++
 	st.started++
 	st.sinceGrant++
@@ -403,6 +426,31 @@ func (s *Stratified) allocate() {
 	if left <= 0 {
 		return
 	}
+	// With a prescan, hold back the share of the budget owed to
+	// (type, class) populations that have not produced a single instance
+	// yet: programs whose type mix shifts over time (reduction trees,
+	// pipeline drains, phase changes) surface whole strata only after the
+	// early ones filled their pilots, and spending everything on the
+	// early strata would strand the late ones at their pilot size. The
+	// reserve is spent by the re-allocation that fires when a new
+	// stratum appears.
+	if s.totalPop > 0 {
+		seenPop := 0
+		seenTC := make(map[tcKey]bool, len(s.order))
+		for _, k := range s.order {
+			tc := tcKey{k.Type, k.Class}
+			if !seenTC[tc] {
+				seenTC[tc] = true
+				seenPop += s.popTC[tc]
+			}
+		}
+		if unseen := s.totalPop - seenPop; unseen > 0 {
+			left -= left * unseen / s.totalPop
+			if left <= 0 {
+				return
+			}
+		}
+	}
 	n := len(s.order)
 	pops := make([]float64, n)
 	weights := make([]float64, n)
@@ -455,6 +503,12 @@ func (s *Stratified) allocate() {
 		st := s.strata[k]
 		st.quota = quotas[i]
 		st.target = st.sampled() + st.inFlight + quotas[i]
+		// Phase one's contract stands across (re-)allocations: every
+		// stratum's first Pilot instances are forced while budget lasts,
+		// so a stratum surfacing after allocation is still measured.
+		if st.target < s.cfg.Pilot {
+			st.target = s.cfg.Pilot
+		}
 		st.gap = 1
 		if s.popTC != nil && quotas[i] > 0 {
 			if remain := int(pops[i]) - st.started; remain > 0 {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -241,6 +242,50 @@ func (e *Engine) Run(out io.Writer, completed map[string]Record) ([]Record, erro
 		recs = append(recs, o.rec)
 	}
 	return recs, errors.Join(errs...)
+}
+
+// DropPartialTail truncates a JSONL output file that does not end in a
+// newline back to its last complete line: the partial record of an
+// interrupted campaign is ignored by LoadCompleted, but appending to it
+// would glue the next record onto the same line, so its cell would never
+// register as completed on later resumes — and once further appends push
+// the glued line off the tail, LoadCompleted rejects the file outright.
+// Every resumable command must call it before opening the file for
+// append. A missing file is a no-op.
+func DropPartialTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil || size == 0 {
+		return err
+	}
+	buf := make([]byte, 64*1024)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return err
+		}
+		if end == size && buf[n-1] == '\n' {
+			return nil // file ends cleanly
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(end - n + i + 1)
+			}
+		}
+		end -= n
+	}
+	return f.Truncate(0) // a single partial line
 }
 
 // LoadCompleted reads a JSONL stream written by Run and returns its

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -360,5 +362,45 @@ func TestSweepStratifiedCells(t *testing.T) {
 	skip, total := eng.Resumable(completed)
 	if skip != total {
 		t.Errorf("resume skips %d of %d cells", skip, total)
+	}
+}
+
+// TestDropPartialTail: a file killed mid-write is truncated back to its
+// last complete line, so appended records never glue onto a partial one.
+func TestDropPartialTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	full := "{\"key\":\"a\"}\n{\"key\":\"b\"}\n"
+	if err := os.WriteFile(path, []byte(full+"{\"key\":\"c"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := DropPartialTail(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != full {
+		t.Errorf("truncated file %q, want %q", got, full)
+	}
+	// Clean files and missing files are no-ops.
+	if err := DropPartialTail(path); err != nil {
+		t.Fatal(err)
+	}
+	if got2, _ := os.ReadFile(path); string(got2) != full {
+		t.Errorf("clean file changed: %q", got2)
+	}
+	if err := DropPartialTail(filepath.Join(t.TempDir(), "missing.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	// A single partial line truncates to empty.
+	if err := os.WriteFile(path, []byte("{\"key"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := DropPartialTail(path); err != nil {
+		t.Fatal(err)
+	}
+	if got3, _ := os.ReadFile(path); len(got3) != 0 {
+		t.Errorf("single partial line left %q", got3)
 	}
 }

@@ -45,6 +45,8 @@ import (
 
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
+	"taskpoint/internal/gen"
+	"taskpoint/internal/gen/corpus"
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
@@ -108,6 +110,24 @@ type (
 	// Stratified is the two-phase stratified sampling policy, as built
 	// by StratifiedPolicy or ParsePolicy("stratified(B)").
 	Stratified = strata.Stratified
+	// Scenario is a generated workload: a DAG pattern family plus its
+	// knobs, named by a "gen:family(knob=value,...)" spec string.
+	Scenario = gen.Scenario
+	// ScenarioFamily is one DAG pattern family of the generator
+	// (fork-join, pipeline, wavefront, divide-and-conquer, reduction
+	// tree, irregular random graphs, deep chains).
+	ScenarioFamily = gen.Family
+	// ScenarioKnobs are the generator's orthogonal scenario parameters
+	// (task count, width/depth, size distribution, variability, phases,
+	// input dependence).
+	ScenarioKnobs = gen.Knobs
+	// CorpusSpec declares a generated accuracy-stress campaign: N
+	// scenarios drawn across the family × knob grid, run under every
+	// listed policy against the detailed reference.
+	CorpusSpec = corpus.Spec
+	// CorpusPolicySummary aggregates one policy over a corpus (mean and
+	// worst-case error, speedup, CI coverage rate).
+	CorpusPolicySummary = corpus.PolicySummary
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -162,6 +182,11 @@ func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 
 // Benchmarks returns the names of the 19 Table I benchmarks in paper order.
 func Benchmarks() []string { return bench.Names() }
+
+// ErrUnknownName marks benchmark/scenario lookup failures caused by an
+// unknown name (as opposed to malformed arguments of a known one) — the
+// error class a "valid names" listing fixes. Test with errors.Is.
+var ErrUnknownName = bench.ErrUnknownName
 
 // Benchmark generates one of the paper's benchmarks at the given scale
 // (1.0 reproduces Table I instance counts) with a deterministic seed.
@@ -285,4 +310,38 @@ func RenderSweepSummary(title string, sums []SweepSummary) string {
 // WriteSweepCSV exports campaign records as CSV for post-processing.
 func WriteSweepCSV(w io.Writer, recs []SweepRecord) error {
 	return sweep.WriteCSV(w, recs)
+}
+
+// ScenarioFamilies returns the generator's DAG pattern families in fixed
+// order. Their names combine with knobs into "gen:family(knob=value,...)"
+// specs accepted everywhere a benchmark name is.
+func ScenarioFamilies() []*ScenarioFamily { return gen.Families() }
+
+// ParseScenario builds a generated-workload scenario from its strict
+// "gen:family(knob=value,...)" spec string, the inverse of Scenario.Spec.
+func ParseScenario(spec string) (*Scenario, error) { return gen.Parse(spec) }
+
+// DefaultCorpus returns a generated accuracy-stress campaign of n
+// scenarios at the default grid: all pattern families, the
+// high-performance architecture at 4 threads, lazy/periodic/stratified
+// policies, master seed 42.
+func DefaultCorpus(n int) CorpusSpec { return corpus.DefaultSpec(n) }
+
+// RunCorpus executes a corpus campaign across workers goroutines,
+// streaming JSONL records to out (nil discards) and skipping cells
+// already in completed (resume). See cmd/corpus for the command-line
+// front end.
+func RunCorpus(spec CorpusSpec, workers int, out io.Writer, completed map[string]SweepRecord,
+	onRecord func(done, total int, rec SweepRecord)) ([]SweepRecord, error) {
+	return corpus.Run(spec, workers, out, completed, onRecord)
+}
+
+// SummarizeCorpus folds corpus records into per-policy summaries: mean
+// and worst-case error, speedup, and CI coverage rate.
+func SummarizeCorpus(recs []SweepRecord) []CorpusPolicySummary { return corpus.Summarize(recs) }
+
+// RenderCorpusSummary renders per-policy corpus summaries as an aligned
+// text table.
+func RenderCorpusSummary(title string, sums []CorpusPolicySummary) string {
+	return corpus.RenderSummary(title, sums)
 }
