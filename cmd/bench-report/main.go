@@ -16,16 +16,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"taskpoint"
@@ -71,14 +74,14 @@ type CorpusReport struct {
 	Policies  []taskpoint.CorpusPolicySummary `json:"policies"`
 }
 
-// runCorpus runs the fixed-seed corpus and folds it into the report
-// section.
-func runCorpus(n, workers int) (*CorpusReport, error) {
+// runCorpus runs the fixed-seed corpus through the unified experiment
+// engine and folds it into the report section.
+func runCorpus(ctx context.Context, n, workers int) (*CorpusReport, error) {
 	// Normalized fills the defaulted fields, so the report records the
 	// seed the corpus actually ran under.
 	spec := taskpoint.DefaultCorpus(n).Normalized()
 	fmt.Fprintf(os.Stderr, "bench-report: running %d-scenario accuracy corpus\n", n)
-	recs, err := taskpoint.RunCorpus(spec, workers, nil, nil, nil)
+	recs, err := taskpoint.RunCorpusContext(ctx, spec, workers, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -137,9 +140,12 @@ func main() {
 	}
 
 	// The corpus section runs in-process; parse-only invocations (-in)
-	// summarise a past run and get no new corpus numbers.
+	// summarise a past run and get no new corpus numbers. Ctrl-C cancels
+	// the corpus simulations promptly.
 	if *corpusN > 0 && *inPath == "" {
-		rep.Corpus, err = runCorpus(*corpusN, *workers)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		rep.Corpus, err = runCorpus(ctx, *corpusN, *workers)
+		stop()
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestParseBenchOutputEmpty(t *testing.T) {
 // summaries — worst-case error and CI coverage — and marshals into the
 // report JSON.
 func TestRunCorpusSection(t *testing.T) {
-	cr, err := runCorpus(3, 2)
+	cr, err := runCorpus(context.Background(), 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,14 +15,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"taskpoint/internal/arch"
 	"taskpoint/internal/gen/corpus"
 	"taskpoint/internal/sweep"
 )
@@ -105,8 +110,11 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	recs, runErr := corpus.Run(spec, *workers, out, completed, onRecord)
+	recs, runErr := corpus.RunContext(ctx, spec, *workers, out, completed, onRecord)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "corpus: some cells failed:\n%v\n", runErr)
 	}
@@ -155,5 +163,8 @@ func splitCSV(s string) []string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "corpus:", err)
+	if errors.Is(err, arch.ErrUnknown) {
+		fmt.Fprintf(os.Stderr, "\nvalid architectures:\n%s", arch.Listing())
+	}
 	os.Exit(1)
 }

@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"taskpoint"
@@ -33,7 +36,12 @@ func main() {
 	)
 	flag.Parse()
 
-	runner := taskpoint.NewRunner(*scale, *seed, *workers)
+	// One signal-bound context cancels every simulation of every section:
+	// the runner is a view over the unified experiment engine, so Ctrl-C
+	// stops the in-flight detailed and sampled runs promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := taskpoint.NewRunner(*scale, *seed, *workers).WithContext(ctx)
 	hpThreads := parseInts(*hpT)
 	lpThreads := parseInts(*lpT)
 	want := map[string]bool{}

@@ -17,15 +17,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"taskpoint/internal/arch"
 	"taskpoint/internal/sweep"
 )
 
@@ -67,6 +72,9 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	completed, err := loadResume(*outPath)
 	if err != nil {
 		fatal(err)
@@ -91,7 +99,7 @@ func main() {
 	}
 
 	start := time.Now()
-	recs, runErr := eng.Run(out, completed)
+	recs, runErr := eng.RunContext(ctx, out, completed)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %d cells failed:\n%v\n", total-len(recs), runErr)
 	}
@@ -229,5 +237,10 @@ func atoiAll(parts []string) ([]int, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
+	if errors.Is(err, arch.ErrUnknown) {
+		// An unknown architecture is the one error a listing fixes:
+		// print every valid spelling under the failure.
+		fmt.Fprintf(os.Stderr, "\nvalid architectures:\n%s", arch.Listing())
+	}
 	os.Exit(1)
 }

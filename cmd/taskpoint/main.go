@@ -1,28 +1,35 @@
 // Command taskpoint runs one benchmark under detailed and sampled
 // simulation and reports execution-time error and speedup — plus, for
 // stratified sampling, the confidence interval of the cycle estimate.
+// It is a front end over the unified experiment engine: the flags build
+// one taskpoint.Request, the engine runs it, and Ctrl-C cancels the
+// simulation mid-run.
 //
 // Usage:
 //
 //	taskpoint -bench cholesky -threads 8 -arch hp -policy lazy -scale 0.125
 //	taskpoint -bench dedup -policy stratified -budget 400
-//	taskpoint -bench dedup -policy 'stratified(400)'
+//	taskpoint -bench dedup -arch native -policy 'stratified(400)'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"taskpoint"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "cholesky", "benchmark name (see -list)")
+		benchName = flag.String("bench", "cholesky", "benchmark name or gen: scenario spec (see -list)")
 		threads   = flag.Int("threads", 8, "simulated threads (1-64)")
-		arch      = flag.String("arch", "hp", "architecture: hp (high-performance) or lp (low-power)")
+		archName  = flag.String("arch", "hp", "architecture: high-performance/hp, low-power/lp or native")
 		policy    = flag.String("policy", "lazy", "sampling policy: lazy, periodic, stratified, or any ParsePolicy form like periodic(250)")
 		period    = flag.Int("period", 250, "sampling period P for -policy periodic")
 		budget    = flag.Int("budget", 400, "detailed-instance budget B for -policy stratified")
@@ -41,21 +48,12 @@ func main() {
 		return
 	}
 
-	prog, err := taskpoint.LookupBenchmark(*benchName, *scale, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	cfg := taskpoint.HighPerf(*threads)
-	if *arch == "lp" {
-		cfg = taskpoint.LowPower(*threads)
-	}
-
 	params := taskpoint.DefaultParams()
 	params.W = *w
 	params.H = *h
 
 	// Resolve the policy: bare family names take their argument from the
-	// matching flag; anything with an argument goes through ParsePolicy,
+	// matching flag; anything else goes through the engine's ParsePolicy,
 	// which rejects unknown or malformed policies instead of silently
 	// falling back.
 	spec := strings.TrimSpace(*policy)
@@ -65,46 +63,59 @@ func main() {
 	case "stratified":
 		spec = fmt.Sprintf("stratified(%d)", *budget)
 	}
-	pol, err := taskpoint.ParsePolicy(spec)
+
+	req := taskpoint.Request{
+		Workload: *benchName,
+		Arch:     *archName,
+		Threads:  *threads,
+		Scale:    *scale,
+		Seed:     *seed,
+		Policy:   spec,
+		Params:   params,
+	}
+	if err := req.Validate(); err != nil {
+		// Unknown names are the errors a listing fixes; everything else
+		// keeps its own message.
+		switch {
+		case errors.Is(err, taskpoint.ErrUnknownArch):
+			fmt.Fprintf(os.Stderr, "taskpoint: %v\n\nvalid -arch values:\n%s", err, taskpoint.ArchListing())
+			os.Exit(1)
+		case errors.Is(err, taskpoint.ErrUnknownName):
+			fmt.Fprintf(os.Stderr, "taskpoint: %v\n\nvalid -bench values:\n", err)
+			for _, n := range taskpoint.Benchmarks() {
+				fmt.Fprintf(os.Stderr, "  %s\n", n)
+			}
+			fmt.Fprintln(os.Stderr, "  gen:FAMILY(knob=value,...)  (see tracegen -list)")
+			os.Exit(1)
+		default:
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := taskpoint.NewEngine().Run(ctx, req)
 	if err != nil {
 		fatal(err)
 	}
 
+	prog, cfg := rep.Program, rep.Config
 	fmt.Printf("benchmark  %s (%d types, %d instances, %.1fM instructions)\n",
 		prog.Name, prog.NumTypes(), prog.NumTasks(), float64(prog.TotalInstructions())/1e6)
 	fmt.Printf("machine    %s, %d threads\n", cfg.Name, cfg.Cores)
-
-	det, err := taskpoint.SimulateDetailed(cfg, prog)
-	if err != nil {
-		fatal(fmt.Errorf("detailed simulation: %w", err))
-	}
-	fmt.Printf("detailed   %.0f cycles in %v\n", det.Cycles, det.Wall.Round(1e6))
-
-	var (
-		samp *taskpoint.Result
-		st   taskpoint.SamplerStats
-		conf taskpoint.Confidence
-	)
-	if sp, ok := pol.(*taskpoint.Stratified); ok {
-		samp, st, conf, err = taskpoint.SimulateStratifiedWith(cfg, prog, params, sp)
-	} else {
-		samp, st, err = taskpoint.SimulateSampled(cfg, prog, params, pol)
-	}
-	if err != nil {
-		fatal(fmt.Errorf("sampled simulation: %w", err))
-	}
+	fmt.Printf("detailed   %.0f cycles in %v\n", rep.Detailed.Cycles, rep.DetailedWall.Round(1e6))
 	fmt.Printf("sampled    %.0f cycles in %v (%s, W=%d H=%d)\n",
-		samp.Cycles, samp.Wall.Round(1e6), pol.Name(), params.W, params.H)
-	fmt.Printf("error      %.2f%%\n", taskpoint.ErrorPct(samp, det))
+		rep.Sampled.Cycles, rep.SampledWall.Round(1e6), rep.Request.Policy, params.W, params.H)
+	fmt.Printf("error      %.2f%%\n", rep.ErrPct)
 	fmt.Printf("speedup    %.1fx wall, %.1fx instructions (%.1f%% simulated in detail)\n",
-		float64(det.Wall)/float64(samp.Wall),
-		float64(samp.TotalInstructions)/float64(samp.DetailedInstructions),
-		100*samp.DetailFraction())
+		rep.SpeedupWall, rep.SpeedupDetail, 100*rep.DetailFraction)
+	st := rep.Sampler
 	fmt.Printf("sampling   %d detailed (%d directed), %d fast, %d valid samples, %d resamples (periodic %d, new-type %d, parallelism %d)\n",
 		st.DetailedStarted, st.DirectedStarted, st.FastStarted, st.ValidSamples,
 		st.Resamples, st.ResamplesPeriodic, st.ResamplesNewType, st.ResamplesParallelism)
-	if conf.Strata > 0 {
-		trueTotal := det.TotalTaskCycles()
+	if conf := rep.Confidence; conf != nil && conf.Strata > 0 {
+		trueTotal := rep.DetailedTaskCycles
 		inside := "inside"
 		if !conf.Covers(trueTotal) {
 			inside = "OUTSIDE"

@@ -1,6 +1,7 @@
 package taskpoint_test
 
 import (
+	"context"
 	"fmt"
 
 	"taskpoint"
@@ -97,6 +98,42 @@ func ExampleSimulateStratified() {
 	// directed samples taken: true
 	// interval is meaningful: true
 	// true total inside 95% CI: true
+}
+
+// Drive the unified experiment engine directly: declare a grid of
+// requests (workload × architecture × threads × policy) and iterate the
+// reports. RunAll shards the grid across the worker pool but yields in
+// request order, and the context cancels in-flight simulations — the one
+// code path behind the Runner, the sweep engine and the corpus harness.
+func ExampleEngine_RunAll() {
+	eng := taskpoint.NewEngine(taskpoint.WithWorkers(4))
+
+	var reqs []taskpoint.Request
+	for _, workload := range []string{"cholesky", "vector-operation"} {
+		for _, policy := range []string{"lazy", "periodic(250)"} {
+			reqs = append(reqs, taskpoint.Request{
+				Workload: workload,
+				Arch:     "hp", // canonicalised to "high-performance"
+				Threads:  2,
+				Scale:    1.0 / 64,
+				Seed:     42,
+				Policy:   policy,
+			})
+		}
+	}
+
+	for rep, err := range eng.RunAll(context.Background(), reqs) {
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s: error below 10%%: %v\n", rep.Request.Key(), rep.ErrPct < 10)
+	}
+	// Output:
+	// cholesky|high-performance|2|lazy|42: error below 10%: true
+	// cholesky|high-performance|2|periodic(250)|42: error below 10%: true
+	// vector-operation|high-performance|2|lazy|42: error below 10%: true
+	// vector-operation|high-performance|2|periodic(250)|42: error below 10%: true
 }
 
 // Declare and run a small design-space campaign with the sweep engine.

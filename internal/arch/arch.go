@@ -1,0 +1,103 @@
+// Package arch is the single home of the evaluated machine
+// configurations: the architecture names of the paper's Table II (plus
+// the noise-modelled native stand-in), their parsing, and their mapping
+// to simulator configurations. The experiment engine, the evaluation
+// runner, the sweep engine and every command front end resolve
+// architectures here, so a name parses (and fails) identically
+// everywhere.
+package arch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"taskpoint/internal/noise"
+	"taskpoint/internal/sim"
+)
+
+// Arch names one of the evaluated machine configurations.
+type Arch string
+
+// The evaluated architectures.
+const (
+	// HighPerf is Table II's high-performance configuration.
+	HighPerf Arch = "high-performance"
+	// LowPower is Table II's low-power configuration.
+	LowPower Arch = "low-power"
+	// Native is the high-performance configuration plus the system-noise
+	// model, standing in for the paper's SandyBridge-EP machine (Fig 1).
+	Native Arch = "native"
+)
+
+// ErrUnknown marks architecture lookup failures caused by a name that
+// matches no configuration — the error class a "valid architectures"
+// listing fixes, parallel to bench.ErrUnknownName. Test with errors.Is.
+var ErrUnknown = errors.New("unknown architecture")
+
+// All returns the evaluated architectures in paper order.
+func All() []Arch { return []Arch{HighPerf, LowPower, Native} }
+
+// Names returns the canonical architecture names in paper order.
+func Names() []string {
+	archs := All()
+	out := make([]string, len(archs))
+	for i, a := range archs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Listing returns the human-readable "valid architectures" block the
+// command front ends print under an ErrUnknown failure: one canonical
+// name per line plus the accepted short forms, so the listing stays in
+// the one package that owns the names.
+func Listing() string {
+	var b strings.Builder
+	for _, a := range All() {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	b.WriteString("  (plus the short forms hp and lp)\n")
+	return b.String()
+}
+
+// Parse resolves an architecture from its canonical name or the common
+// short forms "hp", "lp" and "native". Unknown names report ErrUnknown.
+func Parse(s string) (Arch, error) {
+	switch s {
+	case string(HighPerf), "hp":
+		return HighPerf, nil
+	case string(LowPower), "lp":
+		return LowPower, nil
+	case string(Native):
+		return Native, nil
+	default:
+		return "", fmt.Errorf("arch: %w %q (want high-performance/hp, low-power/lp or native)", ErrUnknown, s)
+	}
+}
+
+// ConfigFor returns the simulator configuration of arch with the given
+// thread count. Unknown architectures report ErrUnknown.
+func ConfigFor(a Arch, threads int) (sim.Config, error) {
+	switch a {
+	case HighPerf:
+		return sim.HighPerfConfig(threads), nil
+	case LowPower:
+		return sim.LowPowerConfig(threads), nil
+	case Native:
+		return sim.NativeConfig(threads), nil
+	default:
+		return sim.Config{}, fmt.Errorf("arch: %w %q", ErrUnknown, a)
+	}
+}
+
+// SimOptions returns the simulation options of an architecture: the
+// Native machine carries the system-noise perturber (Fig 1), seeded
+// identically for every run at the same (seed, thread count) so detailed
+// references and sampled runs see the same noise and stay comparable.
+func SimOptions(a Arch, seed uint64, threads int) []sim.Option {
+	if a != Native {
+		return nil
+	}
+	return []sim.Option{sim.WithPerturber(noise.New(noise.DefaultConfig(), seed^uint64(threads)))}
+}

@@ -1,0 +1,64 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseCanonicalAndShortForms(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(string(a))
+		if err != nil || got != a {
+			t.Errorf("Parse(%q) = %v, %v", a, got, err)
+		}
+	}
+	if got, err := Parse("hp"); err != nil || got != HighPerf {
+		t.Errorf("Parse(hp) = %v, %v", got, err)
+	}
+	if got, err := Parse("lp"); err != nil || got != LowPower {
+		t.Errorf("Parse(lp) = %v, %v", got, err)
+	}
+}
+
+func TestParseUnknownIsErrUnknown(t *testing.T) {
+	_, err := Parse("tpu")
+	if !errors.Is(err, ErrUnknown) {
+		t.Errorf("Parse(tpu) error %v, want ErrUnknown", err)
+	}
+	_, err = ConfigFor(Arch("tpu"), 4)
+	if !errors.Is(err, ErrUnknown) {
+		t.Errorf("ConfigFor(tpu) error %v, want ErrUnknown", err)
+	}
+}
+
+func TestConfigForAndSimOptions(t *testing.T) {
+	for _, a := range All() {
+		cfg, err := ConfigFor(a, 4)
+		if err != nil {
+			t.Fatalf("ConfigFor(%s): %v", a, err)
+		}
+		if cfg.Cores != 4 {
+			t.Errorf("%s config has %d cores, want 4", a, cfg.Cores)
+		}
+	}
+	// Only the native machine carries the noise perturber.
+	if opts := SimOptions(HighPerf, 42, 4); len(opts) != 0 {
+		t.Errorf("high-performance got %d sim options, want 0", len(opts))
+	}
+	if opts := SimOptions(Native, 42, 4); len(opts) != 1 {
+		t.Errorf("native got %d sim options, want 1", len(opts))
+	}
+}
+
+func TestNamesMatchAll(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatalf("%d names for %d architectures", len(names), len(all))
+	}
+	for i, a := range all {
+		if names[i] != string(a) {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], a)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"sync"
+
+	"taskpoint/internal/bench"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/trace"
+)
+
+// progKey identifies a generated program: the same (workload, scale, seed)
+// always materialises the identical trace.
+type progKey struct {
+	workload string
+	scale    float64
+	seed     uint64
+}
+
+// detKey identifies a detailed reference simulation. The noise model of
+// the native architecture is seeded from (seed, threads), so the key
+// fields pin it too.
+type detKey struct {
+	progKey
+	arch    string
+	threads int
+}
+
+// BaselineCache caches generated programs and detailed reference results
+// across experiment cells, keyed by their full identity, so the expensive
+// cycle-level baseline of (workload, arch, threads, scale, seed) is paid
+// once no matter how many policies, figures or campaign cells sweep over
+// it. One cache can back any number of Engines; it is safe for concurrent
+// use.
+//
+// Concurrent cells racing to fill the same slot may both compute it; the
+// first stored value wins and every later reader adopts it, so all
+// consumers observe one canonical result per key.
+type BaselineCache struct {
+	mu    sync.Mutex
+	progs map[progKey]*trace.Program
+	dets  map[detKey]*sim.Result
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{
+		progs: make(map[progKey]*trace.Program),
+		dets:  make(map[detKey]*sim.Result),
+	}
+}
+
+// Program returns the (cached) generated program of a workload at the
+// given scale and seed.
+func (c *BaselineCache) Program(workload string, scale float64, seed uint64) (*trace.Program, error) {
+	key := progKey{workload: workload, scale: scale, seed: seed}
+	c.mu.Lock()
+	if p, ok := c.progs[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	spec, err := bench.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.Build(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.progs[key]; ok {
+		return prev, nil
+	}
+	c.progs[key] = p
+	return p, nil
+}
+
+// detailed returns the cached reference result for key, or nil.
+func (c *BaselineCache) detailed(key detKey) *sim.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dets[key]
+}
+
+// storeDetailed records a freshly computed reference, returning the stored
+// canonical value (an earlier writer's result wins the race).
+func (c *BaselineCache) storeDetailed(key detKey, res *sim.Result) *sim.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.dets[key]; ok {
+		return prev
+	}
+	c.dets[key] = res
+	return res
+}

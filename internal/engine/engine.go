@@ -1,0 +1,381 @@
+// Package engine is the unified experiment engine: one context-aware,
+// cancellable entry point that turns a Request (workload × architecture ×
+// threads × parameters × policy) into a Report (sampled result, sampler
+// statistics, accuracy against the cached detailed reference, optional
+// confidence interval).
+//
+// Every driver of the repository routes through it — the evaluation
+// runner (internal/results), the design-space sweep engine
+// (internal/sweep), the generated accuracy corpus (internal/gen/corpus)
+// and the command front ends — so worker pooling, baseline caching and
+// cell identity exist exactly once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"time"
+
+	"taskpoint/internal/arch"
+	"taskpoint/internal/core"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/stats"
+	"taskpoint/internal/strata"
+	"taskpoint/internal/trace"
+
+	// Register the "gen:" scenario resolver so generated workloads run
+	// wherever a Table I benchmark name does, mirroring how the strata
+	// import below registers the "stratified" policy parser.
+	_ "taskpoint/internal/gen"
+)
+
+// Report is the outcome of one experiment cell: the sampled run, its
+// detailed reference, and the derived accuracy/speedup metrics every
+// consumer reports.
+type Report struct {
+	// Request echoes the executed request in normalized form: defaults
+	// filled, architecture and policy names canonical. Request.Key() is
+	// the cell's durable identity.
+	Request Request
+	// Program is the generated workload the cell simulated.
+	Program *trace.Program
+	// Config is the resolved machine configuration.
+	Config sim.Config
+	// Sampled and Detailed are the two simulation results; Detailed is
+	// shared with every other cell of the same baseline via the engine's
+	// cache.
+	Sampled  *sim.Result
+	Detailed *sim.Result
+	// Sampler reports the sampling controller's internal statistics.
+	Sampler core.Stats
+	// Confidence is the stratified estimate of total task cycles with
+	// its confidence interval; nil unless the policy reports one.
+	Confidence *strata.Confidence
+	// ErrPct is the absolute execution-time error of the sampled run
+	// against the detailed reference, in percent — the paper's accuracy
+	// metric.
+	ErrPct float64
+	// SpeedupWall is detailed wall time / sampled wall time.
+	SpeedupWall float64
+	// SpeedupDetail is total instructions / instructions simulated in
+	// detail — the machine-independent speedup proxy.
+	SpeedupDetail float64
+	// DetailFraction is the fraction of instructions simulated in detail.
+	DetailFraction float64
+	// DetailedTaskCycles is the detailed reference's total task execution
+	// time (Σ per-instance durations) — the quantity a stratified
+	// Confidence estimates.
+	DetailedTaskCycles float64
+	// SampledWall and DetailedWall are the host wall-clock times of the
+	// two runs (the only non-deterministic fields of a report).
+	SampledWall, DetailedWall time.Duration
+}
+
+// confidencePolicy is the optional policy surface the engine wires up:
+// strata.Stratified implements it, and so can any future budgeted policy
+// that prescans the program and reports a confidence interval.
+type confidencePolicy interface {
+	core.Policy
+	Prescan(prog *trace.Program)
+	Confidence() strata.Confidence
+}
+
+// Engine executes experiment requests over a bounded worker pool with a
+// shared baseline cache. The zero configuration is usable: New() gives
+// one worker slot per CPU and a private cache. Engines are safe for
+// concurrent use.
+type Engine struct {
+	workers  int
+	cache    *BaselineCache
+	progress func(done, total int, rep Report)
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the number of concurrently running simulations
+// (minimum 1). It sizes both the RunAll worker pool and the semaphore
+// throttling concurrent Run callers.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// WithBaselineCache shares an existing baseline cache, so detailed
+// references computed by other engines (or earlier campaigns in the same
+// process) are reused instead of re-simulated.
+func WithBaselineCache(c *BaselineCache) Option {
+	return func(e *Engine) {
+		if c != nil {
+			e.cache = c
+		}
+	}
+}
+
+// WithProgress installs a completion observer: RunAll invokes it once per
+// successfully completed request, in deterministic request order, with
+// done counting completions so far and total the request count.
+func WithProgress(fn func(done, total int, rep Report)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// New builds an engine. Defaults: one worker slot per CPU, a fresh
+// private baseline cache, no progress observer.
+func New(opts ...Option) *Engine {
+	e := &Engine{workers: runtime.NumCPU(), cache: NewBaselineCache()}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's baseline cache (shared or private).
+func (e *Engine) Cache() *BaselineCache { return e.cache }
+
+// acquire claims one simulation slot, honouring cancellation while
+// queued. The returned release must be called exactly once.
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	e.semOnce.Do(func() { e.sem = make(chan struct{}, e.workers) })
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Baseline returns the (cached) detailed reference simulation of the
+// request's (workload, arch, threads, scale, seed) cell — the run every
+// sampled result is measured against. The request's policy and sampling
+// parameters are irrelevant and ignored.
+func (e *Engine) Baseline(ctx context.Context, req Request) (*sim.Result, error) {
+	n := req.normalized()
+	a, err := arch.Parse(n.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return e.baseline(ctx, n, a)
+}
+
+func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Result, error) {
+	key := detKey{
+		progKey: progKey{workload: n.Workload, scale: n.Scale, seed: n.Seed},
+		arch:    string(a),
+		threads: n.Threads,
+	}
+	if res := e.cache.detailed(key); res != nil {
+		return res, nil
+	}
+	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := arch.ConfigFor(a, n.Threads)
+	if err != nil {
+		return nil, err
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.SimulateContext(ctx, cfg, prog, sim.DetailedController{}, arch.SimOptions(a, n.Seed, n.Threads)...)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	return e.cache.storeDetailed(key, res), nil
+}
+
+// Run executes one experiment cell: the detailed reference (cached), the
+// sampled run under the request's policy, and the comparison between
+// them. Cancellation of ctx abandons the cell mid-simulation with ctx's
+// error.
+func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
+	n, policy, err := req.resolve()
+	if err != nil {
+		return Report{}, err
+	}
+	a := arch.Arch(n.Arch)
+	det, err := e.baseline(ctx, n, a)
+	if err != nil {
+		return Report{}, err
+	}
+	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg, err := arch.ConfigFor(a, n.Threads)
+	if err != nil {
+		return Report{}, err
+	}
+	params := n.Params
+	strat, _ := policy.(confidencePolicy)
+	if strat != nil {
+		// A confidence-reporting policy is prescanned over the program
+		// (exact stratum populations) and implies size-class histories.
+		strat.Prescan(prog)
+		params.SizeClasses = true
+	}
+	sampler, err := core.New(params, policy)
+	if err != nil {
+		return Report{}, err
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := sim.SimulateContext(ctx, cfg, prog, sampler, arch.SimOptions(a, n.Seed, n.Threads)...)
+	release()
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{
+		Request:            n,
+		Program:            prog,
+		Config:             cfg,
+		Sampled:            res,
+		Detailed:           det,
+		Sampler:            sampler.Stats(),
+		ErrPct:             stats.AbsPctError(res.Cycles, det.Cycles),
+		SpeedupDetail:      float64(res.TotalInstructions) / float64(max(res.DetailedInstructions, 1)),
+		DetailFraction:     res.DetailFraction(),
+		DetailedTaskCycles: det.TotalTaskCycles(),
+		SampledWall:        res.Wall,
+		DetailedWall:       det.Wall,
+	}
+	if res.Wall > 0 {
+		rep.SpeedupWall = float64(det.Wall) / float64(res.Wall)
+	}
+	if strat != nil {
+		conf := strat.Confidence()
+		rep.Confidence = &conf
+	}
+	return rep, nil
+}
+
+// RunAll executes the requests across the engine's worker pool and yields
+// one (Report, error) pair per request, in request order regardless of
+// worker count or completion order — so record streams derived from the
+// sequence are deterministic. A failing cell yields its error and the
+// iteration continues; once ctx is cancelled, in-flight simulations stop
+// promptly and every remaining request yields ctx's error. Breaking out
+// of the iteration cancels the outstanding work.
+//
+// Dispatch is throttled to a bounded window ahead of the yield frontier,
+// so the reorder buffer holds at most a few reports (with their full
+// per-instance results) even when one slow early cell stalls the ordered
+// output of a huge campaign.
+func (e *Engine) RunAll(ctx context.Context, reqs []Request) iter.Seq2[Report, error] {
+	return func(yield func(Report, error) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		type outcome struct {
+			idx int
+			rep Report
+			err error
+		}
+		// Buffered to the full request count so producers never block:
+		// an early break from the consumer cannot strand a goroutine.
+		out := make(chan outcome, len(reqs))
+		feed := make(chan int)
+		// Dispatch credits: one is taken per dispatched request and
+		// returned per yielded outcome, bounding dispatched-but-unyielded
+		// work (and with it the reorder buffer) to the window size while
+		// still keeping every worker busy.
+		window := 4 * e.workers
+		if window < 8 {
+			window = 8
+		}
+		credits := make(chan struct{}, window)
+		for i := 0; i < window; i++ {
+			credits <- struct{}{}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < min(e.workers, len(reqs)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range feed {
+					rep, err := e.Run(ctx, reqs[idx])
+					if err != nil {
+						err = fmt.Errorf("engine: request %s: %w", reqs[idx].Key(), err)
+					}
+					out <- outcome{idx: idx, rep: rep, err: err}
+				}
+			}()
+		}
+		go func() {
+			defer close(feed)
+			for i := range reqs {
+				// Undispatched requests fail with the cancellation error;
+				// dispatched ones report through their worker.
+				select {
+				case <-credits:
+				case <-ctx.Done():
+					for j := i; j < len(reqs); j++ {
+						out <- outcome{idx: j, err: fmt.Errorf("engine: request %s: %w", reqs[j].Key(), ctx.Err())}
+					}
+					return
+				}
+				select {
+				case feed <- i:
+				case <-ctx.Done():
+					for j := i; j < len(reqs); j++ {
+						out <- outcome{idx: j, err: fmt.Errorf("engine: request %s: %w", reqs[j].Key(), ctx.Err())}
+					}
+					return
+				}
+			}
+		}()
+
+		pending := make(map[int]outcome)
+		next, done := 0, 0
+		for received := 0; received < len(reqs); received++ {
+			o := <-out
+			pending[o.idx] = o
+			for {
+				po, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				// Return the dispatch credit non-blockingly: after a
+				// cancellation the feeder emits the tail without taking
+				// credits, so the channel may already be full.
+				select {
+				case credits <- struct{}{}:
+				default:
+				}
+				if po.err == nil {
+					done++
+					if e.progress != nil {
+						e.progress(done, len(reqs), po.rep)
+					}
+				}
+				if !yield(po.rep, po.err) {
+					return
+				}
+			}
+		}
+		wg.Wait()
+	}
+}

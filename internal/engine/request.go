@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+
+	"taskpoint/internal/arch"
+	"taskpoint/internal/bench"
+	"taskpoint/internal/core"
+)
+
+// Request declares one experiment cell: a single workload simulated on one
+// architecture at one thread count under one sampling policy, compared
+// against its detailed reference. It is the one request shape behind the
+// evaluation runner, the design-space sweep engine and the generated
+// corpus — a cell means the same thing, and is keyed the same way, in all
+// of them.
+//
+// The zero value of every optional field selects a documented default, so
+// a Request can be as small as {Workload: "cholesky"}.
+type Request struct {
+	// Workload names what to simulate: a Table I benchmark name or a
+	// generated-scenario spec ("gen:family(knob=value,...)").
+	Workload string `json:"workload"`
+	// Arch is the architecture name in any form arch.Parse accepts
+	// ("high-performance"/"hp", "low-power"/"lp", "native"). Empty
+	// selects the high-performance configuration.
+	Arch string `json:"arch,omitempty"`
+	// Threads is the simulated thread count (default 1).
+	Threads int `json:"threads,omitempty"`
+	// Scale is the workload scale (1.0 = Table I instance counts);
+	// zero and negative select 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives workload generation and the noise model. Zero is a
+	// valid seed, not a default marker.
+	Seed uint64 `json:"seed,omitempty"`
+	// Policy is the resampling policy in any form core.ParsePolicy
+	// accepts ("lazy", "periodic(250)", "stratified:400"). Empty selects
+	// lazy sampling. The engine builds a fresh policy value per run, so
+	// stateful policies (stratified) never leak state across cells.
+	Policy string `json:"policy,omitempty"`
+	// Params are the sampling parameters; the zero value selects the
+	// paper's defaults (W=2, H=4).
+	Params core.Params `json:"params,omitzero"`
+	// PolicyValue, when non-nil, is used instead of parsing Policy — for
+	// callers holding a policy value carrying configuration beyond its
+	// textual name (a custom strata.Config). The value is stateful and
+	// reset per run; do not share one across concurrent requests.
+	PolicyValue core.Policy `json:"-"`
+}
+
+// normalized returns the request with every defaulted field filled and
+// the policy/arch names canonicalised where cheaply possible — the form
+// Run executes and Report echoes back.
+func (r Request) normalized() Request {
+	if r.Arch == "" {
+		r.Arch = string(arch.HighPerf)
+	}
+	if r.Threads == 0 {
+		r.Threads = 1
+	}
+	if r.Scale <= 0 {
+		r.Scale = 1
+	}
+	if r.PolicyValue != nil {
+		r.Policy = r.PolicyValue.Name()
+	} else if r.Policy == "" {
+		r.Policy = "lazy"
+	}
+	if r.Params == (core.Params{}) {
+		r.Params = core.DefaultParams()
+	}
+	return r
+}
+
+// resolve normalises the request and eagerly resolves every name it
+// carries, so an invalid cell fails before any simulation runs. The
+// returned request has canonical Arch and Policy spellings; the policy
+// value is freshly built (or the caller's PolicyValue, reset by the
+// sampler at run start).
+func (r Request) resolve() (Request, core.Policy, error) {
+	n := r.normalized()
+	if n.Workload == "" {
+		return n, nil, fmt.Errorf("engine: request without workload")
+	}
+	if _, err := bench.ByName(n.Workload); err != nil {
+		return n, nil, fmt.Errorf("engine: %w", err)
+	}
+	a, err := arch.Parse(n.Arch)
+	if err != nil {
+		return n, nil, fmt.Errorf("engine: %w", err)
+	}
+	n.Arch = string(a)
+	pol := n.PolicyValue
+	if pol == nil {
+		pol, err = core.ParsePolicy(n.Policy)
+		if err != nil {
+			return n, nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	n.Policy = pol.Name()
+	if err := n.Params.Validate(); err != nil {
+		return n, nil, fmt.Errorf("engine: %w", err)
+	}
+	return n, pol, nil
+}
+
+// Validate normalises the request and resolves its workload, architecture,
+// policy and parameters, reporting the first failure. Unknown architecture
+// names report arch.ErrUnknown and unknown workload names
+// bench.ErrUnknownName, so front ends can print the matching "valid
+// values" listing.
+func (r Request) Validate() error {
+	_, _, err := r.resolve()
+	return err
+}
+
+// Key is the cell's stable identity: workload, canonical architecture,
+// thread count, canonical policy name and seed, pipe-separated. It is THE
+// cell key of the repository — sweep resume files, corpus records and
+// baseline bookkeeping all derive from it (scale and sampling parameters
+// are deliberately excluded; durable records carry them alongside the key
+// and cross-check on resume).
+func (r Request) Key() string {
+	n := r.normalized()
+	if n.PolicyValue == nil {
+		if pol, err := core.ParsePolicy(n.Policy); err == nil {
+			n.Policy = pol.Name()
+		}
+	}
+	if a, err := arch.Parse(n.Arch); err == nil {
+		n.Arch = string(a)
+	}
+	return CellKey(n.Workload, n.Arch, n.Threads, n.Policy, n.Seed)
+}
+
+// CellKey formats the canonical cell identity from its parts. Callers that
+// already hold canonical spellings (sweep cells) use it directly; Request.Key
+// canonicalises first.
+func CellKey(workload, archName string, threads int, policy string, seed uint64) string {
+	return fmt.Sprintf("%s|%s|%d|%s|%d", workload, archName, threads, policy, seed)
+}

@@ -10,6 +10,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -195,6 +196,15 @@ func (s Spec) SweepSpec() (sweep.Spec, error) {
 // deterministic scenario-major order regardless of worker count.
 func Run(s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
 	onRecord func(done, total int, rec sweep.Record)) ([]sweep.Record, error) {
+	return RunContext(context.Background(), s, workers, out, completed, onRecord)
+}
+
+// RunContext is Run with cooperative cancellation: the corpus is a thin
+// adapter over the sweep engine — itself an adapter over the unified
+// experiment engine — so cancelling ctx stops in-flight simulations
+// promptly and fails the remaining cells with ctx's error.
+func RunContext(ctx context.Context, s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
+	onRecord func(done, total int, rec sweep.Record)) ([]sweep.Record, error) {
 	sw, err := s.SweepSpec()
 	if err != nil {
 		return nil, err
@@ -204,7 +214,7 @@ func Run(s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
 		return nil, err
 	}
 	eng.OnRecord = onRecord
-	return eng.Run(out, completed)
+	return eng.RunContext(ctx, out, completed)
 }
 
 // PolicySummary aggregates one policy over every scenario of a corpus —

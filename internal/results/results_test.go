@@ -112,6 +112,41 @@ func TestFigureGridAndAverages(t *testing.T) {
 	}
 }
 
+// impostorLazy spells its name like the parseable lazy policy but
+// behaves differently: it resamples on every fast-retired instance.
+type impostorLazy struct{}
+
+func (impostorLazy) Name() string                    { return "lazy" }
+func (impostorLazy) ShouldResample(_, fast int) bool { return fast >= 1 }
+
+// TestFigurePreservesNonRoundTrippablePolicies: a policy whose textual
+// name does not reconstruct it (here: a custom type colliding with the
+// "lazy" spelling) must run as the caller's value, not be silently
+// replaced by the default build of its name.
+func TestFigurePreservesNonRoundTrippablePolicies(t *testing.T) {
+	r := NewRunner(testScale, 1, 2)
+	rows, err := r.Figure(HighPerf, []int{2}, core.DefaultParams(), impostorLazy{}, []string{"blackscholes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	// The impostor resamples aggressively; the real lazy policy never
+	// does. If Figure had substituted ParsePolicy("lazy")'s build, the
+	// periodic-resample count would be zero.
+	if rows[0].Sampler.ResamplesPeriodic == 0 {
+		t.Error("custom policy was replaced by the default build of its name")
+	}
+	lazyRows, err := r.Figure(HighPerf, []int{2}, core.DefaultParams(), core.Lazy{}, []string{"blackscholes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazyRows[0].Sampler.ResamplesPeriodic != 0 {
+		t.Error("real lazy policy reported periodic resamples")
+	}
+}
+
 func TestVariationRows(t *testing.T) {
 	r := NewRunner(testScale, 1, 2)
 	rows, err := r.Variation(HighPerf, 4)

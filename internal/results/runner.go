@@ -4,78 +4,59 @@
 // speedup of Figures 6-10, the IPC-variation box plots of Figures 1 and 5,
 // and the Table I inventory, and renders them as the rows/series the paper
 // reports.
+//
+// Since the unified experiment engine (internal/engine) was introduced,
+// Runner is a thin adapter over it: worker pooling, baseline caching and
+// cell identity live in the engine; this package keeps the paper-shaped
+// row types and rendering.
 package results
 
 import (
-	"fmt"
+	"context"
+	"reflect"
 	"sync"
 	"time"
 
+	"taskpoint/internal/arch"
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
-	"taskpoint/internal/noise"
+	"taskpoint/internal/engine"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
 	"taskpoint/internal/strata"
 	"taskpoint/internal/trace"
-
-	// Register the "gen:" scenario resolver so generated workloads are
-	// runnable wherever a Table I benchmark name is (Runner, sweeps,
-	// commands), mirroring how the strata import registers its policy
-	// parser.
-	_ "taskpoint/internal/gen"
 )
 
-// Arch selects one of the evaluated machine configurations.
-type Arch string
+// Arch selects one of the evaluated machine configurations. It is an
+// alias of arch.Arch — the architecture registry lives in internal/arch.
+type Arch = arch.Arch
 
 // The evaluated architectures.
 const (
 	// HighPerf is Table II's high-performance configuration.
-	HighPerf Arch = "high-performance"
+	HighPerf = arch.HighPerf
 	// LowPower is Table II's low-power configuration.
-	LowPower Arch = "low-power"
+	LowPower = arch.LowPower
 	// Native is the high-performance configuration plus the system-noise
 	// model, standing in for the paper's SandyBridge-EP machine (Fig 1).
-	Native Arch = "native"
+	Native = arch.Native
 )
 
 // Arches returns the evaluated architectures in paper order.
-func Arches() []Arch { return []Arch{HighPerf, LowPower, Native} }
+func Arches() []Arch { return arch.All() }
 
 // ParseArch resolves an architecture from its name or the common short
-// forms "hp", "lp" and "native".
-func ParseArch(s string) (Arch, error) {
-	switch s {
-	case string(HighPerf), "hp":
-		return HighPerf, nil
-	case string(LowPower), "lp":
-		return LowPower, nil
-	case string(Native):
-		return Native, nil
-	default:
-		return "", fmt.Errorf("results: unknown architecture %q (want high-performance/hp, low-power/lp or native)", s)
-	}
-}
+// forms "hp", "lp" and "native". Unknown names report arch.ErrUnknown.
+func ParseArch(s string) (Arch, error) { return arch.Parse(s) }
 
 // ConfigFor returns the simulator configuration of arch with the given
 // thread count.
-func ConfigFor(arch Arch, threads int) (sim.Config, error) {
-	switch arch {
-	case HighPerf:
-		return sim.HighPerfConfig(threads), nil
-	case LowPower:
-		return sim.LowPowerConfig(threads), nil
-	case Native:
-		return sim.NativeConfig(threads), nil
-	default:
-		return sim.Config{}, fmt.Errorf("results: unknown architecture %q", arch)
-	}
-}
+func ConfigFor(a Arch, threads int) (sim.Config, error) { return arch.ConfigFor(a, threads) }
 
-// Runner executes and caches simulations. Detailed reference runs are
-// cached by (benchmark, arch, threads), so every figure shares its
-// baselines. Runner is safe for concurrent use.
+// Runner executes and caches simulations through the unified experiment
+// engine. Detailed reference runs are cached by (benchmark, arch,
+// threads), so every figure shares its baselines. Runner is safe for
+// concurrent use.
 type Runner struct {
 	// Scale is the benchmark scale (1 = Table I instance counts).
 	Scale float64
@@ -84,11 +65,19 @@ type Runner struct {
 	// Workers bounds concurrent simulations.
 	Workers int
 
-	mu       sync.Mutex
-	progs    map[string]*trace.Program
-	detailed map[string]*sim.Result
-	sem      chan struct{}
-	semOnce  sync.Once
+	// ctx, when set via WithContext, cancels every simulation the runner
+	// starts; nil means context.Background().
+	ctx context.Context
+
+	mu     sync.Mutex
+	shared *runnerShared
+}
+
+// runnerShared is the engine state behind a Runner and every context-bound
+// view of it (WithContext), so all views share one baseline cache and one
+// worker pool.
+type runnerShared struct {
+	eng *engine.Engine
 }
 
 // NewRunner builds a runner at the given benchmark scale.
@@ -96,88 +85,68 @@ func NewRunner(scale float64, seed uint64, workers int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
+	r := &Runner{Scale: scale, Seed: seed, Workers: workers}
+	r.ensureShared()
+	return r
+}
+
+// WithContext returns a view of the runner whose simulations are
+// cancelled when ctx is: the paper-figure drivers (cmd/experiments) bind
+// a signal context once instead of threading it through every call. The
+// view shares the runner's engine, baseline cache and worker pool.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
 	return &Runner{
-		Scale:    scale,
-		Seed:     seed,
-		Workers:  workers,
-		progs:    make(map[string]*trace.Program),
-		detailed: make(map[string]*sim.Result),
+		Scale:   r.Scale,
+		Seed:    r.Seed,
+		Workers: r.Workers,
+		ctx:     ctx,
+		shared:  r.ensureShared(),
 	}
 }
 
-func (r *Runner) acquire() func() {
-	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.Workers) })
-	r.sem <- struct{}{}
-	return func() { <-r.sem }
+// ensureShared lazily builds the backing engine, so zero-constructed
+// Runners keep working like they did before the engine existed.
+func (r *Runner) ensureShared() *runnerShared {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shared == nil {
+		workers := r.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		r.shared = &runnerShared{eng: engine.New(engine.WithWorkers(workers))}
+	}
+	return r.shared
 }
 
-// simOpts returns the simulation options of an architecture: the Native
-// machine carries the system-noise perturber (Fig 1), seeded identically
-// for every run at the same thread count so detailed references and
-// sampled runs see the same noise and remain comparable.
-func (r *Runner) simOpts(arch Arch, threads int) []sim.Option {
-	if arch != Native {
-		return nil
+func (r *Runner) engine() *engine.Engine { return r.ensureShared().eng }
+
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
 	}
-	return []sim.Option{sim.WithPerturber(noise.New(noise.DefaultConfig(), r.Seed^uint64(threads)))}
+	return context.Background()
+}
+
+// request is the engine request of one runner cell.
+func (r *Runner) request(benchName string, a Arch, threads int) engine.Request {
+	return engine.Request{
+		Workload: benchName,
+		Arch:     string(a),
+		Threads:  threads,
+		Scale:    r.Scale,
+		Seed:     r.Seed,
+	}
 }
 
 // Program returns the (cached) generated program of a benchmark.
 func (r *Runner) Program(name string) (*trace.Program, error) {
-	r.mu.Lock()
-	if p, ok := r.progs[name]; ok {
-		r.mu.Unlock()
-		return p, nil
-	}
-	r.mu.Unlock()
-	spec, err := bench.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := spec.Build(r.Scale, r.Seed)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if prev, ok := r.progs[name]; ok {
-		return prev, nil
-	}
-	r.progs[name] = p
-	return p, nil
+	return r.engine().Cache().Program(name, r.Scale, r.Seed)
 }
 
 // Detailed runs (or returns the cached) full-detail reference simulation.
-func (r *Runner) Detailed(benchName string, arch Arch, threads int) (*sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|%d", benchName, arch, threads)
-	r.mu.Lock()
-	if res, ok := r.detailed[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-
-	prog, err := r.Program(benchName)
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := ConfigFor(arch, threads)
-	if err != nil {
-		return nil, err
-	}
-	release := r.acquire()
-	res, err := sim.Simulate(cfg, prog, sim.DetailedController{}, r.simOpts(arch, threads)...)
-	release()
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if prev, ok := r.detailed[key]; ok {
-		return prev, nil
-	}
-	r.detailed[key] = res
-	return res, nil
+func (r *Runner) Detailed(benchName string, a Arch, threads int) (*sim.Result, error) {
+	return r.engine().Baseline(r.context(), r.request(benchName, a, threads))
 }
 
 // SampledRow is one bar of Figures 7-10: one benchmark at one thread count
@@ -213,106 +182,80 @@ type SampledRow struct {
 	SampledWall, DetailedWall time.Duration
 }
 
-// confidencePolicy is the optional policy surface the runner wires up:
-// strata.Stratified implements it, and so can any future budgeted policy
-// that prescans the program and reports a confidence interval.
-type confidencePolicy interface {
-	core.Policy
-	Prescan(prog *trace.Program)
-	Confidence() strata.Confidence
+// RowOf folds an engine report into the figure-row shape of this package.
+func RowOf(rep engine.Report) SampledRow {
+	return SampledRow{
+		Bench:              rep.Request.Workload,
+		Arch:               Arch(rep.Request.Arch),
+		Threads:            rep.Request.Threads,
+		ErrPct:             rep.ErrPct,
+		SpeedupWall:        rep.SpeedupWall,
+		SpeedupDetail:      rep.SpeedupDetail,
+		DetailFraction:     rep.DetailFraction,
+		Sampler:            rep.Sampler,
+		SampledCycles:      rep.Sampled.Cycles,
+		DetailedCycles:     rep.Detailed.Cycles,
+		DetailedTaskCycles: rep.DetailedTaskCycles,
+		Confidence:         rep.Confidence,
+		SampledWall:        rep.SampledWall,
+		DetailedWall:       rep.DetailedWall,
+	}
 }
 
 // Sampled runs one sampled simulation and compares it against the cached
 // detailed reference. A confidence-reporting policy (strata.Stratified)
 // is prescanned over the program (exact stratum populations) and implies
 // size-class histories; its confidence interval lands in the row.
-func (r *Runner) Sampled(benchName string, arch Arch, threads int, params core.Params, policy core.Policy) (SampledRow, error) {
-	det, err := r.Detailed(benchName, arch, threads)
+func (r *Runner) Sampled(benchName string, a Arch, threads int, params core.Params, policy core.Policy) (SampledRow, error) {
+	req := r.request(benchName, a, threads)
+	req.Params = params
+	req.PolicyValue = policy
+	rep, err := r.engine().Run(r.context(), req)
 	if err != nil {
 		return SampledRow{}, err
 	}
-	prog, err := r.Program(benchName)
-	if err != nil {
-		return SampledRow{}, err
-	}
-	cfg, err := ConfigFor(arch, threads)
-	if err != nil {
-		return SampledRow{}, err
-	}
-	strat, _ := policy.(confidencePolicy)
-	if strat != nil {
-		strat.Prescan(prog)
-		params.SizeClasses = true
-	}
-	sampler, err := core.New(params, policy)
-	if err != nil {
-		return SampledRow{}, err
-	}
-	release := r.acquire()
-	res, err := sim.Simulate(cfg, prog, sampler, r.simOpts(arch, threads)...)
-	release()
-	if err != nil {
-		return SampledRow{}, err
-	}
-	speedupDetail := float64(res.TotalInstructions) / float64(max64(res.DetailedInstructions, 1))
-	wallSpeedup := 0.0
-	if res.Wall > 0 {
-		wallSpeedup = float64(det.Wall) / float64(res.Wall)
-	}
-	row := SampledRow{
-		Bench:              benchName,
-		Arch:               arch,
-		Threads:            threads,
-		ErrPct:             stats.AbsPctError(res.Cycles, det.Cycles),
-		SpeedupWall:        wallSpeedup,
-		SpeedupDetail:      speedupDetail,
-		DetailFraction:     res.DetailFraction(),
-		Sampler:            sampler.Stats(),
-		SampledCycles:      res.Cycles,
-		DetailedCycles:     det.Cycles,
-		DetailedTaskCycles: det.TotalTaskCycles(),
-		SampledWall:        res.Wall,
-		DetailedWall:       det.Wall,
-	}
-	if strat != nil {
-		conf := strat.Confidence()
-		row.Confidence = &conf
-	}
-	return row, nil
+	return RowOf(rep), nil
 }
 
 // Figure runs the full grid of one of Figures 7-10: every benchmark at
 // every thread count under the given sampling parameters and policy.
-// Rows are ordered benchmark-major in Table I order.
-func (r *Runner) Figure(arch Arch, threadCounts []int, params core.Params, policy core.Policy, benchNames []string) ([]SampledRow, error) {
+// Rows are ordered benchmark-major in Table I order. Policies whose name
+// fully round-trips through core.ParsePolicy (lazy, periodic — the
+// figure policies) are rebuilt fresh per cell, so stateful policies
+// never share state across the grid; anything the name cannot faithfully
+// reproduce (custom configurations, custom policy types) runs as a
+// shared value, like it always did.
+func (r *Runner) Figure(a Arch, threadCounts []int, params core.Params, policy core.Policy, benchNames []string) ([]SampledRow, error) {
 	if benchNames == nil {
 		benchNames = bench.Names()
 	}
-	type slot struct {
-		row SampledRow
-		err error
+	name := policy.Name()
+	var value core.Policy
+	if rebuilt, err := core.ParsePolicy(name); err != nil || !reflect.DeepEqual(rebuilt, policy) {
+		// The textual name does not reconstruct this exact policy
+		// (unregistered custom type, non-default configuration, or
+		// carried-over run state) — pass the caller's value through
+		// rather than silently substituting the default build.
+		value = policy
 	}
-	rows := make([]slot, len(benchNames)*len(threadCounts))
-	var wg sync.WaitGroup
-	for bi, bn := range benchNames {
-		for ti, tc := range threadCounts {
-			wg.Add(1)
-			go func(idx int, bn string, tc int) {
-				defer wg.Done()
-				row, err := r.Sampled(bn, arch, tc, params, policy)
-				rows[idx] = slot{row: row, err: err}
-			}(bi*len(threadCounts)+ti, bn, tc)
+	reqs := make([]engine.Request, 0, len(benchNames)*len(threadCounts))
+	for _, bn := range benchNames {
+		for _, tc := range threadCounts {
+			req := r.request(bn, a, tc)
+			req.Params = params
+			req.Policy = name
+			req.PolicyValue = value
+			reqs = append(reqs, req)
 		}
 	}
-	wg.Wait()
-	out := make([]SampledRow, 0, len(rows))
-	for _, s := range rows {
-		if s.err != nil {
-			return nil, s.err
+	rows := make([]SampledRow, 0, len(reqs))
+	for rep, err := range r.engine().RunAll(r.context(), reqs) {
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, s.row)
+		rows = append(rows, RowOf(rep))
 	}
-	return out, nil
+	return rows, nil
 }
 
 // Averages aggregates rows per thread count: mean error, mean wall
@@ -373,11 +316,4 @@ func AverageByThreads(rows []SampledRow) []Averages {
 		out = append(out, avg)
 	}
 	return out
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

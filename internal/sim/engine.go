@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -173,13 +174,36 @@ var ErrDeadlock = errors.New("sim: scheduler deadlock with tasks remaining")
 // Run simulates the whole program under the given controller and returns
 // the result. The engine must not be reused afterwards.
 func (e *Engine) Run(ctrl Controller) (*Result, error) {
+	return e.RunContext(context.Background(), ctrl)
+}
+
+// cancelCheckMask bounds how many scheduler iterations may pass between
+// context checks in the hot loop. Each iteration advances one core by at
+// most one quantum, so 64 iterations keep cancellation latency well under
+// a millisecond of host time while the check itself (one atomic-ish
+// ctx.Err call per 64 events) stays invisible in profiles.
+const cancelCheckMask = 63
+
+// RunContext is Run with cooperative cancellation: the scheduler loop
+// polls ctx every few events and abandons the simulation with ctx's error
+// mid-program, so callers driving large campaigns can stop promptly. The
+// engine must not be reused after either outcome.
+func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	wallStart := time.Now()
 	res := &Result{
 		TotalInstructions: e.prog.TotalInstructions(),
 		PerInstance:       make([]InstanceRecord, len(e.prog.Instances)),
 	}
 
-	for !e.sched.Done() {
+	for iter := 0; !e.sched.Done(); iter++ {
+		if iter&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := e.assign(ctrl); err != nil {
 			return nil, err
 		}
@@ -355,9 +379,15 @@ func (e *Engine) finishTask(core int, ctrl Controller, res *Result, ipc float64)
 // Simulate is the convenience entry point: build an engine and run prog on
 // cfg under ctrl.
 func Simulate(cfg Config, prog *trace.Program, ctrl Controller, opts ...Option) (*Result, error) {
+	return SimulateContext(context.Background(), cfg, prog, ctrl, opts...)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the run is
+// abandoned with ctx's error when ctx is cancelled mid-simulation.
+func SimulateContext(ctx context.Context, cfg Config, prog *trace.Program, ctrl Controller, opts ...Option) (*Result, error) {
 	e, err := NewEngine(cfg, prog, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(ctrl)
+	return e.RunContext(ctx, ctrl)
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,9 +10,9 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
 
 	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
 	"taskpoint/internal/results"
 	"taskpoint/internal/stats"
 )
@@ -67,8 +68,9 @@ type Record struct {
 	CICovered          bool    `json:"ci_covered,omitempty"`
 }
 
-func recordOf(cell Cell, spec Spec, row results.SampledRow) Record {
+func recordOf(cell Cell, spec Spec, rep engine.Report) Record {
 	params := spec.Params()
+	row := results.RowOf(rep)
 	rec := Record{
 		Key:            cell.Key(),
 		Bench:          cell.Bench,
@@ -102,16 +104,17 @@ func recordOf(cell Cell, spec Spec, row results.SampledRow) Record {
 	return rec
 }
 
-// Engine executes a sweep. Cells are sharded across Workers goroutines;
-// one results.Runner per seed caches detailed baselines, so the reference
-// simulation of (benchmark, arch, threads) is paid once no matter how many
-// policies sweep over it.
+// Engine executes a sweep as a thin adapter over the unified experiment
+// engine (internal/engine): cells become engine requests sharded across
+// its worker pool, detailed baselines are cached by the engine's shared
+// cache, and records stream back in deterministic cell order regardless
+// of worker count.
 type Engine struct {
 	spec    Spec
 	workers int
 
-	// OnRecord, when set, observes every newly completed cell (from the
-	// completing worker's goroutine, serialised by the engine).
+	// OnRecord, when set, observes every newly completed cell, in
+	// deterministic cell order.
 	OnRecord func(done, total int, rec Record)
 }
 
@@ -147,19 +150,22 @@ func (e *Engine) Resumable(completed map[string]Record) (skip, total int) {
 
 // Run executes every cell of the spec not already present in completed
 // (keyed by Cell.Key), streaming one JSON line per newly completed cell to
-// out as it finishes. It returns all records of the campaign — resumed and
-// new — in deterministic cell order. Cells that fail do not abort the
-// rest of the campaign; their errors are joined into the returned error.
+// out. It returns all records of the campaign — resumed and new — in
+// deterministic cell order. Cells that fail do not abort the rest of the
+// campaign; their errors are joined into the returned error.
 func (e *Engine) Run(out io.Writer, completed map[string]Record) ([]Record, error) {
+	return e.RunContext(context.Background(), out, completed)
+}
+
+// RunContext is Run with cooperative cancellation: cells are dispatched
+// to the unified experiment engine, whose simulations stop promptly when
+// ctx is cancelled; cells not completed by then fail with ctx's error.
+// New records stream to out in deterministic cell order whatever the
+// worker count, so two campaigns over the same spec produce identical
+// streams (modulo the host wall-clock fields).
+func (e *Engine) RunContext(ctx context.Context, out io.Writer, completed map[string]Record) ([]Record, error) {
 	cells := e.spec.Cells()
 	params := e.spec.Params()
-
-	runners := make(map[uint64]*results.Runner)
-	for _, c := range cells {
-		if _, ok := runners[c.Seed]; !ok {
-			runners[c.Seed] = results.NewRunner(e.spec.Scale, c.Seed, e.workers)
-		}
-	}
 
 	type outcome struct {
 		rec Record
@@ -167,6 +173,7 @@ func (e *Engine) Run(out io.Writer, completed map[string]Record) ([]Record, erro
 	}
 	outcomes := make([]outcome, len(cells))
 	pending := make([]int, 0, len(cells))
+	reqs := make([]engine.Request, 0, len(cells))
 	for i, c := range cells {
 		// A completed record only stands in for the cell when it ran
 		// under the same campaign configuration.
@@ -176,61 +183,45 @@ func (e *Engine) Run(out io.Writer, completed map[string]Record) ([]Record, erro
 			continue
 		}
 		pending = append(pending, i)
+		reqs = append(reqs, engine.Request{
+			Workload: c.Bench,
+			Arch:     string(c.Arch),
+			Threads:  c.Threads,
+			Scale:    e.spec.Scale,
+			Seed:     c.Seed,
+			Policy:   c.Policy,
+			Params:   params,
+		})
 	}
 
-	var (
-		mu   sync.Mutex // guards enc, done
-		enc  *json.Encoder
-		done int
-		wg   sync.WaitGroup
-	)
+	eng := engine.New(engine.WithWorkers(e.workers))
+	var enc *json.Encoder
 	if out != nil {
 		enc = json.NewEncoder(out)
 	}
-	work := make(chan int)
-	emit := func(idx int, rec Record, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		outcomes[idx] = outcome{rec: rec, err: err}
+	k, done := 0, 0
+	for rep, err := range eng.RunAll(ctx, reqs) {
+		idx := pending[k]
+		k++
 		done++
 		if err != nil {
-			return
+			// The engine error already names the cell key; wrapping adds
+			// only the layer.
+			outcomes[idx] = outcome{err: fmt.Errorf("sweep: %w", err)}
+			continue
 		}
+		rec := recordOf(cells[idx], e.spec, rep)
+		outcomes[idx] = outcome{rec: rec}
 		if enc != nil {
 			if werr := enc.Encode(rec); werr != nil {
-				outcomes[idx].err = fmt.Errorf("sweep: writing record %s: %w", rec.Key, werr)
-				return
+				outcomes[idx] = outcome{err: fmt.Errorf("sweep: writing record %s: %w", rec.Key, werr)}
+				continue
 			}
 		}
 		if e.OnRecord != nil {
 			e.OnRecord(len(cells)-len(pending)+done, len(cells), rec)
 		}
 	}
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				cell := cells[idx]
-				policy, err := core.ParsePolicy(cell.Policy)
-				if err != nil {
-					emit(idx, Record{}, err)
-					continue
-				}
-				row, err := runners[cell.Seed].Sampled(cell.Bench, cell.Arch, cell.Threads, params, policy)
-				if err != nil {
-					emit(idx, Record{}, fmt.Errorf("sweep: cell %s: %w", cell.Key(), err))
-					continue
-				}
-				emit(idx, recordOf(cell, e.spec, row), nil)
-			}
-		}()
-	}
-	for _, idx := range pending {
-		work <- idx
-	}
-	close(work)
-	wg.Wait()
 
 	recs := make([]Record, 0, len(cells))
 	var errs []error

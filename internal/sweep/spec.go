@@ -19,6 +19,7 @@ import (
 
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
 	"taskpoint/internal/results"
 )
 
@@ -139,9 +140,11 @@ type Cell struct {
 }
 
 // Key is the cell's stable identity used for resume bookkeeping and JSONL
-// records. It is independent of dimension ordering in the spec.
+// records. It is independent of dimension ordering in the spec and is the
+// unified engine's cell key (engine.CellKey), so sweep records, corpus
+// records and engine requests all key one cell identically.
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s|%s|%d|%s|%d", c.Bench, c.Arch, c.Threads, c.Policy, c.Seed)
+	return engine.CellKey(c.Bench, string(c.Arch), c.Threads, c.Policy, c.Seed)
 }
 
 // Cells expands the spec into its cartesian product in deterministic

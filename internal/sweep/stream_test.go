@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// normalizeStream re-encodes a JSONL record stream with the host
+// wall-clock fields zeroed — the only fields of a record that legitimately
+// differ between two runs of the same campaign. Everything else,
+// including line order, must be byte-identical.
+func normalizeStream(t *testing.T, stream []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	enc := json.NewEncoder(&out)
+	for _, line := range strings.Split(strings.TrimSpace(string(stream)), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		rec.SampledWallMS, rec.DetailedWallMS, rec.SpeedupWall = 0, 0, 0
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestRunStreamsIdenticalAcrossWorkerCounts: the JSONL streams of the
+// same campaign at workers=1 and workers=8 are byte-identical once the
+// host wall-clock fields are zeroed — same cells, same simulated numbers,
+// same deterministic order. Run under -race in CI, this also exercises
+// the unified engine's worker pool for data races.
+func TestRunStreamsIdenticalAcrossWorkerCounts(t *testing.T) {
+	spec := Spec{
+		Name:       "stream",
+		Scale:      1.0 / 64,
+		Benchmarks: []string{"cholesky", "vector-operation"},
+		Archs:      []string{"hp"},
+		Threads:    []int{2, 4},
+		Policies:   []string{"lazy", "stratified(100)"},
+		Seeds:      []uint64{7},
+	}
+	stream := func(workers int) []byte {
+		eng, err := New(spec, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := eng.Run(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := normalizeStream(t, stream(1))
+	eight := normalizeStream(t, stream(8))
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("record streams differ between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", one, eight)
+	}
+}
+
+// TestRunContextCancelled: a cancelled campaign reports the cancellation
+// on its unfinished cells and keeps the records that did complete.
+func TestRunContextCancelled(t *testing.T) {
+	spec := Spec{
+		Name:       "cancel",
+		Scale:      1.0 / 64,
+		Benchmarks: []string{"cholesky", "vector-operation"},
+		Archs:      []string{"hp"},
+		Threads:    []int{2},
+		Policies:   []string{"lazy", "periodic(150)"},
+		Seeds:      []uint64{7},
+	}
+	eng, err := New(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var streamed int
+	eng.OnRecord = func(done, total int, rec Record) {
+		streamed++
+		cancel() // stop after the first completed cell
+	}
+	recs, err := eng.RunContext(ctx, nil, nil)
+	if err == nil {
+		t.Fatal("cancelled campaign reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error %v does not wrap context.Canceled", err)
+	}
+	if len(recs) == 0 || len(recs) >= 4 {
+		t.Errorf("cancelled campaign returned %d of 4 records", len(recs))
+	}
+}

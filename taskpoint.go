@@ -41,10 +41,13 @@
 package taskpoint
 
 import (
+	"context"
 	"io"
 
+	"taskpoint/internal/arch"
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
 	"taskpoint/internal/gen"
 	"taskpoint/internal/gen/corpus"
 	"taskpoint/internal/results"
@@ -128,6 +131,26 @@ type (
 	// CorpusPolicySummary aggregates one policy over a corpus (mean and
 	// worst-case error, speedup, CI coverage rate).
 	CorpusPolicySummary = corpus.PolicySummary
+	// Request declares one experiment cell for the unified engine: a
+	// workload (Table I name or "gen:" scenario spec) on one architecture
+	// at one thread count under one sampling policy. Zero-valued optional
+	// fields select documented defaults.
+	Request = engine.Request
+	// Report is the outcome of one experiment cell: the sampled run, its
+	// cached detailed reference, the derived accuracy and speedup
+	// metrics, the sampler's statistics and — for confidence-reporting
+	// policies — the stratified interval.
+	Report = engine.Report
+	// Engine is the unified, context-aware experiment engine behind the
+	// evaluation Runner, the sweep engine and the corpus harness. Build
+	// one with NewEngine and drive it with Run or RunAll.
+	Engine = engine.Engine
+	// EngineOption configures NewEngine (WithWorkers, WithBaselineCache,
+	// WithProgress).
+	EngineOption = engine.Option
+	// BaselineCache caches generated programs and detailed reference
+	// results across cells and engines.
+	BaselineCache = engine.BaselineCache
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -171,9 +194,22 @@ func PeriodicPolicy(p int) Policy { return core.Periodic{P: p} }
 // (task type × size class × concurrency band), the remaining budget is
 // Neyman-allocated by stratum variance, and the run reports a confidence
 // interval. The policy is stateful: pass a fresh (or finished) value per
-// run. It panics on b < 1; use ParsePolicy("stratified(B)") for error
-// handling.
+// run. It panics on b < 1.
+//
+// Deprecated: use NewStratifiedPolicy, which reports invalid budgets as
+// an error instead of panicking (mirroring ParsePolicy's error path).
 func StratifiedPolicy(b int) Policy { return strata.MustNew(strata.DefaultConfig(b)) }
+
+// NewStratifiedPolicy is StratifiedPolicy with validation: it rejects
+// budgets below one task instance with an error, the same failure mode as
+// ParsePolicy("stratified(B)").
+func NewStratifiedPolicy(b int) (Policy, error) {
+	pol, err := strata.New(strata.DefaultConfig(b))
+	if err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
 
 // ParsePolicy builds a policy from its textual name — "lazy",
 // "periodic(250)", "stratified(400)" or the flag-friendly colon forms —
@@ -187,6 +223,21 @@ func Benchmarks() []string { return bench.Names() }
 // unknown name (as opposed to malformed arguments of a known one) — the
 // error class a "valid names" listing fixes. Test with errors.Is.
 var ErrUnknownName = bench.ErrUnknownName
+
+// ErrUnknownArch marks architecture lookup failures caused by a name that
+// matches no machine configuration — the error class a "valid
+// architectures" listing fixes, parallel to ErrUnknownName. Test with
+// errors.Is.
+var ErrUnknownArch = arch.ErrUnknown
+
+// Arches returns the canonical architecture names in paper order
+// (high-performance, low-power, native); Request.Arch also accepts the
+// short forms "hp" and "lp".
+func Arches() []string { return arch.Names() }
+
+// ArchListing returns the human-readable "valid architectures" block
+// front ends print under an ErrUnknownArch failure.
+func ArchListing() string { return arch.Listing() }
 
 // Benchmark generates one of the paper's benchmarks at the given scale
 // (1.0 reproduces Table I instance counts) with a deterministic seed.
@@ -274,9 +325,38 @@ func ErrorPct(sampled, detailed *Result) float64 {
 	return stats.AbsPctError(sampled.Cycles, detailed.Cycles)
 }
 
+// NewEngine builds a unified experiment engine. Defaults: one worker slot
+// per CPU, a private baseline cache, no progress observer. Every other
+// driver of the repository — NewRunner, NewSweep, RunCorpus and the
+// command front ends — is a thin adapter over an Engine, so pooling,
+// baseline caching and cell identity behave identically everywhere.
+//
+//	eng := taskpoint.NewEngine(taskpoint.WithWorkers(4))
+//	rep, err := eng.Run(ctx, taskpoint.Request{Workload: "cholesky", Threads: 8})
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithWorkers bounds an engine's concurrently running simulations
+// (minimum 1).
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// WithBaselineCache shares a baseline cache across engines, so detailed
+// references computed by one campaign are reused by the next.
+func WithBaselineCache(c *BaselineCache) EngineOption { return engine.WithBaselineCache(c) }
+
+// WithProgress installs a completion observer invoked once per
+// successfully completed RunAll request, in deterministic request order.
+func WithProgress(fn func(done, total int, rep Report)) EngineOption {
+	return engine.WithProgress(fn)
+}
+
+// NewBaselineCache returns an empty baseline cache for WithBaselineCache.
+func NewBaselineCache() *BaselineCache { return engine.NewBaselineCache() }
+
 // NewRunner builds an evaluation runner at the given benchmark scale with
 // the given worker parallelism; it caches detailed baselines across
 // experiments. Seed drives workload generation and the noise model.
+// Runner.WithContext binds a cancellation context to every simulation the
+// runner starts.
 func NewRunner(scale float64, seed uint64, workers int) *Runner {
 	return results.NewRunner(scale, seed, workers)
 }
@@ -334,6 +414,14 @@ func DefaultCorpus(n int) CorpusSpec { return corpus.DefaultSpec(n) }
 func RunCorpus(spec CorpusSpec, workers int, out io.Writer, completed map[string]SweepRecord,
 	onRecord func(done, total int, rec SweepRecord)) ([]SweepRecord, error) {
 	return corpus.Run(spec, workers, out, completed, onRecord)
+}
+
+// RunCorpusContext is RunCorpus with cooperative cancellation: in-flight
+// simulations stop promptly when ctx is cancelled and the remaining cells
+// fail with ctx's error.
+func RunCorpusContext(ctx context.Context, spec CorpusSpec, workers int, out io.Writer,
+	completed map[string]SweepRecord, onRecord func(done, total int, rec SweepRecord)) ([]SweepRecord, error) {
+	return corpus.RunContext(ctx, spec, workers, out, completed, onRecord)
 }
 
 // SummarizeCorpus folds corpus records into per-policy summaries: mean
