@@ -34,7 +34,8 @@ func mustSpec(b *testing.B, name string) *bench.Spec {
 // the size-class extension on dedup and freqmine — the two benchmarks the
 // paper names as victims of input-dependent instance sizes.
 func BenchmarkAblationSizeClassing(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	names := []string{"dedup", "freqmine", "sparse-matrix-vector-multiplication"}
 	var plain, classed []float64
 	for i := 0; i < b.N; i++ {
@@ -64,7 +65,8 @@ func BenchmarkAblationSizeClassing(b *testing.B) {
 // benchmarks, reporting both the execution-time error and the relative
 // width of the stratified confidence interval.
 func BenchmarkAblationStratified(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	names := []string{"dedup", "freqmine", "sparse-matrix-vector-multiplication"}
 	var plain, strat, ciw []float64
 	for i := 0; i < b.N; i++ {
@@ -97,6 +99,7 @@ func BenchmarkAblationStratified(b *testing.B) {
 // sampling (paper §I) — so the error should stay in the same band for
 // both orders.
 func BenchmarkAblationSchedulerPolicy(b *testing.B) {
+	b.ReportAllocs()
 	var errs [2]float64
 	for i := 0; i < b.N; i++ {
 		for pi, pol := range []sched.Policy{sched.FIFO, sched.LIFO} {
@@ -125,7 +128,8 @@ func BenchmarkAblationSchedulerPolicy(b *testing.B) {
 // reduction (a genuinely shrinking tree): patience 1 resamples on every
 // transient; patience 2 absorbs them.
 func BenchmarkAblationPatience(b *testing.B) {
-	r1 := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r1 := benchRunner()
 	var resamples [2]float64
 	var errs [2]float64
 	for i := 0; i < b.N; i++ {
@@ -156,6 +160,7 @@ func BenchmarkAblationPatience(b *testing.B) {
 // percent) across quantum sizes, showing the conservative interleaving
 // converges.
 func BenchmarkAblationQuantum(b *testing.B) {
+	b.ReportAllocs()
 	var cycles [3]float64
 	quanta := []int64{500, 2000, 8000}
 	for i := 0; i < b.N; i++ {

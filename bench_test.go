@@ -11,6 +11,7 @@ import (
 
 	"taskpoint/internal/bench"
 	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
 	"taskpoint/internal/results"
 	"taskpoint/internal/stats"
 )
@@ -18,6 +19,17 @@ import (
 // benchScale keeps every artefact benchmark tractable: instance counts are
 // Table I / 32 (with a floor of 64), preserving the task-type structure.
 const benchScale = 1.0 / 32
+
+// benchBaselines shares generated programs and detailed reference
+// simulations across every artefact benchmark (and across b.N
+// iterations), so each expensive cycle-level baseline is simulated once
+// per process instead of once per figure.
+var benchBaselines = engine.NewBaselineCache()
+
+// benchRunner builds a runner backed by the shared baseline cache.
+func benchRunner() *results.Runner {
+	return results.NewCachedRunner(benchScale, 42, 2, benchBaselines)
+}
 
 // figureMetrics folds rows into the two headline metrics.
 func figureMetrics(b *testing.B, rows []results.SampledRow) {
@@ -34,7 +46,8 @@ func figureMetrics(b *testing.B, rows []results.SampledRow) {
 // BenchmarkTable1Inventory regenerates Table I: the benchmark inventory
 // with measured detailed-simulation times at 1 and 64 threads.
 func BenchmarkTable1Inventory(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		rows, err := r.Table1()
 		if err != nil {
@@ -49,7 +62,8 @@ func BenchmarkTable1Inventory(b *testing.B) {
 // BenchmarkFig1NativeVariation regenerates Figure 1: per-type IPC variation
 // under the native-machine noise model at 8 threads.
 func BenchmarkFig1NativeVariation(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var within int
 	for i := 0; i < b.N; i++ {
 		rows, err := r.Variation(results.Native, 8)
@@ -69,7 +83,8 @@ func BenchmarkFig1NativeVariation(b *testing.B) {
 // BenchmarkFig5SimulatedVariation regenerates Figure 5: per-type IPC
 // variation in detailed simulation of the high-performance machine.
 func BenchmarkFig5SimulatedVariation(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var within int
 	for i := 0; i < b.N; i++ {
 		rows, err := r.Variation(results.HighPerf, 8)
@@ -89,7 +104,8 @@ func BenchmarkFig5SimulatedVariation(b *testing.B) {
 // BenchmarkFig6aWarmupSweep regenerates Figure 6a: error and speedup as the
 // warm-up size W varies (H=10, lazy), on the sensitivity benchmarks.
 func BenchmarkFig6aWarmupSweep(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var pts []results.SweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -105,7 +121,8 @@ func BenchmarkFig6aWarmupSweep(b *testing.B) {
 // BenchmarkFig6bHistorySweep regenerates Figure 6b: error and speedup as
 // the history size H varies (W=2, lazy).
 func BenchmarkFig6bHistorySweep(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var pts []results.SweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -121,7 +138,8 @@ func BenchmarkFig6bHistorySweep(b *testing.B) {
 // BenchmarkFig6cPeriodSweep regenerates Figure 6c: error and speedup as the
 // sampling period P varies (W=2, H=4, periodic).
 func BenchmarkFig6cPeriodSweep(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var pts []results.SweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -137,7 +155,8 @@ func BenchmarkFig6cPeriodSweep(b *testing.B) {
 // BenchmarkFig7PeriodicHighPerf regenerates Figure 7: periodic sampling
 // (P=250) on the high-performance architecture.
 func BenchmarkFig7PeriodicHighPerf(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var rows []results.SampledRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -152,7 +171,8 @@ func BenchmarkFig7PeriodicHighPerf(b *testing.B) {
 // BenchmarkFig8PeriodicLowPower regenerates Figure 8: periodic sampling
 // (P=250) on the low-power architecture.
 func BenchmarkFig8PeriodicLowPower(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var rows []results.SampledRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -167,7 +187,8 @@ func BenchmarkFig8PeriodicLowPower(b *testing.B) {
 // BenchmarkFig9LazyHighPerf regenerates Figure 9: lazy sampling on the
 // high-performance architecture — the paper's headline configuration.
 func BenchmarkFig9LazyHighPerf(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var rows []results.SampledRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -182,7 +203,8 @@ func BenchmarkFig9LazyHighPerf(b *testing.B) {
 // BenchmarkFig10LazyLowPower regenerates Figure 10: lazy sampling on the
 // low-power architecture.
 func BenchmarkFig10LazyLowPower(b *testing.B) {
-	r := results.NewRunner(benchScale, 42, 2)
+	b.ReportAllocs()
+	r := benchRunner()
 	var rows []results.SampledRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -197,6 +219,7 @@ func BenchmarkFig10LazyLowPower(b *testing.B) {
 // BenchmarkDetailedSimThroughput measures raw detailed-mode simulation
 // speed (instructions per second) — the denominator of every speedup.
 func BenchmarkDetailedSimThroughput(b *testing.B) {
+	b.ReportAllocs()
 	spec, err := bench.ByName("2d-convolution")
 	if err != nil {
 		b.Fatal(err)

@@ -60,6 +60,12 @@ type Report struct {
 	Command string `json:"command,omitempty"`
 	// Benchmarks are the parsed results in output order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Kernel holds the simulation-kernel microbenchmarks (internal/sim,
+	// internal/cpu, internal/mem) — host-throughput metrics (instr/s,
+	// ns/op, allocs/op) tracking the simulator hot path itself, as
+	// opposed to the paper-artefact metrics above. Empty when -kernel ""
+	// or in -in parse mode.
+	Kernel []Benchmark `json:"kernel,omitempty"`
 	// Corpus summarises a fixed-seed generated-scenario accuracy corpus
 	// (nil when -corpus 0 or in -in parse mode).
 	Corpus *CorpusReport `json:"corpus,omitempty"`
@@ -102,6 +108,7 @@ func main() {
 		inPath    = flag.String("in", "", "parse an existing go test -bench output file instead of running (\"-\" = stdin)")
 		corpusN   = flag.Int("corpus", 10, "scenarios in the fixed-seed accuracy corpus section (0 skips it)")
 		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent corpus simulations")
+		kernelRe  = flag.String("kernel", "Kernel", "kernel-microbenchmark regexp run over the simulator packages (\"\" skips the section)")
 	)
 	flag.Parse()
 
@@ -137,6 +144,28 @@ func main() {
 	rep.Benchmarks = ParseBenchOutput(string(text))
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results found"))
+	}
+
+	// The kernel section measures the simulator hot path itself
+	// (instructions simulated per host second, allocations per run), so
+	// BENCH_<date>.json records a kernel-throughput trajectory alongside
+	// the accuracy metrics.
+	if *kernelRe != "" && *inPath == "" {
+		args := []string{"test", "-run", "^$", "-bench", *kernelRe,
+			"-benchtime", *benchtime, "-timeout", *timeout,
+			"./internal/sim", "./internal/cpu", "./internal/mem"}
+		fmt.Fprintln(os.Stderr, "bench-report: go "+strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		var out bytes.Buffer
+		cmd.Stdout = io.MultiWriter(&out, os.Stderr)
+		if err := cmd.Run(); err != nil {
+			fatal(err)
+		}
+		rep.Kernel = ParseBenchOutput(out.String())
+		if len(rep.Kernel) == 0 {
+			fatal(fmt.Errorf("no kernel benchmark results matched %q", *kernelRe))
+		}
 	}
 
 	// The corpus section runs in-process; parse-only invocations (-in)

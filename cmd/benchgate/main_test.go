@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+const sampleOut = `
+goos: linux
+BenchmarkKernelDetailedHP8 	       6	  93536693 ns/op	  10947575 instr/s	10682696 B/op	     277 allocs/op
+BenchmarkKernelDetailedHP8 	       6	  91283054 ns/op	  11217854 instr/s	10682696 B/op	     279 allocs/op
+BenchmarkKernelDetailedHP8 	       6	  97837947 ns/op	  10466287 instr/s	10682696 B/op	     275 allocs/op
+BenchmarkKernelExec-8 	    2496	    213479 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseTextAggregatesRuns(t *testing.T) {
+	s := parseText(sampleOut)
+	hp := s["KernelDetailedHP8"]
+	if hp == nil {
+		t.Fatal("KernelDetailedHP8 not parsed")
+	}
+	if n := len(hp.values["ns/op"]); n != 3 {
+		t.Fatalf("ns/op runs = %d, want 3", n)
+	}
+	if med, ok := hp.median("ns/op"); !ok || med != 93536693 {
+		t.Fatalf("ns/op median = %v (%v), want 93536693", med, ok)
+	}
+	if med, _ := hp.median("allocs/op"); med != 277 {
+		t.Fatalf("allocs/op median = %v, want 277", med)
+	}
+	// The -procs suffix is stripped.
+	if s["KernelExec"] == nil {
+		t.Fatal("KernelExec (procs suffix) not parsed")
+	}
+}
+
+func TestParseJSONBaselineShapes(t *testing.T) {
+	bare := []byte(`[{"name":"KernelExec","metrics":{"ns/op":213479,"allocs/op":0}}]`)
+	s, err := parseJSON(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s["KernelExec"].median("ns/op"); v != 213479 {
+		t.Fatalf("bare array median = %v", v)
+	}
+	report := []byte(`{"kernel":[{"name":"KernelDetailedHP8","metrics":{"allocs/op":277}}],
+		"benchmarks":[{"name":"Fig9LazyHighPerf","metrics":{"err_pct":1.5}}]}`)
+	s, err = parseJSON(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["KernelDetailedHP8"] == nil || s["Fig9LazyHighPerf"] == nil {
+		t.Fatal("bench-report sections not merged")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	s := &sample{values: map[string][]float64{"ns/op": {4, 1, 3, 2}}}
+	if med, _ := s.median("ns/op"); med != 2.5 {
+		t.Fatalf("median = %v, want 2.5", med)
+	}
+}

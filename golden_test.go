@@ -1,0 +1,215 @@
+// Golden determinism tests: the simulation kernel's results are part of
+// the repository contract. Every optimisation of the hot path (event
+// heap, directory table, allocation pooling, engine reuse) must keep
+// Result bit-identical — these tests pin SHA-256 digests of the full
+// Result (Cycles, per-instance records, memory statistics) for a spread
+// of Table I and generated scenarios across architectures, thread counts
+// and sampling controllers, committed before the optimisations landed.
+//
+// Regenerate the fixtures (only for a deliberate, reviewed behaviour
+// change) with:
+//
+//	go test -run TestGoldenDigests -update-golden
+package taskpoint_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"taskpoint/internal/arch"
+	"taskpoint/internal/bench"
+	"taskpoint/internal/core"
+	"taskpoint/internal/sim"
+
+	// Register the "gen:" scenario resolver so generated workloads
+	// resolve by name like Table I benchmarks do.
+	_ "taskpoint/internal/gen"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from the current kernel")
+
+// goldenScale keeps every golden run near the 64-instance floor (128
+// instances for the Table I kernels), so the whole spread (including
+// -race CI runs) stays fast while still exercising scheduling depth,
+// coherence and both simulation modes.
+const goldenScale = 1.0 / 128
+
+// goldenCase is one pinned scenario/arch/threads/controller combination.
+type goldenCase struct {
+	Workload string
+	Arch     arch.Arch
+	Threads  int
+	// Policy is "" for the full-detail reference controller, otherwise a
+	// core.ParsePolicy spec run through the sampling controller.
+	Policy string
+	Seed   uint64
+}
+
+// Key is the fixture map key of the case.
+func (c goldenCase) Key() string {
+	pol := c.Policy
+	if pol == "" {
+		pol = "detailed"
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%d", c.Workload, c.Arch, c.Threads, pol, c.Seed)
+}
+
+// goldenCases spans both Table II architectures plus the noise-modelled
+// native machine, thread counts from 1 to 16, atomic/irregular/shrinking
+// workloads, generated scenarios, and detailed as well as sampled
+// controllers — the paths the kernel optimisations touch.
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{Workload: "2d-convolution", Arch: arch.HighPerf, Threads: 8, Seed: 42},
+		{Workload: "2d-convolution", Arch: arch.HighPerf, Threads: 8, Policy: "lazy", Seed: 42},
+		{Workload: "histogram", Arch: arch.LowPower, Threads: 4, Seed: 42},
+		{Workload: "sparse-matrix-vector-multiplication", Arch: arch.HighPerf, Threads: 2, Policy: "periodic(50)", Seed: 7},
+		{Workload: "n-body", Arch: arch.Native, Threads: 4, Seed: 42},
+		{Workload: "reduction", Arch: arch.HighPerf, Threads: 16, Seed: 42},
+		{Workload: "gen:forkjoin", Arch: arch.HighPerf, Threads: 8, Seed: 3},
+		{Workload: "gen:pipeline", Arch: arch.LowPower, Threads: 2, Policy: "lazy", Seed: 3},
+		{Workload: "dense-matrix-multiplication", Arch: arch.LowPower, Threads: 1, Seed: 42},
+	}
+}
+
+// runGolden simulates one golden case from a fresh engine.
+func runGolden(c goldenCase) (*sim.Result, error) {
+	spec, err := bench.ByName(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := spec.Build(goldenScale, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := arch.ConfigFor(c.Arch, c.Threads)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl sim.Controller = sim.DetailedController{}
+	if c.Policy != "" {
+		pol, err := core.ParsePolicy(c.Policy)
+		if err != nil {
+			return nil, err
+		}
+		sampler, err := core.New(core.DefaultParams(), pol)
+		if err != nil {
+			return nil, err
+		}
+		ctrl = sampler
+	}
+	return sim.Simulate(cfg, prog, ctrl, arch.SimOptions(c.Arch, c.Seed, c.Threads)...)
+}
+
+// digestResult folds every deterministic field of a Result — the makespan,
+// the instruction/task accounting, each per-instance record and the memory
+// statistics — into one SHA-256 hex digest. Wall time is excluded (host
+// dependent).
+func digestResult(res *sim.Result) string {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w64(math.Float64bits(res.Cycles))
+	w64(uint64(res.TotalInstructions))
+	w64(uint64(res.DetailedInstructions))
+	w64(uint64(res.DetailedTasks))
+	w64(uint64(res.FastTasks))
+	for i := range res.PerInstance {
+		rec := &res.PerInstance[i]
+		w64(uint64(rec.Type))
+		w64(uint64(rec.Thread))
+		w64(math.Float64bits(rec.Start))
+		w64(math.Float64bits(rec.End))
+		w64(uint64(rec.Instr))
+		w64(math.Float64bits(rec.IPC))
+		w64(uint64(rec.Mode))
+	}
+	m := &res.Mem
+	w64(m.Accesses)
+	w64(m.L1Hits)
+	w64(m.L2Hits)
+	w64(m.L3Hits)
+	w64(m.DRAMAccesses)
+	w64(m.Writebacks)
+	w64(m.Invalidations)
+	w64(math.Float64bits(m.QueueCycles))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const goldenFixture = "testdata/golden_digests.json"
+
+func TestGoldenDigests(t *testing.T) {
+	got := map[string]string{}
+	for _, c := range goldenCases() {
+		res, err := runGolden(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Key(), err)
+		}
+		got[c.Key()] = digestResult(res)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFixture, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), goldenFixture)
+		return
+	}
+
+	data, err := os.ReadFile(goldenFixture)
+	if err != nil {
+		t.Fatalf("read fixtures (regenerate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("fixture has %d digests, test produced %d", len(want), len(got))
+	}
+	for key, g := range got {
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no committed digest (regenerate with -update-golden)", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: digest %s differs from committed %s — kernel results are no longer bit-identical", key, g, w)
+		}
+	}
+}
+
+// TestGoldenRunsAreReproducible guards the digest mechanism itself: two
+// fresh engines over the same case must agree before any fixture
+// comparison is meaningful.
+func TestGoldenRunsAreReproducible(t *testing.T) {
+	c := goldenCases()[0]
+	a, err := runGolden(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runGolden(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digestResult(a) != digestResult(b) {
+		t.Fatal("two identical runs produced different digests")
+	}
+}

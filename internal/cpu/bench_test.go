@@ -1,0 +1,46 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"taskpoint/internal/trace"
+)
+
+// fixedPort is a memory port with a constant latency, isolating the core
+// model (and its per-instance cursor management) from the cache hierarchy.
+type fixedPort struct{ lat float64 }
+
+func (p fixedPort) Access(addr uint64, write, atomic bool, now float64) float64 { return p.lat }
+
+func benchInstance(instr int64) *trace.Instance {
+	return &trace.Instance{
+		ID: 0, Type: 0, Seed: 12345,
+		Segments: []trace.Segment{{
+			N: instr, MemRatio: 0.25, StoreFrac: 0.3, Pat: trace.PatStride,
+			Stride: 64, Footprint: 1 << 16, DepDist: 4, FPFrac: 0.2,
+		}},
+	}
+}
+
+// BenchmarkKernelExec measures the task-execution hot loop end to end:
+// one instance cursor per op (the per-task-instance cost every detailed
+// task pays), run to completion on one core.
+func BenchmarkKernelExec(b *testing.B) {
+	core := New(Config{ROB: 168, IssueWidth: 4, CommitWidth: 4, IntLat: 1, FPLat: 4, StoreLat: 2}, fixedPort{lat: 6})
+	inst := benchInstance(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var retired int64
+	for i := 0; i < b.N; i++ {
+		e := NewExec(inst)
+		for !e.Finished() {
+			core.Run(e, 1<<40, math.Inf(1), 0)
+		}
+		retired += e.Retired()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(retired)/s, "instr/s")
+	}
+}

@@ -14,7 +14,6 @@ package cpu
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"taskpoint/internal/trace"
 )
@@ -63,11 +62,18 @@ type MemPort interface {
 // across task instances executed on the core; after long fast-forward gaps
 // the recorded times lie in the past and impose no constraints, which
 // naturally models a drained pipeline.
+//
+// The rings are sized to the next power of two >= ROB so the
+// per-instruction history reads are masked ANDs instead of integer
+// modulo. Only the last ROB instructions are ever read back (dependency
+// distances are capped at ROB-1 and the occupancy check reads exactly
+// ROB back), so the widened ring holds every value the model consults and
+// the timings are bit-identical to a ROB-sized ring.
 type Core struct {
 	cfg        Config
 	mem        MemPort
-	compRing   []float64 // completion times of the last ROB instructions
-	commitRing []float64 // commit times of the last ROB instructions
+	compRing   []float64 // completion times of recent instructions
+	commitRing []float64 // commit times of recent instructions
 	head       int64     // total instructions dispatched on this core
 	issueSlot  float64   // next available dispatch slot
 	lastCommit float64
@@ -81,11 +87,15 @@ func New(cfg Config, mem MemPort) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	ring := 1
+	for ring < cfg.ROB {
+		ring <<= 1
+	}
 	return &Core{
 		cfg:        cfg,
 		mem:        mem,
-		compRing:   make([]float64, cfg.ROB),
-		commitRing: make([]float64, cfg.ROB),
+		compRing:   make([]float64, ring),
+		commitRing: make([]float64, ring),
 		invIssue:   1 / float64(cfg.IssueWidth),
 		invCommit:  1 / float64(cfg.CommitWidth),
 	}
@@ -114,26 +124,56 @@ func (c *Core) Reset() {
 // instances of a type the per-type IPC regularity Figure 1 documents,
 // while input-dependent types (whose segment parameters themselves vary
 // per instance) still diverge.
+//
+// The generator state is embedded by value (pcgRand reproduces
+// math/rand/v2's stream without the Source interface indirection), so
+// resetting a cursor for a new instance allocates nothing: engines keep
+// a free list of cursors instead of allocating one per task instance.
 type Exec struct {
 	inst     *trace.Instance
 	segIdx   int
 	segDone  int64
-	mixRng   *rand.Rand // instruction classes + dependency distances
-	addrRng  *rand.Rand // memory addresses
+	mixRng   pcgRand // instruction classes + dependency distances
+	addrRng  pcgRand // memory addresses
 	memIdx   int64
 	chase    uint64
 	lastLoad float64 // completion time of the previous load (chase deps)
 	retired  int64
+
+	// Incremental stride-offset state (see Core.address): the cached
+	// offset of the CURRENT memIdx within segment strideIdx, its per-
+	// access step, and whether the incremental form is exact for this
+	// segment's parameters.
+	strideIdx  int
+	strideOff  uint64
+	strideStep uint64
+	strideOK   bool
 }
 
 // NewExec creates an execution cursor for inst.
 func NewExec(inst *trace.Instance) *Exec {
-	return &Exec{
-		inst:    inst,
-		mixRng:  rand.New(rand.NewPCG(uint64(inst.Type)+0x9e3779b97f4a7c15, 0xd1b54a32d192ed03)),
-		addrRng: rand.New(rand.NewPCG(inst.Seed, 0x2545f4914f6cdd1d)),
-		chase:   inst.Seed | 1,
-	}
+	e := &Exec{}
+	e.Reset(inst)
+	return e
+}
+
+// Reset re-targets the cursor at a new instance, restoring the exact
+// state a fresh NewExec(inst) would have, without allocating. It is the
+// reuse hook behind the engine's cursor free list.
+func (e *Exec) Reset(inst *trace.Instance) {
+	e.inst = inst
+	e.segIdx = 0
+	e.segDone = 0
+	e.mixRng.Seed(uint64(inst.Type)+0x9e3779b97f4a7c15, 0xd1b54a32d192ed03)
+	e.addrRng.Seed(inst.Seed, 0x2545f4914f6cdd1d)
+	e.memIdx = 0
+	e.chase = inst.Seed | 1
+	e.lastLoad = 0
+	e.retired = 0
+	e.strideIdx = -1
+	e.strideOff = 0
+	e.strideStep = 0
+	e.strideOK = false
 }
 
 // Instance returns the instance being executed.
@@ -192,29 +232,56 @@ func (c *Core) Run(e *Exec, limit int64, deadline, now float64) (end float64, fi
 // It returns the number of instructions executed.
 func (c *Core) runSegment(e *Exec, seg *trace.Segment, n int64, deadline float64) int64 {
 	rob := int64(c.cfg.ROB)
-	for k := int64(0); k < n; k++ {
-		if k > 0 && c.lastCommit >= deadline {
-			return k
+	// Local ring slices with len-derived masks let the compiler prove
+	// the masked indices in bounds and drop the per-instruction checks.
+	comp, cring := c.compRing, c.commitRing
+	cmask := uint64(len(comp) - 1)
+	wmask := uint64(len(cring) - 1)
+	// Pipeline state and segment parameters live in locals for the loop:
+	// the memory-port call each memory instruction makes would otherwise
+	// force the compiler to reload every field per instruction.
+	var (
+		head        = c.head
+		issueSlot   = c.issueSlot
+		lastCommit  = c.lastCommit
+		invIssue    = c.invIssue
+		invCommit   = c.invCommit
+		memThresh   = f64Thresh(seg.MemRatio)
+		storeThresh = f64Thresh(seg.StoreFrac)
+		fpThresh    = f64Thresh(seg.FPFrac)
+		depDist     = seg.DepDist
+		atomic      = seg.Atomic
+		chasePat    = seg.Pat == trace.PatChase
+		intLat      = c.cfg.IntLat
+		fpLat       = c.cfg.FPLat
+		storeLat    = c.cfg.StoreLat
+	)
+	k := int64(0)
+	for ; k < n; k++ {
+		if k > 0 && lastCommit >= deadline {
+			break
 		}
 		// Register dependency: distance with mean seg.DepDist, at
 		// least 1, bounded by the ROB window.
 		ready := 0.0
 		d := int64(1)
-		if seg.DepDist > 1 {
-			d += int64(e.mixRng.ExpFloat64() * (seg.DepDist - 1))
+		if depDist > 1 {
+			d += int64(e.mixRng.ExpFloat64() * (depDist - 1))
 		}
 		if d > rob-1 {
 			d = rob - 1
 		}
-		if d <= c.head {
-			ready = c.compRing[(c.head-d)%rob]
+		if d <= head {
+			ready = comp[uint64(head-d)&cmask]
 		}
 
 		// ROB occupancy: instruction head cannot dispatch before the
-		// instruction ROB slots older has committed.
-		robFree := c.commitRing[c.head%rob]
+		// instruction ROB slots older has committed. (The slot of
+		// instruction head-ROB still holds its commit time: the ring
+		// spans at least ROB instructions.)
+		robFree := cring[uint64(head-rob)&wmask]
 
-		issue := c.issueSlot
+		issue := issueSlot
 		if ready > issue {
 			issue = ready
 		}
@@ -224,15 +291,15 @@ func (c *Core) runSegment(e *Exec, seg *trace.Segment, n int64, deadline float64
 
 		// Latency by instruction class.
 		var lat float64
-		if e.mixRng.Float64() < seg.MemRatio {
+		if e.mixRng.draw53() < memThresh {
 			addr := c.address(e, seg)
-			isStore := e.mixRng.Float64() < seg.StoreFrac
-			memLat := c.mem.Access(addr, isStore, seg.Atomic, issue)
-			if isStore && !seg.Atomic {
+			isStore := e.mixRng.draw53() < storeThresh
+			memLat := c.mem.Access(addr, isStore, atomic, issue)
+			if isStore && !atomic {
 				// The write buffer hides the store round trip.
-				lat = c.cfg.StoreLat
+				lat = storeLat
 			} else {
-				if seg.Pat == trace.PatChase {
+				if chasePat {
 					// Serialised loads: wait for the previous one.
 					if e.lastLoad > issue {
 						issue = e.lastLoad
@@ -241,26 +308,28 @@ func (c *Core) runSegment(e *Exec, seg *trace.Segment, n int64, deadline float64
 				lat = memLat
 				e.lastLoad = issue + lat
 			}
-		} else if e.mixRng.Float64() < seg.FPFrac {
-			lat = c.cfg.FPLat
+		} else if e.mixRng.draw53() < fpThresh {
+			lat = fpLat
 		} else {
-			lat = c.cfg.IntLat
+			lat = intLat
 		}
 
 		complete := issue + lat
-		commit := c.lastCommit + c.invCommit
+		commit := lastCommit + invCommit
 		if complete > commit {
 			commit = complete
 		}
 
-		idx := c.head % rob
-		c.compRing[idx] = complete
-		c.commitRing[idx] = commit
-		c.lastCommit = commit
-		c.issueSlot = issue + c.invIssue
-		c.head++
+		comp[uint64(head)&cmask] = complete
+		cring[uint64(head)&wmask] = commit
+		lastCommit = commit
+		issueSlot = issue + invIssue
+		head++
 	}
-	return n
+	c.head = head
+	c.issueSlot = issueSlot
+	c.lastCommit = lastCommit
+	return k
 }
 
 // address generates the next memory address of the segment's pattern.
@@ -271,8 +340,35 @@ func (c *Core) address(e *Exec, seg *trace.Segment) uint64 {
 	}
 	switch seg.Pat {
 	case trace.PatStride:
-		off := uint64(e.memIdx*seg.Stride) % fp
+		// The stride offset advances by (stride mod footprint) per
+		// access, replacing the 64-bit division of the closed form
+		// (memIdx*stride) mod footprint with one add and a conditional
+		// subtract. The closed form remains as fallback for parameters
+		// where incremental modular arithmetic would diverge (negative
+		// strides or products overflowing int64), keeping the generated
+		// address sequence bit-identical in every case.
+		var off uint64
+		if e.strideIdx != e.segIdx {
+			e.strideIdx = e.segIdx
+			e.strideOK = seg.Stride >= 0 && fp < 1<<62 &&
+				(seg.Stride == 0 || e.memIdx+seg.N <= (1<<62)/seg.Stride)
+			if e.strideOK {
+				e.strideStep = uint64(seg.Stride) % fp
+			}
+			off = uint64(e.memIdx*seg.Stride) % fp
+		} else {
+			off = e.strideOff
+		}
 		e.memIdx++
+		if e.strideOK {
+			next := off + e.strideStep
+			if next >= fp {
+				next -= fp
+			}
+			e.strideOff = next
+		} else {
+			e.strideOff = uint64(e.memIdx*seg.Stride) % fp
+		}
 		return seg.Base + off
 	case trace.PatRandom:
 		return seg.Base + e.addrRng.Uint64N(fp)

@@ -173,12 +173,37 @@ func (e *Engine) Baseline(ctx context.Context, req Request) (*sim.Result, error)
 	return e.baseline(ctx, n, a)
 }
 
-func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Result, error) {
-	key := detKey{
+// detailedKey is the cache identity of a cell's detailed reference.
+func detailedKey(n Request, a arch.Arch) detKey {
+	return detKey{
 		progKey: progKey{workload: n.Workload, scale: n.Scale, seed: n.Seed},
 		arch:    string(a),
 		threads: n.Threads,
 	}
+}
+
+// detailedFor returns the cached detailed reference for key, computing
+// it on the caller's simulation engine when absent. ran reports whether
+// se executed a run (the caller must Reset it before reusing it); the
+// returned result is always the cache's canonical value for the key.
+func (e *Engine) detailedFor(ctx context.Context, key detKey, se *sim.Engine) (res *sim.Result, ran bool, err error) {
+	if res := e.cache.detailed(key); res != nil {
+		return res, false, nil
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err = se.RunContext(ctx, sim.DetailedController{})
+	release()
+	if err != nil {
+		return nil, false, err
+	}
+	return e.cache.storeDetailed(key, res), true, nil
+}
+
+func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Result, error) {
+	key := detailedKey(n, a)
 	if res := e.cache.detailed(key); res != nil {
 		return res, nil
 	}
@@ -190,32 +215,31 @@ func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Res
 	if err != nil {
 		return nil, err
 	}
-	release, err := e.acquire(ctx)
+	se, err := sim.NewEngine(cfg, prog, arch.SimOptions(a, n.Seed, n.Threads)...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.SimulateContext(ctx, cfg, prog, sim.DetailedController{}, arch.SimOptions(a, n.Seed, n.Threads)...)
-	release()
-	if err != nil {
-		return nil, err
-	}
-	return e.cache.storeDetailed(key, res), nil
+	res, _, err := e.detailedFor(ctx, key, se)
+	return res, err
 }
 
 // Run executes one experiment cell: the detailed reference (cached), the
 // sampled run under the request's policy, and the comparison between
 // them. Cancellation of ctx abandons the cell mid-simulation with ctx's
 // error.
+//
+// The cell builds one simulation engine and reuses it (sim.Engine.Reset)
+// for the detailed reference and the sampled run, so the expensive
+// simulator state — cache arrays, core rings, scheduler storage — is
+// paid once per cell instead of once per run. Reset restores the engine
+// (including the native architecture's noise model) bit-for-bit, so the
+// results are identical to building two engines.
 func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 	n, policy, err := req.resolve()
 	if err != nil {
 		return Report{}, err
 	}
 	a := arch.Arch(n.Arch)
-	det, err := e.baseline(ctx, n, a)
-	if err != nil {
-		return Report{}, err
-	}
 	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
 	if err != nil {
 		return Report{}, err
@@ -223,6 +247,19 @@ func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 	cfg, err := arch.ConfigFor(a, n.Threads)
 	if err != nil {
 		return Report{}, err
+	}
+	se, err := sim.NewEngine(cfg, prog, arch.SimOptions(a, n.Seed, n.Threads)...)
+	if err != nil {
+		return Report{}, err
+	}
+	det, ran, err := e.detailedFor(ctx, detailedKey(n, a), se)
+	if err != nil {
+		return Report{}, err
+	}
+	if ran {
+		if err := se.Reset(nil); err != nil {
+			return Report{}, err
+		}
 	}
 	params := n.Params
 	strat, _ := policy.(confidencePolicy)
@@ -240,7 +277,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	res, err := sim.SimulateContext(ctx, cfg, prog, sampler, arch.SimOptions(a, n.Seed, n.Threads)...)
+	res, err := se.RunContext(ctx, sampler)
 	release()
 	if err != nil {
 		return Report{}, err

@@ -1,0 +1,66 @@
+package mem
+
+import "testing"
+
+func benchSystem(b *testing.B, cores int) *System {
+	b.Helper()
+	cfg := Config{
+		LineSize:          64,
+		L1:                CacheCfg{Size: 32 * 1024, Ways: 8, Lat: 4},
+		L2:                CacheCfg{Size: 2 * 1024 * 1024, Ways: 8, Lat: 11},
+		HasL3:             true,
+		L3:                CacheCfg{Size: 20 * 1024 * 1024, Ways: 20, Lat: 28},
+		DRAMLat:           200,
+		DRAMCyclesPerLine: 1.2,
+		SharedBanks:       16,
+		BankCycles:        1,
+		CoherenceLat:      40,
+		AtomicLat:         15,
+	}
+	s, err := NewSystem(cfg, cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkKernelAccessRead measures the per-instruction read path over a
+// strided working set larger than L1: hits, fills and directory updates in
+// steady state.
+func BenchmarkKernelAccessRead(b *testing.B) {
+	s := benchSystem(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%4096) * 64
+		now += s.Access(0, addr, false, false, now)
+	}
+}
+
+// BenchmarkKernelAccessWrite measures the store path — every write takes
+// the coherence-directory lookup before probing the hierarchy.
+func BenchmarkKernelAccessWrite(b *testing.B) {
+	s := benchSystem(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%4096) * 64
+		now += s.Access(0, addr, true, false, now)
+	}
+}
+
+// BenchmarkKernelAccessShared measures the contended path: two cores
+// alternately writing the same lines, forcing an invalidation plus a
+// directory replacement per access.
+func BenchmarkKernelAccessShared(b *testing.B) {
+	s := benchSystem(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%64) * 64
+		now += s.Access(i&1, addr, true, false, now)
+	}
+}

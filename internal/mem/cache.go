@@ -35,12 +35,16 @@ func (c CacheCfg) validate(name string, lineSize int) error {
 
 // Cache is a single set-associative write-back cache with LRU replacement.
 // Lines are identified by line number (byte address >> log2(lineSize)).
+//
+// Each way stores one packed tag word — the line number shifted left by
+// two with the state in the low bits — so a way probe is a single load
+// and compare. Line numbers occupy at most 58 bits (64-bit byte address
+// over 64-byte lines), so the shift cannot overflow.
 type Cache struct {
 	sets   int
 	ways   int
-	mask   uint64 // sets-1 when sets is a power of two, else 0
-	lines  []uint64
-	state  []uint8 // lineInvalid/lineValid/lineDirty
+	mask   uint64   // sets-1 when sets is a power of two, else 0
+	tags   []uint64 // line<<2 | state per way
 	lru    []uint64
 	clock  uint64
 	hits   uint64
@@ -48,9 +52,10 @@ type Cache struct {
 }
 
 const (
-	lineInvalid uint8 = iota
+	lineInvalid uint64 = iota
 	lineValid
 	lineDirty
+	tagStateMask uint64 = 3
 )
 
 // NewCache builds a cache from cfg with the given line size.
@@ -60,11 +65,10 @@ func NewCache(cfg CacheCfg, lineSize int) (*Cache, error) {
 	}
 	sets := cfg.Size / (lineSize * cfg.Ways)
 	c := &Cache{
-		sets:  sets,
-		ways:  cfg.Ways,
-		lines: make([]uint64, sets*cfg.Ways),
-		state: make([]uint8, sets*cfg.Ways),
-		lru:   make([]uint64, sets*cfg.Ways),
+		sets: sets,
+		ways: cfg.Ways,
+		tags: make([]uint64, sets*cfg.Ways),
+		lru:  make([]uint64, sets*cfg.Ways),
 	}
 	if sets&(sets-1) == 0 {
 		c.mask = uint64(sets - 1)
@@ -89,13 +93,14 @@ func (c *Cache) setOf(line uint64) int {
 // write is set, the line is marked dirty.
 func (c *Cache) Lookup(line uint64, write bool) bool {
 	base := c.setOf(line) * c.ways
+	want := line << 2
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.state[i] != lineInvalid && c.lines[i] == line {
+		if t := c.tags[i]; t&^tagStateMask == want && t&tagStateMask != lineInvalid {
 			c.clock++
 			c.lru[i] = c.clock
 			if write {
-				c.state[i] = lineDirty
+				c.tags[i] = want | lineDirty
 			}
 			c.hits++
 			return true
@@ -110,40 +115,48 @@ func (c *Cache) Lookup(line uint64, write bool) bool {
 // if an invalid way was available.
 func (c *Cache) Fill(line uint64, write bool) (victim uint64, dirty, hadVictim bool) {
 	base := c.setOf(line) * c.ways
+	want := line << 2
+	// Track the victim candidate in registers: the first invalid way if
+	// any, otherwise the least-recently-used valid way.
 	vi := -1
+	viTag := lineInvalid
+	var viLru uint64
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.state[i] == lineInvalid {
-			if vi == -1 || c.state[vi] != lineInvalid {
-				vi = i
+		t := c.tags[i]
+		if t&tagStateMask == lineInvalid {
+			if viTag&tagStateMask != lineInvalid || vi == -1 {
+				vi, viTag = i, t
 			}
 			continue
 		}
-		if c.lines[i] == line {
+		if t&^tagStateMask == want {
 			// Already present (racing fills); refresh instead.
 			c.clock++
 			c.lru[i] = c.clock
 			if write {
-				c.state[i] = lineDirty
+				c.tags[i] = want | lineDirty
 			}
 			return 0, false, false
 		}
-		if vi == -1 || (c.state[vi] != lineInvalid && c.lru[i] < c.lru[vi]) {
-			vi = i
+		if viTag&tagStateMask == lineInvalid && vi != -1 {
+			continue
+		}
+		if l := c.lru[i]; vi == -1 || l < viLru {
+			vi, viTag, viLru = i, t, l
 		}
 	}
-	if c.state[vi] != lineInvalid {
-		victim = c.lines[vi]
-		dirty = c.state[vi] == lineDirty
+	if viTag&tagStateMask != lineInvalid {
+		victim = viTag >> 2
+		dirty = viTag&tagStateMask == lineDirty
 		hadVictim = true
 	}
 	c.clock++
-	c.lines[vi] = line
 	c.lru[vi] = c.clock
 	if write {
-		c.state[vi] = lineDirty
+		c.tags[vi] = want | lineDirty
 	} else {
-		c.state[vi] = lineValid
+		c.tags[vi] = want | lineValid
 	}
 	return victim, dirty, hadVictim
 }
@@ -152,11 +165,12 @@ func (c *Cache) Fill(line uint64, write bool) (victim uint64, dirty, hadVictim b
 // whether it was dirty.
 func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
 	base := c.setOf(line) * c.ways
+	want := line << 2
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.state[i] != lineInvalid && c.lines[i] == line {
-			dirty = c.state[i] == lineDirty
-			c.state[i] = lineInvalid
+		if t := c.tags[i]; t&^tagStateMask == want && t&tagStateMask != lineInvalid {
+			dirty = t&tagStateMask == lineDirty
+			c.tags[i] = lineInvalid
 			return true, dirty
 		}
 	}
@@ -166,9 +180,9 @@ func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
 // Contains probes for line without touching recency or statistics.
 func (c *Cache) Contains(line uint64) bool {
 	base := c.setOf(line) * c.ways
+	want := line << 2
 	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.state[i] != lineInvalid && c.lines[i] == line {
+		if t := c.tags[base+w]; t&^tagStateMask == want && t&tagStateMask != lineInvalid {
 			return true
 		}
 	}
@@ -177,9 +191,7 @@ func (c *Cache) Contains(line uint64) bool {
 
 // Reset invalidates every line and clears hit/miss counters (cold state).
 func (c *Cache) Reset() {
-	for i := range c.state {
-		c.state[i] = lineInvalid
-	}
+	clear(c.tags)
 	c.hits, c.misses = 0, 0
 	c.clock = 0
 }
@@ -187,12 +199,12 @@ func (c *Cache) Reset() {
 // Occupancy returns the fraction of valid lines, a warm-up measure.
 func (c *Cache) Occupancy() float64 {
 	valid := 0
-	for _, st := range c.state {
-		if st != lineInvalid {
+	for _, t := range c.tags {
+		if t&tagStateMask != lineInvalid {
 			valid++
 		}
 	}
-	return float64(valid) / float64(len(c.state))
+	return float64(valid) / float64(len(c.tags))
 }
 
 // Hits returns the number of lookup hits since the last Reset.

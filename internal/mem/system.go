@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Config describes a full memory hierarchy. The paper's Table II
@@ -42,6 +43,12 @@ type Config struct {
 func (c *Config) Validate() error {
 	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
 		return fmt.Errorf("mem: line size %d must be a positive power of two", c.LineSize)
+	}
+	if c.LineSize < 4 {
+		// The caches pack line numbers as line<<2|state in one tag word,
+		// which is injective only when line numbers use at most 62 bits —
+		// i.e. lines of at least 4 bytes.
+		return fmt.Errorf("mem: line size %d must be at least 4 bytes", c.LineSize)
 	}
 	if err := c.L1.validate("L1", c.LineSize); err != nil {
 		return err
@@ -89,10 +96,127 @@ type System struct {
 	l1        []*Cache
 	l2        []*Cache // length nCores when private, 1 when shared
 	l3        *Cache
-	dir       map[uint64]uint64 // line -> bitmask of cores with private copies
-	banks     channel           // aggregate shared-cache bank capacity
-	dram      channel           // DRAM channel capacity
+	dir       dirTable // line -> bitmask of cores with private copies
+	banks     channel  // aggregate shared-cache bank capacity
+	dram      channel  // DRAM channel capacity
 	stats     Stats
+}
+
+// dirEntry is one coherence-directory slot. Key and value share the
+// entry, so a probe touches one cache line instead of two parallel
+// arrays.
+type dirEntry struct {
+	line uint64 // key (valid only when mask != 0)
+	mask uint64 // sharer bitmask; 0 marks an empty slot
+}
+
+// dirTable is the coherence directory: an open-addressing hash table from
+// line number to sharers bitmask. It replaces a Go map on the
+// per-instruction memory path — every store consults the directory before
+// probing the hierarchy, and every fill updates it, so the table's
+// single-multiply hash and linear probe are a measurable share of
+// detailed-mode throughput. A slot is empty iff its mask is zero: sharer
+// masks are only ever written with at least one bit set, and entries are
+// never deleted (an invalidated line simply keeps its new owner's bit).
+//
+// Lookup semantics are exactly those of the map it replaces (exact
+// key/value store, no iteration), so simulation results are bit-identical
+// regardless of table layout or growth schedule.
+type dirTable struct {
+	entries []dirEntry
+	shift   uint // 64 - log2(len), for the fibonacci hash
+	used    int  // occupied slots
+
+	// memoLine/memoSlot cache the last probed slot: a store probes the
+	// directory for coherence and again when the fill records ownership,
+	// and both probes target the same line within one Access. The memo is
+	// invalidated by grow (slots move) and reused only on an exact line
+	// match, so it cannot change results.
+	memoLine uint64
+	memoSlot int
+	memoOK   bool
+}
+
+// dirMinBits is the minimum table size (2^dirMinBits slots).
+const dirMinBits = 10
+
+func (t *dirTable) init(slots int) {
+	bits := uint(dirMinBits)
+	for 1<<bits < slots {
+		bits++
+	}
+	t.entries = make([]dirEntry, 1<<bits)
+	t.shift = 64 - bits
+	t.used = 0
+	t.memoOK = false
+}
+
+// slot returns the index holding line, or the empty slot where it would
+// be inserted. The result is memoised per line; any insert of a
+// different line invalidates it (the probe chain may have changed), and
+// grow invalidates it wholesale.
+func (t *dirTable) slot(line uint64) int {
+	if t.memoOK && t.memoLine == line {
+		return t.memoSlot
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := (line * 0x9e3779b97f4a7c15) >> t.shift
+	for t.entries[i].mask != 0 && t.entries[i].line != line {
+		i = (i + 1) & mask
+	}
+	t.memoLine = line
+	t.memoSlot = int(i)
+	t.memoOK = true
+	return int(i)
+}
+
+// get returns the sharers mask of line (0 when absent).
+func (t *dirTable) get(line uint64) uint64 { return t.entries[t.slot(line)].mask }
+
+// set stores mask (non-zero) as the sharers of line.
+func (t *dirTable) set(line uint64, mask uint64) {
+	i := t.slot(line)
+	if t.entries[i].mask == 0 {
+		t.entries[i].line = line
+		t.used++
+		if t.used*4 > len(t.entries)*3 {
+			t.grow()
+			i = t.slot(line)
+			t.entries[i].line = line
+			t.used++
+		}
+	}
+	t.entries[i].mask = mask
+}
+
+// or merges bit into the sharers of line.
+func (t *dirTable) or(line uint64, bit uint64) {
+	i := t.slot(line)
+	if t.entries[i].mask == 0 {
+		t.set(line, bit)
+		return
+	}
+	t.entries[i].mask |= bit
+}
+
+// grow doubles the table, rehashing every occupied slot.
+func (t *dirTable) grow() {
+	old := t.entries
+	t.init(len(old) * 2)
+	for _, e := range old {
+		if e.mask == 0 {
+			continue
+		}
+		t.entries[t.slot(e.line)] = e
+		t.used++
+	}
+}
+
+// reset empties the table, keeping its capacity.
+func (t *dirTable) reset() {
+	clear(t.entries)
+	t.used = 0
+	t.memoOK = false
 }
 
 // channel models a bandwidth-limited resource with an order-tolerant
@@ -163,10 +287,10 @@ func NewSystem(cfg Config, nCores int) (*System, error) {
 		cfg:       cfg,
 		lineShift: uint(math.Log2(float64(cfg.LineSize))),
 		nCores:    nCores,
-		dir:       make(map[uint64]uint64),
 		banks:     newChannel(cfg.BankCycles / float64(cfg.SharedBanks)),
 		dram:      newChannel(cfg.DRAMCyclesPerLine),
 	}
+	s.dir.init(0)
 	for i := 0; i < nCores; i++ {
 		c, err := NewCache(cfg.L1, cfg.LineSize)
 		if err != nil {
@@ -193,6 +317,27 @@ func NewSystem(cfg Config, nCores int) (*System, error) {
 		s.l3 = c
 	}
 	return s, nil
+}
+
+// PresizeDirectory sizes the coherence directory for a workload expected
+// to touch about `lines` distinct cache lines, so the table reaches its
+// steady-state size up front instead of growing (and rehashing) during
+// the simulated warm-up. The estimate is a hint: an undersized table
+// still grows on demand, and large estimates are clamped — footprint
+// sums over-count shared regions, and an over-sized table costs twice
+// (construction-time zeroing and cold probes), while growth from a
+// modest size is a few amortised rehashes. Results are unaffected
+// either way.
+func (s *System) PresizeDirectory(lines int) {
+	const maxPresize = 1 << 17 // 128Ki lines -> a 4 MiB table at most
+	if lines <= 0 || s.dir.used > 0 {
+		return
+	}
+	if lines > maxPresize {
+		lines = maxPresize
+	}
+	// Size for a sub-75% load factor at the estimated footprint.
+	s.dir.init(lines + lines/2)
 }
 
 // NumCores returns the number of cores the system serves.
@@ -244,18 +389,18 @@ func (s *System) Access(core int, addr uint64, write, atomic bool, now float64) 
 	// Coherence: a write needs exclusivity; invalidate remote private
 	// copies before using any local copy.
 	if effWrite {
-		if sharers := s.dir[line]; sharers&^bit != 0 {
-			for c := 0; c < s.nCores; c++ {
-				if c == core || sharers&(1<<uint(c)) == 0 {
-					continue
-				}
+		if remote := s.dir.get(line) &^ bit; remote != 0 {
+			// Iterate the sharer bits directly (ascending core order,
+			// like the full core scan this replaced).
+			for m := remote; m != 0; m &= m - 1 {
+				c := bits.TrailingZeros64(m)
 				s.l1[c].Invalidate(line)
 				if !s.cfg.L2Shared {
 					s.l2For(c).Invalidate(line)
 				}
 				s.stats.Invalidations++
 			}
-			s.dir[line] = bit
+			s.dir.set(line, bit)
 			lat += s.cfg.CoherenceLat
 		}
 	}
@@ -334,9 +479,9 @@ func (s *System) fillPrivate(core int, line uint64, write bool, bit uint64) {
 		s.writeback()
 	}
 	if write {
-		s.dir[line] = bit
+		s.dir.set(line, bit)
 	} else {
-		s.dir[line] |= bit
+		s.dir.or(line, bit)
 	}
 }
 
@@ -377,7 +522,7 @@ func (s *System) Reset() {
 	if s.l3 != nil {
 		s.l3.Reset()
 	}
-	clear(s.dir)
+	s.dir.reset()
 	s.banks.reset()
 	s.dram.reset()
 	s.stats = Stats{}

@@ -46,17 +46,26 @@ func DefaultConfig() Config {
 // Model implements sim.Perturber. It is deterministic for a given seed.
 type Model struct {
 	cfg   Config
+	seed  uint64
+	src   rand.PCG
 	rng   *rand.Rand
 	drift map[int]float64
 }
 
 // New builds a noise model with the given seed.
 func New(cfg Config, seed uint64) *Model {
-	return &Model{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewPCG(seed, 0xa0761d6478bd642f)),
-		drift: make(map[int]float64),
-	}
+	m := &Model{cfg: cfg, seed: seed, drift: make(map[int]float64)}
+	m.src.Seed(seed, 0xa0761d6478bd642f)
+	m.rng = rand.New(&m.src)
+	return m
+}
+
+// Reset restores the model to its initial state, so a reused simulation
+// engine (sim.Engine.Reset) observes the exact noise stream a fresh
+// model would produce.
+func (m *Model) Reset() {
+	m.src.Seed(m.seed, 0xa0761d6478bd642f)
+	clear(m.drift)
 }
 
 // Perturb returns the extra cycles system noise adds to a task of duration

@@ -69,6 +69,11 @@ type Runner struct {
 	// starts; nil means context.Background().
 	ctx context.Context
 
+	// cache, when set before first use (NewCachedRunner), backs the
+	// runner's engine with a shared baseline cache instead of a private
+	// one.
+	cache *engine.BaselineCache
+
 	mu     sync.Mutex
 	shared *runnerShared
 }
@@ -86,6 +91,20 @@ func NewRunner(scale float64, seed uint64, workers int) *Runner {
 		workers = 1
 	}
 	r := &Runner{Scale: scale, Seed: seed, Workers: workers}
+	r.ensureShared()
+	return r
+}
+
+// NewCachedRunner builds a runner whose generated programs and detailed
+// reference simulations live in the caller's shared cache, so runners
+// created for separate figures (or separate benchmark iterations) stop
+// re-simulating identical baselines. Results are unaffected: the cache
+// key pins the full cell identity.
+func NewCachedRunner(scale float64, seed uint64, workers int, cache *engine.BaselineCache) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{Scale: scale, Seed: seed, Workers: workers, cache: cache}
 	r.ensureShared()
 	return r
 }
@@ -114,7 +133,11 @@ func (r *Runner) ensureShared() *runnerShared {
 		if workers < 1 {
 			workers = 1
 		}
-		r.shared = &runnerShared{eng: engine.New(engine.WithWorkers(workers))}
+		opts := []engine.Option{engine.WithWorkers(workers)}
+		if r.cache != nil {
+			opts = append(opts, engine.WithBaselineCache(r.cache))
+		}
+		r.shared = &runnerShared{eng: engine.New(opts...)}
 	}
 	return r.shared
 }

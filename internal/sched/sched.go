@@ -9,7 +9,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"taskpoint/internal/taskgraph"
@@ -60,13 +59,24 @@ func New(g *taskgraph.Graph, policy Policy) *State {
 		remaining: make([]int32, g.NumTasks()),
 		policy:    policy,
 	}
-	for i := 0; i < g.NumTasks(); i++ {
-		s.remaining[i] = int32(g.NumPreds(i))
+	s.Reset()
+	return s
+}
+
+// Reset restores the state to program start — every task pending, all
+// roots ready at time 0 — reusing the existing allocations, so one State
+// can drive repeated runs of the same program.
+func (s *State) Reset() {
+	for i := 0; i < s.g.NumTasks(); i++ {
+		s.remaining[i] = int32(s.g.NumPreds(i))
 	}
-	for _, r := range g.Roots() {
+	s.q = s.q[:0]
+	s.seq = 0
+	s.completed = 0
+	s.started = 0
+	for _, r := range s.g.Roots() {
 		s.push(int(r), 0)
 	}
-	return s
 }
 
 func (s *State) push(id int, readyTime float64) {
@@ -74,7 +84,7 @@ func (s *State) push(id int, readyTime float64) {
 	if s.policy == LIFO {
 		order = -order
 	}
-	heap.Push(&s.q, readyItem{id: int32(id), readyTime: readyTime, order: order})
+	s.q.push(readyItem{id: int32(id), readyTime: readyTime, order: order})
 	s.seq++
 }
 
@@ -85,7 +95,7 @@ func (s *State) Pop(now float64) (id int, ok bool) {
 	if len(s.q) == 0 || s.q[0].readyTime > now {
 		return 0, false
 	}
-	it := heap.Pop(&s.q).(readyItem)
+	it := s.q.pop()
 	s.started++
 	return int(it.id), true
 }
@@ -136,21 +146,57 @@ type readyItem struct {
 	order     int64
 }
 
+// readyHeap is a concrete-typed binary min-heap ordered by (readyTime,
+// order). It replaces the container/heap implementation, whose interface
+// methods box every pushed item into an `any` (one allocation per push on
+// the scheduler hot path). The (readyTime, order) key is a strict total
+// order (order is unique per item), so the pop sequence is identical to
+// the interface-based heap's regardless of internal layout.
 type readyHeap []readyItem
 
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].readyTime != h[j].readyTime {
-		return h[i].readyTime < h[j].readyTime
+func (h readyItem) less(o readyItem) bool {
+	if h.readyTime != o.readyTime {
+		return h.readyTime < o.readyTime
 	}
-	return h[i].order < h[j].order
+	return h.order < o.order
 }
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *readyHeap) push(it readyItem) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].less(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() readyItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q[r].less(q[l]) {
+			child = r
+		}
+		if !q[child].less(q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }

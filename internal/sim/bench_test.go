@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"taskpoint/internal/trace"
+)
+
+// kernelProgram builds a scheduler- and memory-realistic workload for the
+// kernel microbenchmarks: ntasks instances of instr instructions each, a
+// light dependency lattice (every fourth task reads its predecessor's
+// output), strided and random memory segments, and a store fraction that
+// exercises the coherence directory.
+func kernelProgram(ntasks int, instr int64) *trace.Program {
+	p := &trace.Program{Name: "kernel", Types: []trace.TypeInfo{{Name: "stride"}, {Name: "rand"}}}
+	for i := 0; i < ntasks; i++ {
+		inst := trace.Instance{
+			ID: int32(i), Type: trace.TypeID(i % 2), Seed: uint64(i + 1),
+			Out: []uint64{uint64(i)},
+		}
+		if i%4 == 3 {
+			inst.In = []uint64{uint64(i - 1)}
+		}
+		seg := trace.Segment{
+			N: instr, MemRatio: 0.3, StoreFrac: 0.3, DepDist: 4,
+			Base: uint64(i%8) << 24, Footprint: 1 << 18, Stride: 64,
+		}
+		if i%2 == 1 {
+			seg.Pat = trace.PatRandom
+		}
+		inst.Segments = []trace.Segment{seg}
+		p.Instances = append(p.Instances, inst)
+	}
+	return p
+}
+
+// benchSimulate measures full detailed simulations of prog on cfg,
+// reporting simulated instructions per host second — the kernel
+// throughput metric the perf gate tracks.
+func benchSimulate(b *testing.B, cfg Config, prog *trace.Program, ctrl Controller) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg, prog, ctrl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.DetailedInstructions
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(instr)/s, "instr/s")
+	}
+}
+
+// BenchmarkKernelDetailedHP8 is the headline detailed-simulation
+// microbenchmark: 8 high-performance cores, full detail, fresh engine per
+// run (the campaign cold path).
+func BenchmarkKernelDetailedHP8(b *testing.B) {
+	benchSimulate(b, HighPerfConfig(8), kernelProgram(256, 4000), DetailedController{})
+}
+
+// BenchmarkKernelDetailedLP4 covers the shared-L2 low-power hierarchy,
+// whose bank contention and coherence path differ from the HP config.
+func BenchmarkKernelDetailedLP4(b *testing.B) {
+	benchSimulate(b, LowPowerConfig(4), kernelProgram(256, 4000), DetailedController{})
+}
+
+// BenchmarkKernelMixed runs the sampled shape: half the instances
+// detailed, half fast-forwarded, exercising both event kinds in the
+// scheduler core loop.
+func BenchmarkKernelMixed(b *testing.B) {
+	benchSimulate(b, HighPerfConfig(8), kernelProgram(512, 2000), alternatingController{ipc: 1.5})
+}
+
+// BenchmarkKernelManyCores64 is scheduler-bound: 64 cores and many tiny
+// tasks make the per-event core selection (idle lookup + next-event pick)
+// the dominant cost.
+func BenchmarkKernelManyCores64(b *testing.B) {
+	benchSimulate(b, HighPerfConfig(64), kernelProgram(2048, 200), DetailedController{})
+}
+
+// BenchmarkKernelReuseHP8 is the steady-state campaign shape: one engine
+// reset and rerun per iteration, the way the experiment engine reuses a
+// simulation engine across the runs of a cell. Allocations per op are the
+// true hot-loop budget (the result buffers only — no engine, cursor or
+// generator construction).
+func BenchmarkKernelReuseHP8(b *testing.B) {
+	prog := kernelProgram(256, 4000)
+	e, err := NewEngine(HighPerfConfig(8), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(DetailedController{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.DetailedInstructions
+		if err := e.Reset(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(instr)/s, "instr/s")
+	}
+}

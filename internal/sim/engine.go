@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"taskpoint/internal/cpu"
@@ -92,8 +93,12 @@ func (r *Result) IPCOfType(t trace.TypeID) []float64 {
 	return out
 }
 
-// Engine simulates one program on one machine configuration. Engines are
-// single-use: build one per run.
+// Engine simulates one program on one machine configuration. One engine
+// serves one run at a time: after Run returns (or is cancelled), call
+// Reset before running again — a second Run without Reset fails with
+// ErrFinished. Resetting instead of rebuilding reuses the expensive
+// state (cache arrays, core rings, scheduler storage, cursor free list)
+// across the repeated runs of an experiment cell.
 type Engine struct {
 	cfg     Config
 	prog    *trace.Program
@@ -104,6 +109,89 @@ type Engine struct {
 	sched   *sched.State
 	noise   Perturber
 	running int
+
+	// events holds the busy cores keyed by their next event time; idle
+	// is the complementary bitmask of idle cores (Cores <= 64). Together
+	// they replace the per-event O(cores) scans of the scheduler loop.
+	events  eventHeap
+	idle    uint64
+	idleAll uint64 // idle mask with every core set
+
+	// execFree pools task-instance execution cursors: steady-state task
+	// starts reuse a cursor instead of allocating one (plus its two
+	// generators) per instance.
+	execFree []*cpu.Exec
+
+	used bool // a run has started; Reset required before the next
+}
+
+// coreEvent is one busy core's next event: the local clock of a detailed
+// core (its next quantum continues there) or the burst completion time of
+// a fast core.
+type coreEvent struct {
+	t    float64
+	core int32
+}
+
+// before orders events by (time, core index) — a strict total order, so
+// the heap's pop sequence reproduces the earliest-time/lowest-index
+// selection of the linear scan it replaced exactly.
+func (ev coreEvent) before(o coreEvent) bool {
+	return ev.t < o.t || (ev.t == o.t && ev.core < o.core)
+}
+
+// eventHeap is a binary min-heap of core events. The engine only ever
+// mutates the top (the minimum event is advanced, then either re-keyed
+// or removed), so the heap needs no position index.
+type eventHeap []coreEvent
+
+func (h *eventHeap) push(ev coreEvent) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown() {
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			child = r
+		}
+		if !h[child].before(h[i]) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+// fixTop re-keys the minimum event (a detailed core advanced one quantum).
+func (h eventHeap) fixTop(t float64) {
+	h[0].t = t
+	h.siftDown()
+}
+
+// popTop removes the minimum event (its core finished a task).
+func (h *eventHeap) popTop() {
+	q := *h
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	(*h).siftDown()
 }
 
 type coreState struct {
@@ -150,14 +238,18 @@ func NewEngine(cfg Config, prog *trace.Program, opts ...Option) (*Engine, error)
 	if err != nil {
 		return nil, err
 	}
+	ms.PresizeDirectory(estimateFootprintLines(prog, cfg.Mem.LineSize))
 	e := &Engine{
-		cfg:    cfg,
-		prog:   prog,
-		graph:  g,
-		memsys: ms,
-		state:  make([]coreState, cfg.Cores),
-		sched:  sched.New(g, cfg.Policy),
+		cfg:     cfg,
+		prog:    prog,
+		graph:   g,
+		memsys:  ms,
+		state:   make([]coreState, cfg.Cores),
+		sched:   sched.New(g, cfg.Policy),
+		events:  make(eventHeap, 0, cfg.Cores),
+		idleAll: ^uint64(0) >> (64 - uint(cfg.Cores)),
 	}
+	e.idle = e.idleAll
 	for i := 0; i < cfg.Cores; i++ {
 		e.cpus = append(e.cpus, cpu.New(cfg.CPU, memPort{sys: ms, core: i}))
 	}
@@ -167,12 +259,90 @@ func NewEngine(cfg Config, prog *trace.Program, opts ...Option) (*Engine, error)
 	return e, nil
 }
 
+// estimateFootprintLines estimates how many distinct cache lines prog
+// touches: segments sharing a base address are counted once at their
+// largest footprint. The estimate presizes the coherence directory; it
+// does not affect results.
+func estimateFootprintLines(prog *trace.Program, lineSize int) int {
+	if lineSize <= 0 {
+		return 0
+	}
+	regions := make(map[uint64]uint64, len(prog.Instances))
+	for i := range prog.Instances {
+		segs := prog.Instances[i].Segments
+		for j := range segs {
+			if fp := segs[j].Footprint; fp > regions[segs[j].Base] {
+				regions[segs[j].Base] = fp
+			}
+		}
+	}
+	var lines uint64
+	for _, fp := range regions {
+		lines += (fp + uint64(lineSize) - 1) / uint64(lineSize)
+	}
+	const clamp = 1 << 24
+	if lines > clamp {
+		lines = clamp
+	}
+	return int(lines)
+}
+
+// resetter is implemented by perturbers whose state must be restored to
+// run start for Engine.Reset to reproduce a fresh engine bit-for-bit
+// (noise.Model implements it; stateless perturbers need not).
+type resetter interface{ Reset() }
+
+// Reset restores the engine to run a program from scratch, reusing every
+// allocation a fresh NewEngine would repeat: cache arrays, core rings,
+// scheduler storage and pooled execution cursors. Passing the engine's
+// current program (or nil) reuses the derived task graph; a different
+// program rebuilds graph and scheduler state. Results after Reset are
+// bit-identical to a freshly built engine's.
+func (e *Engine) Reset(prog *trace.Program) error {
+	e.memsys.Reset()
+	if prog == nil || prog == e.prog {
+		e.sched.Reset()
+	} else {
+		g, err := taskgraph.Build(prog)
+		if err != nil {
+			return err
+		}
+		e.prog = prog
+		e.graph = g
+		e.sched = sched.New(g, e.cfg.Policy)
+		e.memsys.PresizeDirectory(estimateFootprintLines(prog, e.cfg.Mem.LineSize))
+	}
+	for _, c := range e.cpus {
+		c.Reset()
+	}
+	for i := range e.state {
+		if ex := e.state[i].exec; ex != nil {
+			e.execFree = append(e.execFree, ex) // run was cancelled mid-task
+		}
+	}
+	clear(e.state)
+	e.events = e.events[:0]
+	e.idle = e.idleAll
+	e.running = 0
+	e.used = false
+	if r, ok := e.noise.(resetter); ok {
+		r.Reset()
+	}
+	return nil
+}
+
 // ErrDeadlock is returned if the scheduler stalls with work remaining;
 // it indicates a corrupt dependency graph.
 var ErrDeadlock = errors.New("sim: scheduler deadlock with tasks remaining")
 
+// ErrFinished is returned when Run is called on an engine whose previous
+// run already started (finished or cancelled) without an intervening
+// Reset. The guard turns silent state corruption into a diagnosable
+// error.
+var ErrFinished = errors.New("sim: engine already ran; call Reset before reusing it")
+
 // Run simulates the whole program under the given controller and returns
-// the result. The engine must not be reused afterwards.
+// the result. Call Reset before reusing the engine.
 func (e *Engine) Run(ctrl Controller) (*Result, error) {
 	return e.RunContext(context.Background(), ctrl)
 }
@@ -186,12 +356,16 @@ const cancelCheckMask = 63
 
 // RunContext is Run with cooperative cancellation: the scheduler loop
 // polls ctx every few events and abandons the simulation with ctx's error
-// mid-program, so callers driving large campaigns can stop promptly. The
-// engine must not be reused after either outcome.
+// mid-program, so callers driving large campaigns can stop promptly.
+// After either outcome the engine requires Reset before its next run.
 func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if e.used {
+		return nil, ErrFinished
+	}
+	e.used = true
 	wallStart := time.Now()
 	res := &Result{
 		TotalInstructions: e.prog.TotalInstructions(),
@@ -207,14 +381,17 @@ func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, erro
 		if err := e.assign(ctrl); err != nil {
 			return nil, err
 		}
-		core := e.nextBusyCore()
-		if core < 0 {
+		// The heap top is the busy core with the earliest next event —
+		// the role the per-event O(cores) scan used to play. Advancing
+		// cores in global event order keeps shared-resource contention
+		// observed consistently.
+		if len(e.events) == 0 {
 			if e.sched.Done() {
 				break
 			}
 			return nil, ErrDeadlock
 		}
-		e.advance(core, ctrl, res)
+		e.advance(int(e.events[0].core), ctrl, res)
 	}
 
 	for i := range e.state {
@@ -229,25 +406,27 @@ func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, erro
 
 // assign hands ready tasks to idle cores: each queued-ready task goes to
 // the idle core that can start it earliest (ties to the lowest index),
-// like a runtime waking the first available worker.
+// like a runtime waking the first available worker. The idle bitmask
+// makes the common all-cores-busy case a single comparison; otherwise
+// only idle cores are visited, in index order, with an early exit on the
+// first core that can start at the task's readiness time (any such core
+// achieves the minimum possible start, and the lowest index wins ties —
+// the exact selection of the full scan this replaced).
 func (e *Engine) assign(ctrl Controller) error {
 	for {
 		ready, ok := e.sched.NextReadyTime()
-		if !ok {
+		if !ok || e.idle == 0 {
 			return nil
 		}
 		best, bestStart := -1, math.Inf(1)
-		for i := range e.state {
-			if e.state[i].busy {
-				continue
+		for m := e.idle; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if c := e.state[i].clock; c <= ready {
+				best, bestStart = i, ready
+				break
+			} else if c < bestStart {
+				best, bestStart = i, c
 			}
-			start := math.Max(e.state[i].clock, ready)
-			if start < bestStart {
-				best, bestStart = i, start
-			}
-		}
-		if best < 0 {
-			return nil // all cores busy
 		}
 		id, ok := e.sched.Pop(bestStart)
 		if !ok {
@@ -275,48 +454,39 @@ func (e *Engine) startTask(core, id int, start float64, ctrl Controller) error {
 	cs.clock = start
 	cs.instr = inst.Instructions()
 	cs.mode = dec.Mode
+	e.idle &^= 1 << uint(core)
 	switch dec.Mode {
 	case ModeDetailed:
-		cs.exec = cpu.NewExec(inst)
+		if n := len(e.execFree); n > 0 {
+			cs.exec = e.execFree[n-1]
+			e.execFree = e.execFree[:n-1]
+			cs.exec.Reset(inst)
+		} else {
+			cs.exec = cpu.NewExec(inst)
+		}
+		e.events.push(coreEvent{t: start, core: int32(core)})
 	case ModeFast:
 		if !(dec.IPC > 0) || math.IsInf(dec.IPC, 0) {
 			return fmt.Errorf("sim: controller requested fast mode with invalid IPC %v", dec.IPC)
 		}
 		cs.ipc = dec.IPC
 		cs.fastEnd = start + float64(cs.instr)/dec.IPC
+		e.events.push(coreEvent{t: cs.fastEnd, core: int32(core)})
 	default:
 		return fmt.Errorf("sim: unknown mode %d", dec.Mode)
 	}
 	return nil
 }
 
-// nextBusyCore picks the busy core with the earliest next event: the local
-// clock for detailed cores (the next quantum continues there) or the burst
-// completion time for fast cores. This keeps cores interleaved in global
-// time order so shared-resource contention is observed consistently.
-func (e *Engine) nextBusyCore() int {
-	best, bestT := -1, math.Inf(1)
-	for i := range e.state {
-		cs := &e.state[i]
-		if !cs.busy {
-			continue
-		}
-		t := cs.clock
-		if cs.mode == ModeFast {
-			t = cs.fastEnd
-		}
-		if t < bestT {
-			best, bestT = i, t
-		}
-	}
-	return best
-}
-
+// advance moves the heap-top core (the earliest next event) forward: a
+// fast core completes its burst; a detailed core runs one bounded time
+// slice and is re-keyed at its new clock, or finishes.
 func (e *Engine) advance(core int, ctrl Controller, res *Result) {
 	cs := &e.state[core]
 	switch cs.mode {
 	case ModeFast:
 		cs.clock = cs.fastEnd
+		e.events.popTop()
 		e.finishTask(core, ctrl, res, cs.ipc)
 	case ModeDetailed:
 		// Advance by one bounded time slice: the deadline keeps cross-
@@ -326,6 +496,7 @@ func (e *Engine) advance(core int, ctrl Controller, res *Result) {
 			cs.clock+float64(e.cfg.Quantum), cs.start)
 		cs.clock = end
 		if !fin {
+			e.events.fixTop(end)
 			return
 		}
 		if e.noise != nil {
@@ -341,6 +512,7 @@ func (e *Engine) advance(core int, ctrl Controller, res *Result) {
 			ipc = float64(cs.instr) / dur
 		}
 		res.DetailedInstructions += cs.instr
+		e.events.popTop()
 		e.finishTask(core, ctrl, res, ipc)
 	}
 }
@@ -373,7 +545,11 @@ func (e *Engine) finishTask(core int, ctrl Controller, res *Result, ipc float64)
 	})
 	e.sched.Complete(cs.taskID, cs.clock)
 	cs.busy = false
-	cs.exec = nil
+	e.idle |= 1 << uint(core)
+	if cs.exec != nil {
+		e.execFree = append(e.execFree, cs.exec)
+		cs.exec = nil
+	}
 }
 
 // Simulate is the convenience entry point: build an engine and run prog on

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -226,6 +228,22 @@ func TestMixedModes(t *testing.T) {
 	}
 }
 
+// cancellingController cancels its context after `after` task starts.
+type cancellingController struct {
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancellingController) TaskStart(StartInfo) Decision {
+	c.seen++
+	if c.seen == c.after {
+		c.cancel()
+	}
+	return Detailed()
+}
+func (*cancellingController) TaskFinish(FinishInfo) {}
+
 // constantPerturber adds fixed extra cycles per task.
 type constantPerturber struct{ extra float64 }
 
@@ -294,6 +312,123 @@ func TestNewEngineRejectsBadProgram(t *testing.T) {
 	if _, err := NewEngine(smallCfg(1), &trace.Program{Name: "empty"}); err == nil {
 		t.Error("empty program accepted")
 	}
+}
+
+// sameResult compares every deterministic field of two results.
+func sameResult(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.TotalInstructions != b.TotalInstructions ||
+		a.DetailedInstructions != b.DetailedInstructions ||
+		a.DetailedTasks != b.DetailedTasks || a.FastTasks != b.FastTasks {
+		t.Fatalf("headline results differ: %+v vs %+v", a, b)
+	}
+	if a.Mem != b.Mem {
+		t.Fatalf("memory stats differ: %+v vs %+v", a.Mem, b.Mem)
+	}
+	for i := range a.PerInstance {
+		if a.PerInstance[i] != b.PerInstance[i] {
+			t.Fatalf("instance %d differs: %+v vs %+v", i, a.PerInstance[i], b.PerInstance[i])
+		}
+	}
+}
+
+func TestEngineRunWithoutResetFails(t *testing.T) {
+	p := independentProgram(4, 500)
+	e, err := NewEngine(smallCfg(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(DetailedController{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(DetailedController{}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second Run without Reset: err = %v, want ErrFinished", err)
+	}
+	if err := e.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(DetailedController{}); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+// TestEngineResetReproducesFreshRun is the engine-reuse determinism
+// contract: a reset engine must reproduce a fresh engine's result bit for
+// bit — including when a perturber is installed (its state must rewind
+// too) and when the program changes between runs.
+func TestEngineResetReproducesFreshRun(t *testing.T) {
+	p := independentProgram(12, 1500)
+	fresh, err := Simulate(smallCfg(3), p, DetailedController{},
+		WithPerturber(constantPerturber{extra: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(smallCfg(3), p, WithPerturber(constantPerturber{extra: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		// A mixed-mode run first dirties every engine structure.
+		if _, err := e.Run(alternatingController{ipc: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Reset(nil); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(DetailedController{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fresh, res)
+		if err := e.Reset(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Resetting to a different program rebuilds graph and scheduler.
+	chain := chainProgram(6, 500)
+	freshChain, err := Simulate(smallCfg(3), chain, DetailedController{},
+		WithPerturber(constantPerturber{extra: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(chain); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, freshChain, res)
+}
+
+// TestEngineResetAfterCancel: a cancelled run leaves the engine
+// resumable through Reset, with cursors recovered from mid-task cores.
+func TestEngineResetAfterCancel(t *testing.T) {
+	p := independentProgram(64, 5000)
+	fresh, err := Simulate(smallCfg(4), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(smallCfg(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel from inside the run, so cores are abandoned mid-task and the
+	// engine's pooled cursors must be recovered by Reset.
+	ctx, cancel := context.WithCancel(context.Background())
+	ctrl := &cancellingController{cancel: cancel, after: 10}
+	if _, err := e.RunContext(ctx, ctrl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v", err)
+	}
+	if err := e.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, fresh, res)
 }
 
 // Property: random DAG programs complete under any controller mix; records

@@ -32,10 +32,16 @@ func Build(p *trace.Program) (*Graph, error) {
 		succs: make([][]int32, n),
 		npred: make([]int32, n),
 	}
-	lastWriter := make(map[uint64]int32)
-	readers := make(map[uint64][]int32)
+	// The token maps are presized from the instance count: programs name
+	// on the order of one data token per instance, so sizing up front
+	// avoids the incremental rehash-and-copy growth that dominated Build
+	// on large programs.
+	lastWriter := make(map[uint64]int32, n)
+	readers := make(map[uint64][]int32, n)
 	// predSet deduplicates edges per instance; reused across iterations.
-	predSet := make(map[int32]struct{})
+	// Task in-degrees are small (a handful of tokens), so a small fixed
+	// presize suffices.
+	predSet := make(map[int32]struct{}, 16)
 
 	for i := range p.Instances {
 		inst := &p.Instances[i]
