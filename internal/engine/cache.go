@@ -76,6 +76,27 @@ func (c *BaselineCache) Program(workload string, scale float64, seed uint64) (*t
 	return p, nil
 }
 
+// DropWorkload evicts every cached program and detailed reference of the
+// named workload, whatever its scale, seed, architecture or thread count.
+// Long-running drivers over unbounded workload streams — the estimator
+// fuzzer draws a fresh scenario every round, forever — call it once a
+// workload's cells are done, so the cache stays bounded by the working set
+// instead of growing with the stream's history.
+func (c *BaselineCache) DropWorkload(workload string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.progs {
+		if k.workload == workload {
+			delete(c.progs, k)
+		}
+	}
+	for k := range c.dets {
+		if k.workload == workload {
+			delete(c.dets, k)
+		}
+	}
+}
+
 // detailed returns the cached reference result for key, or nil.
 func (c *BaselineCache) detailed(key detKey) *sim.Result {
 	c.mu.Lock()

@@ -1,0 +1,40 @@
+package fuzz_test
+
+import (
+	"fmt"
+
+	"taskpoint/internal/fuzz"
+	"taskpoint/internal/gen"
+	"taskpoint/internal/strata"
+)
+
+// ExampleMinimizeSpec delta-debugs a failing scenario spec down to a
+// 1-minimal reproducer. The oracle here is synthetic — it flags any
+// scenario with at least 100 instances and input-dependent durations — but
+// has the exact shape of the real one, which re-runs the candidate against
+// the detailed reference under the fixed re-seed protocol and classifies
+// the outcome.
+func ExampleMinimizeSpec() {
+	want := []strata.ViolationClass{strata.CoverageMiss}
+	oracle := func(spec string) ([]strata.ViolationClass, error) {
+		sc, err := gen.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		if sc.Knobs.Tasks >= 100 && sc.Knobs.InputDep > 0 {
+			return want, nil
+		}
+		return nil, nil
+	}
+
+	spec := "gen:forkjoin(tasks=192,width=4,depth=7,size=bimodal,mean=3237,cv=0.48,inputdep=0.78)"
+	min, trials, err := fuzz.MinimizeSpec(spec, want, oracle)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(min)
+	fmt.Println("oracle runs:", trials)
+	// Output:
+	// gen:forkjoin(tasks=100,mean=64,inputdep=0.01)
+	// oracle runs: 335
+}

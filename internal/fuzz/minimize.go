@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"fmt"
+	"slices"
+
+	"taskpoint/internal/gen"
+	"taskpoint/internal/strata"
+)
+
+// Oracle runs a candidate scenario in the violating cell (same policy,
+// architecture, threads and request seed — the fixed re-seed protocol) and
+// reports the violation classes it exhibits. Oracles must be
+// deterministic: the same candidate always yields the same classes.
+type Oracle func(sc *gen.Scenario) ([]strata.ViolationClass, error)
+
+// Minimize delta-debugs a violating scenario down to a 1-minimal
+// reproducer: it greedily walks the generator's shrink hooks
+// (gen.Scenario.Shrinks — halve sizes, drop phases, step knobs toward
+// family defaults), adopting the first candidate on which the oracle
+// re-validates every violation class in want, and restarting from it until
+// no shrink step reproduces the violation. The result still exhibits the
+// full signature, and no single shrink step away from it does.
+//
+// The walk is deterministic for a deterministic oracle — candidates are
+// tried in Shrinks' fixed order — and terminates on every input because
+// each adopted candidate strictly decreases the generator's shrink
+// measure. trials counts oracle invocations.
+func Minimize(sc *gen.Scenario, want []strata.ViolationClass, oracle Oracle) (min *gen.Scenario, trials int, err error) {
+	if len(want) == 0 {
+		return nil, 0, fmt.Errorf("fuzz: minimize without violation classes")
+	}
+	cur := sc
+	for {
+		adopted := false
+		for _, cand := range cur.Shrinks() {
+			trials++
+			got, err := oracle(cand)
+			if err != nil {
+				return nil, trials, err
+			}
+			if reproduces(got, want) {
+				cur, adopted = cand, true
+				break
+			}
+		}
+		if !adopted {
+			return cur, trials, nil
+		}
+	}
+}
+
+// MinimizeSpec is Minimize over spec strings in the strict gen: grammar —
+// the form command front ends and examples use. It parses spec, minimizes,
+// and returns the canonical minimal spec.
+func MinimizeSpec(spec string, want []strata.ViolationClass, oracle func(spec string) ([]strata.ViolationClass, error)) (string, int, error) {
+	sc, err := gen.Parse(spec)
+	if err != nil {
+		return "", 0, err
+	}
+	min, trials, err := Minimize(sc, want, func(cand *gen.Scenario) ([]strata.ViolationClass, error) {
+		return oracle(cand.Spec())
+	})
+	if err != nil {
+		return "", trials, err
+	}
+	return min.Spec(), trials, nil
+}
+
+// reproduces reports whether got carries every class of the wanted failure
+// signature — extra classes are fine (a shrunk scenario may fail harder),
+// losing one is not.
+func reproduces(got, want []strata.ViolationClass) bool {
+	for _, w := range want {
+		if !slices.Contains(got, w) {
+			return false
+		}
+	}
+	return true
+}

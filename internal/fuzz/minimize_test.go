@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"taskpoint/internal/gen"
+	"taskpoint/internal/strata"
+)
+
+// violatesIf builds a deterministic synthetic oracle: a candidate exhibits
+// the classes iff pred holds. Trials are logged so tests can assert the
+// shrink sequence is deterministic.
+func violatesIf(pred func(*gen.Scenario) bool, classes []strata.ViolationClass, trail *[]string) Oracle {
+	return func(sc *gen.Scenario) ([]strata.ViolationClass, error) {
+		if trail != nil {
+			*trail = append(*trail, sc.Spec())
+		}
+		if pred(sc) {
+			return classes, nil
+		}
+		return nil, nil
+	}
+}
+
+// TestMinimizeReaches1Minimal drives the delta-debugger against oracles
+// with known minimal frontiers and asserts the result both reproduces the
+// violation and is 1-minimal: no single shrink step away still violates.
+func TestMinimizeReaches1Minimal(t *testing.T) {
+	start, err := gen.Parse("gen:forkjoin(tasks=192,width=64,depth=12,types=6,size=bimodal,mean=3237,cv=0.48,phases=4,inputdep=0.78)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []strata.ViolationClass{strata.CoverageMiss}
+	for _, tt := range []struct {
+		name string
+		pred func(*gen.Scenario) bool
+	}{
+		{"always violates", func(*gen.Scenario) bool { return true }},
+		{"needs many tasks", func(sc *gen.Scenario) bool { return sc.Knobs.Tasks >= 100 }},
+		{"needs wide and deep", func(sc *gen.Scenario) bool { return sc.Knobs.Width >= 32 && sc.Knobs.Depth >= 10 }},
+		{"needs input dependence", func(sc *gen.Scenario) bool { return sc.Knobs.InputDep > 0.5 }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			min, trials, err := Minimize(start, want, violatesIf(tt.pred, want, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trials <= 0 {
+				t.Fatalf("minimizer reported %d trials", trials)
+			}
+			if !tt.pred(min) {
+				t.Fatalf("minimal scenario %s does not reproduce the violation", min.Spec())
+			}
+			for _, cand := range min.Shrinks() {
+				if tt.pred(cand) {
+					t.Fatalf("%s is not 1-minimal: shrink %s still violates", min.Spec(), cand.Spec())
+				}
+			}
+		})
+	}
+}
+
+// TestMinimizeDeterministic locks the fixed re-seed protocol's other half:
+// for a deterministic oracle the whole shrink sequence — every candidate
+// tried, in order — is identical across runs, so two fuzz campaigns over
+// the same rounds log byte-identical findings.
+func TestMinimizeDeterministic(t *testing.T) {
+	start, err := gen.Parse("gen:pipeline(tasks=76,width=128,depth=12,types=6,size=bimodal,mean=1552,cv=0.5,phases=2,inputdep=0.11)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []strata.ViolationClass{strata.Bias}
+	pred := func(sc *gen.Scenario) bool { return sc.Knobs.Tasks*int(sc.Knobs.Mean) >= 40000 }
+	var trail1, trail2 []string
+	min1, trials1, err := Minimize(start, want, violatesIf(pred, want, &trail1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min2, trials2, err := Minimize(start, want, violatesIf(pred, want, &trail2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min1.Spec() != min2.Spec() || trials1 != trials2 {
+		t.Fatalf("non-deterministic minimization: %s (%d trials) vs %s (%d trials)",
+			min1.Spec(), trials1, min2.Spec(), trials2)
+	}
+	if strings.Join(trail1, "\n") != strings.Join(trail2, "\n") {
+		t.Fatalf("shrink sequences differ:\n%v\nvs\n%v", trail1, trail2)
+	}
+}
+
+// TestMinimizeKeepsSignature: a shrunk scenario may fail harder (extra
+// classes), but a candidate that loses part of the wanted signature is
+// never adopted.
+func TestMinimizeKeepsSignature(t *testing.T) {
+	start, err := gen.Parse("gen:chains(tasks=300,mean=4096)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []strata.ViolationClass{strata.CoverageMiss, strata.Bias}
+	oracle := func(sc *gen.Scenario) ([]strata.ViolationClass, error) {
+		switch {
+		case sc.Knobs.Tasks >= 200:
+			return []strata.ViolationClass{strata.CoverageMiss, strata.IntervalFloorMiss, strata.Bias}, nil
+		case sc.Knobs.Tasks >= 100:
+			return []strata.ViolationClass{strata.CoverageMiss}, nil // partial: must not be adopted
+		}
+		return nil, nil
+	}
+	min, _, err := Minimize(start, want, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Knobs.Tasks < 200 {
+		t.Fatalf("minimizer adopted %s, which drops the Bias class", min.Spec())
+	}
+	if min.Knobs.Tasks != 200 {
+		t.Fatalf("minimizer stopped at %s, want tasks=200", min.Spec())
+	}
+}
+
+func TestMinimizeRejectsEmptySignature(t *testing.T) {
+	start, err := gen.Parse("gen:forkjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Minimize(start, nil, violatesIf(func(*gen.Scenario) bool { return true }, nil, nil)); err == nil {
+		t.Fatal("Minimize accepted an empty violation signature")
+	}
+}

@@ -1,0 +1,50 @@
+package fuzz
+
+import (
+	"context"
+	"slices"
+	"testing"
+
+	"taskpoint/internal/gen"
+)
+
+// TestRegressionCorpus replays every committed reproducer in its recorded
+// cell — same spec, policy, architecture, threads and request seed — and
+// asserts the recorded violation classes are gone: each corpus entry is a
+// minimized scenario that once broke the accuracy contract and whose fix
+// must stay fixed. The replay is fully deterministic, so a failure here is
+// a real regression, never flakiness.
+func TestRegressionCorpus(t *testing.T) {
+	findings, err := ReadCorpusFile("testdata/regression_corpus.jsonl")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(findings) < 3 {
+		t.Fatalf("corpus holds %d reproducers, want at least 3 — the seed corpus shrank", len(findings))
+	}
+
+	d, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("building driver: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), ReplayTimeout)
+	defer cancel()
+
+	for _, f := range findings {
+		t.Run(f.Spec+"/"+f.Policy, func(t *testing.T) {
+			if _, err := gen.Parse(f.Spec); err != nil {
+				t.Fatalf("committed spec no longer parses: %v", err)
+			}
+			got, err := d.Replay(ctx, f)
+			if err != nil {
+				t.Fatalf("replaying %s under %s (seed %d): %v", f.Spec, f.Policy, f.Seed, err)
+			}
+			for _, want := range f.Classes {
+				if slices.Contains(got, want) {
+					t.Errorf("violation %s regressed in cell %s under %s (seed %d): recorded err=%.4f%% ci=[%.0f,%.0f] detailed=%.0f, now classes=%v",
+						want, f.Spec, f.Policy, f.Seed, f.ErrPct, f.CILo, f.CIHi, f.DetailedTaskCycles, got)
+				}
+			}
+		})
+	}
+}

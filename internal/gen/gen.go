@@ -126,15 +126,17 @@ func (k *Knobs) Validate() error {
 		return fmt.Errorf("gen: depth=%d out of [1, 64]", k.Depth)
 	case k.Types < 1 || k.Types > 16:
 		return fmt.Errorf("gen: types=%d out of [1, 16]", k.Types)
-	case k.Size >= numSizeDists:
+	case k.Size < 0 || k.Size >= numSizeDists:
 		return fmt.Errorf("gen: invalid size distribution %d", k.Size)
 	case k.Mean < 64 || k.Mean > 1<<20:
 		return fmt.Errorf("gen: mean=%d out of [64, %d]", k.Mean, 1<<20)
-	case k.CV < 0 || k.CV > 1:
+	// The float ranges are phrased positively so NaN — which fails every
+	// comparison — is rejected too, not silently accepted.
+	case !(k.CV >= 0 && k.CV <= 1):
 		return fmt.Errorf("gen: cv=%v out of [0, 1]", k.CV)
 	case k.Phases < 1 || k.Phases > 16:
 		return fmt.Errorf("gen: phases=%d out of [1, 16]", k.Phases)
-	case k.InputDep < 0 || k.InputDep > 1:
+	case !(k.InputDep >= 0 && k.InputDep <= 1):
 		return fmt.Errorf("gen: inputdep=%v out of [0, 1]", k.InputDep)
 	}
 	return nil

@@ -1,0 +1,153 @@
+package gen
+
+import "math"
+
+// Shrinks returns candidate one-step simplifications of the scenario, in a
+// fixed deterministic order — the shrink hooks the estimator fuzzer's
+// delta-debugging minimizer (internal/fuzz) walks. The steps follow the
+// minimization protocol: sizes halve toward their validity floor (Tasks,
+// Mean), phases drop toward 1, and every other knob steps toward its
+// DefaultKnobs value (the default itself first, then a halving midpoint,
+// then a single-unit step for fine-grained minima). Float knobs move on a
+// 0.01 grid so canonical specs stay short.
+//
+// Two properties callers rely on, both enforced here and locked by
+// TestShrinksProperties/FuzzShrinkSpec:
+//
+//   - every candidate is valid under the strict grammar: it Validates, and
+//     Parse(c.Spec()) rebuilds it exactly;
+//   - every candidate strictly decreases shrinkMeasure, so greedy
+//     minimization over Shrinks terminates on every input.
+func (sc *Scenario) Shrinks() []*Scenario {
+	def := DefaultKnobs()
+	k := sc.Knobs
+	var out []*Scenario
+	seen := map[Knobs]bool{k: true}
+	add := func(m Knobs) {
+		if seen[m] || m.Validate() != nil {
+			return
+		}
+		seen[m] = true
+		out = append(out, &Scenario{Family: sc.Family, Knobs: m})
+	}
+	// Sizes halve toward the floor of their valid range: the floor itself
+	// first (the aggressive jump), then the halving step, then a unit step.
+	for _, t := range []int{8, k.Tasks / 2, k.Tasks - 1} {
+		if t < k.Tasks {
+			m := k
+			m.Tasks = t
+			add(m)
+		}
+	}
+	for _, mn := range []int64{64, k.Mean / 2, k.Mean - 1} {
+		if mn < k.Mean {
+			m := k
+			m.Mean = mn
+			add(m)
+		}
+	}
+	// Structural knobs step toward the family defaults.
+	addInt := func(cur, d int, set func(*Knobs, int)) {
+		for _, v := range intSteps(cur, d) {
+			m := k
+			set(&m, v)
+			add(m)
+		}
+	}
+	addInt(k.Width, def.Width, func(m *Knobs, v int) { m.Width = v })
+	addInt(k.Depth, def.Depth, func(m *Knobs, v int) { m.Depth = v })
+	addInt(k.Types, def.Types, func(m *Knobs, v int) { m.Types = v })
+	if k.Size != def.Size {
+		m := k
+		m.Size = def.Size
+		add(m)
+	}
+	// Phases drop: all the way to 1, then halve, then one at a time.
+	for _, p := range []int{1, k.Phases / 2, k.Phases - 1} {
+		if p >= 1 && p < k.Phases {
+			m := k
+			m.Phases = p
+			add(m)
+		}
+	}
+	addFloat := func(cur, d float64, set func(*Knobs, float64)) {
+		for _, v := range floatSteps(cur, d) {
+			m := k
+			set(&m, v)
+			add(m)
+		}
+	}
+	addFloat(k.CV, def.CV, func(m *Knobs, v float64) { m.CV = v })
+	addFloat(k.InputDep, def.InputDep, func(m *Knobs, v float64) { m.InputDep = v })
+	return out
+}
+
+// intSteps yields the candidate values of an integer knob at cur stepping
+// toward its default d: d itself, the halving midpoint, and a unit step.
+// Every value is strictly closer to d than cur.
+func intSteps(cur, d int) []int {
+	if cur == d {
+		return nil
+	}
+	mid := (cur + d) / 2
+	unit := cur - 1
+	if cur < d {
+		unit = cur + 1
+	}
+	var out []int
+	for _, v := range []int{d, mid, unit} {
+		if v != cur && abs(v-d) < abs(cur-d) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// floatSteps is intSteps for float knobs, quantized to a 0.01 grid so
+// shrunk specs keep short canonical forms and greedy descent stays finite.
+// Candidates that fail to strictly reduce the distance to the default
+// (possible right at the grid boundary) are dropped.
+func floatSteps(cur, d float64) []float64 {
+	if cur == d {
+		return nil
+	}
+	grid := func(v float64) float64 { return math.Round(v*100) / 100 }
+	mid := grid((cur + d) / 2)
+	unit := grid(cur - 0.01)
+	if cur < d {
+		unit = grid(cur + 0.01)
+	}
+	var out []float64
+	for _, v := range []float64{d, mid, unit} {
+		if v != cur && math.Abs(v-d) < math.Abs(cur-d) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// shrinkMeasure is the well-founded measure Shrinks descends: raw size
+// terms for the knobs that shrink toward their validity floor, distance to
+// the default for the knobs that shrink toward DefaultKnobs. Every Shrinks
+// candidate is strictly smaller, which bounds any greedy minimization loop.
+func (sc *Scenario) shrinkMeasure() float64 {
+	def := DefaultKnobs()
+	k := sc.Knobs
+	m := float64(k.Tasks) + float64(k.Mean) + 64*float64(k.Phases)
+	m += math.Abs(float64(k.Width - def.Width))
+	m += math.Abs(float64(k.Depth - def.Depth))
+	m += math.Abs(float64(k.Types - def.Types))
+	if k.Size != def.Size {
+		m += 100
+	}
+	m += 100 * math.Abs(k.CV-def.CV)
+	m += 100 * math.Abs(k.InputDep-def.InputDep)
+	return m
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkShrinks asserts the two contracts minimization rests on for one
+// scenario: every candidate parses under the strict grammar back to itself
+// (valid, canonical) and strictly decreases the shrink measure (greedy
+// descent terminates). It also re-generates the candidate list to pin the
+// deterministic order.
+func checkShrinks(t *testing.T, sc *Scenario) {
+	t.Helper()
+	cands := sc.Shrinks()
+	measure := sc.shrinkMeasure()
+	for _, c := range cands {
+		if err := c.Knobs.Validate(); err != nil {
+			t.Fatalf("shrink of %s yields invalid %s: %v", sc.Spec(), c.Spec(), err)
+		}
+		back, err := Parse(c.Spec())
+		if err != nil {
+			t.Fatalf("shrink of %s yields unparseable spec %q: %v", sc.Spec(), c.Spec(), err)
+		}
+		if back.Family != c.Family || back.Knobs != c.Knobs {
+			t.Fatalf("shrink spec %q of %s does not round-trip", c.Spec(), sc.Spec())
+		}
+		if m := c.shrinkMeasure(); m >= measure {
+			t.Fatalf("shrink %s of %s does not decrease the measure (%v >= %v)",
+				c.Spec(), sc.Spec(), m, measure)
+		}
+	}
+	again := sc.Shrinks()
+	if len(again) != len(cands) {
+		t.Fatalf("Shrinks of %s is non-deterministic: %d then %d candidates",
+			sc.Spec(), len(cands), len(again))
+	}
+	for i := range cands {
+		if again[i].Spec() != cands[i].Spec() {
+			t.Fatalf("Shrinks of %s is non-deterministic at %d: %s then %s",
+				sc.Spec(), i, cands[i].Spec(), again[i].Spec())
+		}
+	}
+}
+
+// TestShrinksProperties quick-checks the shrink hooks over random valid
+// knob sets, plus the fixed points the fuzzer's minimizer bottoms out at.
+func TestShrinksProperties(t *testing.T) {
+	fams := Families()
+	if err := quick.Check(func(famIdx uint8, raw Knobs) bool {
+		sc := &Scenario{Family: fams[int(famIdx)%len(fams)]}
+		// Values produces arbitrary (mostly invalid) knob structs; map them
+		// into range through arbitraryKnobs' generator when invalid.
+		sc.Knobs = raw
+		if sc.Knobs.Validate() != nil {
+			sc.Knobs = arbitraryKnobs(rand.New(rand.NewSource(int64(famIdx))))
+		}
+		checkShrinks(t, sc)
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fully shrunk scenario is a fixed point: no candidates at all.
+	min := &Scenario{Family: fams[0], Knobs: DefaultKnobs()}
+	min.Knobs.Tasks, min.Knobs.Mean = 8, 64
+	if cands := min.Shrinks(); len(cands) != 0 {
+		t.Fatalf("minimal scenario %s still shrinks to %d candidates, e.g. %s",
+			min.Spec(), len(cands), cands[0].Spec())
+	}
+}
+
+// TestShrinkDescentTerminates walks greedy always-take-first descent from
+// adversarial corners and asserts it reaches a fixed point in bounded
+// steps — the terminating-minimizer property end to end.
+func TestShrinkDescentTerminates(t *testing.T) {
+	for _, spec := range []string{
+		"gen:forkjoin(tasks=1048576,width=4096,depth=64,types=16,size=fixed,mean=1048576,cv=1,phases=16,inputdep=1)",
+		"gen:pipeline(tasks=9,mean=65,cv=0.01)",
+		"gen:random(width=1,depth=1,types=1,cv=0,inputdep=0.005)",
+	} {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for {
+			cands := sc.Shrinks()
+			if len(cands) == 0 {
+				break
+			}
+			sc = cands[0]
+			if steps++; steps > 10000 {
+				t.Fatalf("descent from %s has not terminated after %d steps (at %s)",
+					spec, steps, sc.Spec())
+			}
+		}
+	}
+}
+
+// FuzzShrinkSpec is the grammar-level lock: for any spec the strict parser
+// accepts, every shrink candidate re-parses, the candidate order is
+// deterministic, and the measure strictly decreases.
+func FuzzShrinkSpec(f *testing.F) {
+	f.Add("gen:forkjoin")
+	f.Add("gen:forkjoin(tasks=192,width=4,depth=7,size=bimodal,mean=3237,cv=0.48,inputdep=0.78)")
+	f.Add("gen:pipeline(tasks=76,width=128,depth=12,types=6,size=bimodal,mean=1552,cv=0.5,phases=2,inputdep=0.11)")
+	f.Add("gen:chains(tasks=8,mean=64)")
+	f.Add("gen:wavefront(cv=0.005,inputdep=0.995)")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		checkShrinks(t, sc)
+	})
+}

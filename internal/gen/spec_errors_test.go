@@ -1,0 +1,49 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrorMessages locks the strict grammar's diagnostics: every
+// rejection must name the offending token — the unknown family or knob,
+// the malformed pair, the out-of-range value — so a failing gen: spec in a
+// sweep config or fuzz log is fixable from the message alone.
+func TestParseErrorMessages(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+		want []string // substrings the error must carry, offending token first
+	}{
+		{"unknown family", "gen:forkbomb(width=4)", []string{`"forkbomb"`, "unknown family"}},
+		{"unknown family lists valid ones", "gen:treee", []string{`"treee"`, "forkjoin"}},
+		{"unknown knob", "gen:forkjoin(tusks=16)", []string{`"tusks"`, "unknown knob", "tasks"}},
+		{"malformed pair", "gen:forkjoin(width)", []string{`"width"`, "knob=value"}},
+		{"empty value", "gen:forkjoin(width=)", []string{`"width="`, "knob=value"}},
+		{"duplicate knob", "gen:forkjoin(width=4,width=8)", []string{`"width"`, "duplicate"}},
+		{"non-integer int knob", "gen:forkjoin(depth=deep)", []string{`depth="deep"`, "integer"}},
+		{"non-numeric float knob", "gen:forkjoin(cv=high)", []string{`cv="high"`, "number"}},
+		{"unknown size dist", "gen:forkjoin(size=gaussian)", []string{`"gaussian"`, "loguniform"}},
+		{"unbalanced parens", "gen:forkjoin(width=4", []string{"gen:forkjoin(width=4", "parentheses"}},
+		{"tasks below floor", "gen:forkjoin(tasks=4)", []string{"tasks=4", "[8,"}},
+		{"width above ceiling", "gen:forkjoin(width=9999)", []string{"width=9999", "4096"}},
+		{"mean below floor", "gen:forkjoin(mean=2)", []string{"mean=2", "[64,"}},
+		{"cv out of range", "gen:forkjoin(cv=1.5)", []string{"cv=1.5", "[0, 1]"}},
+		{"cv NaN", "gen:forkjoin(cv=NaN)", []string{"cv=NaN", "[0, 1]"}},
+		{"inputdep negative", "gen:forkjoin(inputdep=-0.2)", []string{"inputdep=-0.2", "[0, 1]"}},
+		{"phases out of range", "gen:forkjoin(phases=40)", []string{"phases=40", "[1, 16]"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want an error naming the offending token", tt.spec)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("Parse(%q) error %q does not contain %q", tt.spec, err, want)
+				}
+			}
+		})
+	}
+}

@@ -29,10 +29,11 @@ import "math"
 // direction the matched strata indicate, and both are widened by the
 // z-scaled sampling error; Estimate reports the midpoint. Strata with a
 // single sample borrow the pooled residual variance; fully sampled
-// strata contribute no variance; and the half-width never drops below
-// MinRelErr of the estimate — widened by DirBiasRelErr in proportion to
-// the directed share of the estimate — covering residual measurement
-// bias sampling variance cannot see.
+// strata contribute no variance; both sides widen additively by
+// DirBiasRelErr of the estimate's uncertain mass (directed samples,
+// fallback rates, warm-up measurements — regime bias sampling variance
+// cannot see); and the half-width never drops below MinRelErr of the
+// estimate.
 type Confidence struct {
 	// Strata is the number of strata observed.
 	Strata int
@@ -135,36 +136,66 @@ func (s *Stratified) estimateAt(r float64) (estimate, variance, uncertain float6
 		n, sumD, sumX, se2 := st.rateMoments(r)
 		population += N
 		sampled += n
+		// Warm-up measurements — detailed observations that are not valid
+		// samples (raw minus both valid groups) — are actual simulated
+		// durations, so they enter the estimate as measured mass instead
+		// of being re-predicted at the warm sampling rate: cold
+		// micro-architectural state makes warm-up instances systematically
+		// slower than the warm rate, and at small populations that bias
+		// dominates exactly while the finite-population correction erases
+		// the variance that would otherwise cover it (a coverage-miss
+		// family the estimator fuzzer found and minimized to
+		// "gen:forkjoin(tasks=8,mean=64)").
+		warmN := st.raw.n - n
+		warmD := st.raw.sumD - st.phase.sumD - st.dir.sumD
+		warmX := st.raw.sumX - st.phase.sumX - st.dir.sumX
+		if warmN < 0 || warmX < 0 || warmD < 0 {
+			warmN, warmD, warmX = 0, 0, 0
+		}
+		// extraX is the instruction mass the rate extrapolates over; the
+		// warm-measured mass is carried by warmD directly.
+		extraX := st.instrTotal - warmX
+		if extraX < 0 {
+			extraX = 0
+		}
 		rate := 0.0
 		switch {
 		case n > 0 && sumX > 0:
 			rate = sumD / sumX
 			// The stratum's directed instruction share of its
-			// contribution was measured under an uncertain contention
-			// regime.
-			uncertain += rate * st.instrTotal * st.dir.sumX / (st.phase.sumX + st.dir.sumX)
+			// extrapolated contribution was measured under an uncertain
+			// contention regime.
+			uncertain += rate * extraX * st.dir.sumX / (st.phase.sumX + st.dir.sumX)
 		case pooledX > 0:
 			// No valid sample: the pooled valid rate is the best
 			// stand-in; beyond that, the modelled fast-forward rate,
-			// then raw warm-up measurements.
+			// then the stratum's own warm-up rate.
 			rate = pooledD / pooledX
 			unsampled += N
-			uncertain += rate * st.instrTotal
+			uncertain += rate * extraX
 		case st.fast.sumX > 0:
 			rate = st.fast.sumD / st.fast.sumX
 			unsampled += N
-			uncertain += rate * st.instrTotal
+			uncertain += rate * extraX
 		case st.raw.sumX > 0:
 			rate = st.raw.sumD / st.raw.sumX
 			unsampled += N
-			uncertain += rate * st.instrTotal
+			uncertain += rate * extraX
 		}
-		estimate += rate * st.instrTotal
-		if n > 0 && n < N {
+		estimate += warmD + rate*extraX
+		// Warm-up durations are actual measurements of the sampled run but
+		// biased estimates of the reference (cold state is why they are not
+		// valid samples), so their mass counts as uncertain and widens the
+		// bias floor instead of carrying sampling variance.
+		uncertain += warmD
+		// The extrapolation's finite population excludes the warm-measured
+		// instances: a fully detailed stratum (n + warm-ups = N) is exact
+		// and contributes no variance.
+		if base := N - warmN; n > 0 && n < base {
 			if n < 2 {
 				se2 = pooledSe2
 			}
-			variance += float64(N) * float64(N-n) * se2 / float64(n)
+			variance += float64(base) * float64(base-n) * se2 / float64(n)
 		}
 	}
 	return estimate, variance, uncertain, population, sampled, unsampled
@@ -192,20 +223,22 @@ func (s *Stratified) Confidence() Confidence {
 	c.Estimate = (lo + hi) / 2
 	c.StdErr = math.Sqrt(variance)
 	half := c.Z * c.StdErr
-	c.Lo = lo - half
-	c.Hi = hi + half
-	// The half-width floor covers the measurement bias of mid-run
-	// detailed samples, which pure sampling variance cannot see: a base
-	// MinRelErr, widened by DirBiasRelErr in proportion to the share of
-	// the estimate resting on directed samples or fallback rates — a run
-	// whose rates were all measured in realistic sampling phases keeps a
-	// tight floor, a run living off directed samples admits the regime
-	// bias they carry.
-	relFloor := s.cfg.MinRelErr
-	if c.Estimate > 0 {
-		relFloor += s.cfg.DirBiasRelErr * uncertain / c.Estimate
-	}
-	if floor := relFloor * c.Estimate; c.Estimate-c.Lo < floor || c.Hi-c.Estimate < floor {
+	// The share of the estimate resting on directed samples, fallback
+	// rates or warm-up measurements carries regime bias that sampling
+	// variance cannot see. Bias and sampling error are independent error
+	// sources, so the allowance adds to the z-scaled term on both sides —
+	// maxing them understates cells where a legitimate variance is just
+	// large enough to mask a real bias (the estimator fuzzer's second
+	// catch: tightening the warm-up variance exposed covered-by-luck
+	// cells whose residual contention bias the old floor never admitted).
+	bias := s.cfg.DirBiasRelErr * uncertain
+	c.Lo = lo - half - bias
+	c.Hi = hi + half + bias
+	// The base half-width floor covers the measurement bias of mid-run
+	// detailed samples even in runs measured purely from sampling phases
+	// (uncertain ≈ 0): never report a half-width below MinRelErr of the
+	// estimate.
+	if floor := s.cfg.MinRelErr * c.Estimate; c.Estimate-c.Lo < floor || c.Hi-c.Estimate < floor {
 		c.Lo = math.Min(c.Lo, c.Estimate-floor)
 		c.Hi = math.Max(c.Hi, c.Estimate+floor)
 	}
