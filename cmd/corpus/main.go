@@ -11,7 +11,12 @@
 //	corpus -n 50                          # 50 scenarios, default grid
 //	corpus -n 100 -families forkjoin,random -policies lazy,stratified:400
 //	corpus -n 50 -out corpus.jsonl -csv corpus.csv   # resume + CSV export
+//	corpus -out -                         # stream JSONL to stdout (no resume)
 //	corpus -list                          # print the drawn scenarios and exit
+//	corpus -trace t.jsonl -debug-addr 127.0.0.1:6060  # observability
+//
+// All progress and summary output goes to stderr (suppress with -quiet);
+// stdout carries machine-parseable data only (-out -, -list).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"taskpoint/internal/arch"
 	"taskpoint/internal/gen/corpus"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sweep"
 )
 
@@ -46,7 +52,11 @@ func main() {
 		outPath  = flag.String("out", "", "JSONL output; existing cells in it are skipped (resume)")
 		csvPath  = flag.String("csv", "", "also export the campaign as CSV to this path")
 		list     = flag.Bool("list", false, "print the drawn scenario specs and exit")
-		quiet    = flag.Bool("quiet", false, "suppress per-cell progress")
+		quiet    = flag.Bool("quiet", false, "suppress progress and summary output on stderr")
+
+		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -79,9 +89,31 @@ func main() {
 		return
 	}
 
+	var tune []func(*sweep.Engine)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs\n", ds.Addr())
+	}
+	if *tracePath != "" {
+		rec, err := obs.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+		tune = append(tune, func(eng *sweep.Engine) { eng.Recorder = rec })
+	}
+
+	// "-out -" streams JSONL to stdout (no resume); anything else appends
+	// to a resumable file.
 	var completed map[string]sweep.Record
 	var out io.Writer
-	if *outPath != "" {
+	if *outPath == "-" {
+		out = os.Stdout
+	} else if *outPath != "" {
 		if f, err := os.Open(*outPath); err == nil {
 			completed, err = sweep.LoadCompleted(f)
 			f.Close()
@@ -114,17 +146,24 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	recs, runErr := corpus.RunContext(ctx, spec, *workers, out, completed, onRecord)
+	recs, runErr := corpus.RunContext(ctx, spec, *workers, out, completed, onRecord, tune...)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "corpus: some cells failed:\n%v\n", runErr)
 	}
-	fmt.Fprintf(os.Stderr, "corpus: %d records (%d scenarios × policies) in %v, %d workers\n\n",
-		len(recs), *n, time.Since(start).Round(time.Millisecond), *workers)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "corpus: %d records (%d scenarios × policies) in %v, %d workers\n\n",
+			len(recs), *n, time.Since(start).Round(time.Millisecond), *workers)
+		fmt.Fprint(os.Stderr, corpus.RenderSummary(
+			fmt.Sprintf("corpus %q — per-policy accuracy over %d generated scenarios", specName(spec), *n),
+			corpus.Summarize(recs)))
+		fmt.Fprintln(os.Stderr, cacheSummary())
+	}
 
-	fmt.Print(corpus.RenderSummary(
-		fmt.Sprintf("corpus %q — per-policy accuracy over %d generated scenarios", specName(spec), *n),
-		corpus.Summarize(recs)))
-
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -137,11 +176,34 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+		}
 	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// cacheSummary renders the baseline cache's behaviour over the campaign
+// from the process-wide metrics — the detailed reference dominates corpus
+// cost, so the end-of-run summary surfaces how often it was reused.
+func cacheSummary() string {
+	snap := obs.Default().Snapshot()
+	return fmt.Sprintf("baseline cache: %d hits, %d misses, %d evictions (%d detailed references computed)",
+		snap.Counters["engine.baseline.cache.hits"],
+		snap.Counters["engine.baseline.cache.misses"],
+		snap.Counters["engine.baseline.cache.evictions"],
+		snap.Counters["engine.baseline.computed"])
+}
+
+// writeMetrics dumps the final metrics snapshot as indented JSON.
+func writeMetrics(path string) error {
+	b, err := obs.Default().MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func specName(s corpus.Spec) string {

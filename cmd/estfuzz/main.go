@@ -16,6 +16,7 @@
 //	estfuzz -duration 10m -corpus found.jsonl     # time-boxed nightly hunt
 //	estfuzz -rounds 500 -state fuzz.state -corpus testdata/regression_corpus.jsonl
 //	                                              # resumable: SIGINT, rerun, continues
+//	estfuzz -rounds 50 -trace t.jsonl -metrics-out m.json   # observability
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"taskpoint/internal/arch"
 	"taskpoint/internal/bench"
 	"taskpoint/internal/fuzz"
+	"taskpoint/internal/obs"
 )
 
 // state is the resumable round cursor, written atomically after every
@@ -64,13 +66,35 @@ func main() {
 		statePat = flag.String("state", "", "resumable round cursor: continue from the last completed round")
 		quiet    = flag.Bool("quiet", false, "suppress per-round progress on stderr")
 		failHits = flag.Bool("fail-on-violation", false, "exit 3 when any violation was found (for CI)")
+
+		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		var err error
+		if rec, err = obs.Open(*tracePath); err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs\n", ds.Addr())
+	}
 
 	cfg := fuzz.Config{
 		Rounds: *rounds, Seed: *seed, Arch: *archName, Threads: *threads,
 		MinTasks: *minTasks, MaxTasks: *maxTasks,
 		Minimize: *minimize, Workers: *workers,
+		Recorder: rec,
 	}
 	if *policies != "" {
 		cfg.Policies = splitCSV(*policies)
@@ -152,7 +176,18 @@ func main() {
 	default:
 		fatal(runErr)
 	}
-	fmt.Fprintf(os.Stderr, "estfuzz: %d violations in %v\n", total, time.Since(wallStart).Round(time.Millisecond))
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "estfuzz: %d violations in %v\n", total, time.Since(wallStart).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		b, err := obs.Default().MarshalSnapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if *failHits && total > 0 {
 		os.Exit(3)
 	}

@@ -33,6 +33,7 @@ func main() {
 		exps    = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig5,fig6a,fig6b,fig6c,fig7,fig8,fig9,fig10,summary")
 		hpT     = flag.String("hp-threads", "8,16,32,64", "thread counts for the high-performance figures")
 		lpT     = flag.String("lp-threads", "1,2,4,8", "thread counts for the low-power figures")
+		quiet   = flag.Bool("quiet", false, "suppress per-section progress on stderr")
 	)
 	flag.Parse()
 
@@ -61,7 +62,9 @@ func main() {
 			return
 		}
 		t0 := time.Now()
-		fmt.Fprintf(os.Stderr, "== %s...\n", name)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s...\n", name)
+		}
 		s, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
@@ -69,7 +72,9 @@ func main() {
 		}
 		report.WriteString(s)
 		report.WriteString("\n")
-		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(t0).Round(time.Millisecond))
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(t0).Round(time.Millisecond))
+		}
 	}
 
 	var fig1Rows, fig5Rows []results.VariationRow
@@ -175,7 +180,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
 }
 
 func parseInts(s string) []int {

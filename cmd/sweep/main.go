@@ -13,7 +13,12 @@
 //	sweep -benchmarks cholesky,knn -archs hp,lp -threads 2,8 \
 //	      -policies lazy,periodic:250  # spec from flags
 //	sweep -out run.jsonl -csv run.csv  # resume run.jsonl, export CSV
+//	sweep -out -                       # stream JSONL to stdout (no resume)
 //	sweep -print-spec                  # show the effective spec and exit
+//	sweep -trace t.jsonl -debug-addr 127.0.0.1:6060  # observability
+//
+// All progress and summary output goes to stderr (suppress with -quiet);
+// stdout carries machine-parseable data only (-out -, -print-spec).
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,26 +37,30 @@ import (
 	"time"
 
 	"taskpoint/internal/arch"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sweep"
 )
 
 func main() {
 	var (
-		specPath  = flag.String("spec", "", "JSON sweep spec file (dimension flags override its fields)")
-		outPath   = flag.String("out", "sweep.jsonl", "JSONL output; existing cells in it are skipped (resume)")
-		csvPath   = flag.String("csv", "", "also export the full campaign as CSV to this path")
-		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
-		name      = flag.String("name", "", "campaign name (flag-built specs)")
-		scale     = flag.Float64("scale", 0, "benchmark scale; 0 keeps the spec/default value")
-		benchCSV  = flag.String("benchmarks", "", "comma-separated benchmark names")
-		archCSV   = flag.String("archs", "", "comma-separated architectures (hp, lp, native)")
-		threadCSV = flag.String("threads", "", "comma-separated thread counts")
-		polCSV    = flag.String("policies", "", "comma-separated policies (lazy, periodic:P)")
-		seedCSV   = flag.String("seeds", "", "comma-separated workload seeds")
-		w         = flag.Int("W", 0, "warm-up instances per thread; 0 = paper default")
-		h         = flag.Int("H", 0, "sample history size; 0 = paper default")
-		printSpec = flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
-		quiet     = flag.Bool("quiet", false, "suppress per-cell progress")
+		specPath   = flag.String("spec", "", "JSON sweep spec file (dimension flags override its fields)")
+		outPath    = flag.String("out", "sweep.jsonl", "JSONL output; existing cells in it are skipped (resume)")
+		csvPath    = flag.String("csv", "", "also export the full campaign as CSV to this path")
+		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
+		name       = flag.String("name", "", "campaign name (flag-built specs)")
+		scale      = flag.Float64("scale", 0, "benchmark scale; 0 keeps the spec/default value")
+		benchCSV   = flag.String("benchmarks", "", "comma-separated benchmark names")
+		archCSV    = flag.String("archs", "", "comma-separated architectures (hp, lp, native)")
+		threadCSV  = flag.String("threads", "", "comma-separated thread counts")
+		polCSV     = flag.String("policies", "", "comma-separated policies (lazy, periodic:P)")
+		seedCSV    = flag.String("seeds", "", "comma-separated workload seeds")
+		w          = flag.Int("W", 0, "warm-up instances per thread; 0 = paper default")
+		h          = flag.Int("H", 0, "sample history size; 0 = paper default")
+		printSpec  = flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress and summary output on stderr")
+		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -75,23 +85,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	completed, err := loadResume(*outPath)
-	if err != nil {
-		fatal(err)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/obs\n", ds.Addr())
 	}
-	if err := sweep.DropPartialTail(*outPath); err != nil {
-		fatal(err)
+	if *tracePath != "" {
+		rec, err := obs.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+		eng.Recorder = rec
 	}
-	out, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		fatal(err)
+
+	// "-out -" streams JSONL to stdout (no resume); anything else appends
+	// to a resumable file.
+	var out io.Writer
+	var completed map[string]sweep.Record
+	if *outPath == "-" {
+		out = os.Stdout
+	} else {
+		if completed, err = loadResume(*outPath); err != nil {
+			fatal(err)
+		}
+		if err := sweep.DropPartialTail(*outPath); err != nil {
+			fatal(err)
+		}
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
 	}
-	defer out.Close()
 
 	skipped, total := eng.Resumable(completed)
-	fmt.Fprintf(os.Stderr, "campaign %q: %d cells (%d already in %s), %d workers\n",
-		specName(spec), total, skipped, *outPath, *workers)
 	if !*quiet {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d cells (%d already in %s), %d workers\n",
+			specName(spec), total, skipped, *outPath, *workers)
 		eng.OnRecord = func(done, total int, rec sweep.Record) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s err %6.2f%%  %5.1fx detail\n",
 				done, total, rec.Key, rec.ErrPct, rec.SpeedupDetail)
@@ -103,21 +138,51 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %d cells failed:\n%v\n", total-len(recs), runErr)
 	}
-	fmt.Fprintf(os.Stderr, "completed %d/%d cells in %v\n\n", len(recs), total, time.Since(start).Round(time.Millisecond))
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "completed %d/%d cells in %v\n\n", len(recs), total, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(os.Stderr, sweep.RenderSummary(
+			fmt.Sprintf("campaign %q — mean/max execution-time error and detail speedup per cell group", specName(spec)),
+			sweep.Summarize(recs)))
+		fmt.Fprintln(os.Stderr, cacheSummary())
+	}
 
-	fmt.Print(sweep.RenderSummary(
-		fmt.Sprintf("campaign %q — mean/max execution-time error and detail speedup per cell group", specName(spec)),
-		sweep.Summarize(recs)))
-
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *csvPath != "" {
 		if err := exportCSV(*csvPath, recs); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\nwrote %d rows to %s\n", len(recs), *csvPath)
+		}
 	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// cacheSummary renders the baseline cache's behaviour over the campaign
+// from the process-wide metrics — cache cost dominates campaign cost, so
+// the end-of-run summary surfaces it.
+func cacheSummary() string {
+	snap := obs.Default().Snapshot()
+	return fmt.Sprintf("baseline cache: %d hits, %d misses, %d evictions (%d detailed references computed)",
+		snap.Counters["engine.baseline.cache.hits"],
+		snap.Counters["engine.baseline.cache.misses"],
+		snap.Counters["engine.baseline.cache.evictions"],
+		snap.Counters["engine.baseline.computed"])
+}
+
+// writeMetrics dumps the final metrics snapshot as indented JSON.
+func writeMetrics(path string) error {
+	b, err := obs.Default().MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // buildSpec resolves the campaign: a spec file when given, otherwise the

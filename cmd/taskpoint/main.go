@@ -10,6 +10,8 @@
 //	taskpoint -bench cholesky -threads 8 -arch hp -policy lazy -scale 0.125
 //	taskpoint -bench dedup -policy stratified -budget 400
 //	taskpoint -bench dedup -arch native -policy 'stratified(400)'
+//	taskpoint -bench 'gen:forkjoin(tasks=64)' -timeline out.json   # Perfetto timeline
+//	taskpoint -bench cholesky -trace run.jsonl                     # flight recorder
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 		w         = flag.Int("W", 2, "warm-up instances per thread")
 		h         = flag.Int("H", 4, "sample history size per task type")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		tracePath = flag.String("trace", "", "append a flight-recorder JSONL trace of the run to this file")
+		timeline  = flag.String("timeline", "", "write the simulated per-core task schedule as Chrome trace-event JSON (open in Perfetto)")
+		quiet     = flag.Bool("quiet", false, "suppress diagnostic notes on stderr")
 	)
 	flag.Parse()
 
@@ -95,9 +100,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	rep, err := taskpoint.NewEngine().Run(ctx, req)
+	var rec *taskpoint.Recorder
+	if *tracePath != "" {
+		var err error
+		if rec, err = taskpoint.OpenRecorder(*tracePath); err != nil {
+			fatal(err)
+		}
+		defer rec.Close()
+	}
+
+	rep, err := taskpoint.NewEngine(taskpoint.WithRecorder(rec)).Run(ctx, req)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, rep); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "taskpoint: wrote simulated timeline to %s (load in https://ui.perfetto.dev)\n", *timeline)
+		}
+	}
+	if *tracePath != "" && !*quiet {
+		fmt.Fprintf(os.Stderr, "taskpoint: appended flight-recorder trace to %s\n", *tracePath)
 	}
 
 	prog, cfg := rep.Program, rep.Config
@@ -124,6 +150,18 @@ func main() {
 			conf.Estimate, conf.Lo, conf.Hi, 100*conf.RelWidth()/2, conf.Strata, conf.Sampled, conf.Calibration)
 		fmt.Printf("           detailed reference total %.4g is %s the interval\n", trueTotal, inside)
 	}
+}
+
+func writeTimeline(path string, rep taskpoint.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := taskpoint.WriteTimeline(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

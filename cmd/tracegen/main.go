@@ -31,6 +31,7 @@ func main() {
 		out       = flag.String("o", "", "output trace file")
 		info      = flag.String("info", "", "print a summary of an existing trace file")
 		list      = flag.Bool("list", false, "list all benchmark names and scenario families")
+		quiet     = flag.Bool("quiet", false, "suppress the wrote-file note on stderr")
 	)
 	flag.Parse()
 
@@ -81,7 +82,9 @@ func main() {
 			fatal(err)
 		}
 		st, _ := os.Stat(*out)
-		fmt.Printf("wrote %s: %d instances, %d bytes\n", *out, prog.NumTasks(), st.Size())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s: %d instances, %d bytes\n", *out, prog.NumTasks(), st.Size())
+		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "usage: tracegen -bench NAME -o FILE | tracegen -info FILE | tracegen -list")

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/bits"
 
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/trace"
 )
@@ -162,6 +163,13 @@ type Sampler struct {
 	concBreaches   int
 
 	stats Stats
+
+	// rec, when non-nil, receives phase-transition events tagged with
+	// cell (the experiment cell's key). The nil default costs one branch
+	// per transition — transitions, not task starts, so the hot path is
+	// untouched.
+	rec  *obs.Recorder
+	cell string
 }
 
 var _ sim.Controller = (*Sampler)(nil)
@@ -205,6 +213,14 @@ func MustNew(params Params, policy Policy) *Sampler {
 
 // Stats returns what the sampler did so far.
 func (s *Sampler) Stats() Stats { return s.stats }
+
+// SetTrace attaches a flight recorder for phase-transition events
+// (sampling→fast, resamples with their trigger), tagging each event with
+// cell — the experiment cell's key. A nil recorder disables tracing.
+func (s *Sampler) SetTrace(rec *obs.Recorder, cell string) {
+	s.rec = rec
+	s.cell = cell
+}
 
 // Policy returns the resampling policy in use.
 func (s *Sampler) Policy() Policy { return s.policy }
@@ -279,7 +295,7 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 			if diff > math.Max(1, s.params.ConcurrencyTolerance*s.refConcurrency) {
 				s.concBreaches++
 				if s.concBreaches >= s.params.ConcurrencyPatience {
-					s.resample(&s.stats.ResamplesParallelism)
+					s.resample(&s.stats.ResamplesParallelism, "parallelism")
 				}
 			} else {
 				s.concBreaches = 0
@@ -311,7 +327,7 @@ func (s *Sampler) TaskStart(si sim.StartInfo) sim.Decision {
 			// First instance of a previously unknown task type: its
 			// history is empty, fast simulation is impossible, so
 			// resample (paper Fig 4b).
-			s.resample(&s.stats.ResamplesNewType)
+			s.resample(&s.stats.ResamplesNewType, "new-type")
 		}
 	}
 
@@ -376,7 +392,7 @@ func (s *Sampler) TaskFinish(fi sim.FinishInfo) {
 		if s.phase == phaseFast && th.curPhaseSeq == s.phaseSeq {
 			th.fastRetired++
 			if s.policy.ShouldResample(fi.Thread, th.fastRetired) {
-				s.resample(&s.stats.ResamplesPeriodic)
+				s.resample(&s.stats.ResamplesPeriodic, "periodic")
 			}
 		}
 		return
@@ -458,14 +474,27 @@ func (s *Sampler) maybeFinishSampling() {
 	for _, th := range s.threads {
 		th.fastRetired = 0
 	}
+	if s.rec != nil {
+		s.rec.Emit("sampler.fast",
+			obs.String("cell", s.cell),
+			obs.Int("valid_samples", s.stats.ValidSamples),
+			obs.Int("transitions", s.stats.Transitions))
+	}
 }
 
 // resample switches back to sampling: valid histories are discarded and
 // every thread re-warms with ResampleWarmup detailed instances before its
-// measurements count (paper §III-B/C).
-func (s *Sampler) resample(reason *int) {
+// measurements count (paper §III-B/C). trigger names what fired, for the
+// flight recorder.
+func (s *Sampler) resample(reason *int, trigger string) {
 	if s.phase != phaseFast {
 		return
+	}
+	if s.rec != nil {
+		s.rec.Emit("sampler.resample",
+			obs.String("cell", s.cell),
+			obs.String("trigger", trigger),
+			obs.Int("resamples", s.stats.Resamples+1))
 	}
 	s.phase = phaseSampling
 	s.phaseSeq++

@@ -2,10 +2,20 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"taskpoint/internal/bench"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/trace"
+)
+
+// Process-wide cache metrics, aggregated across every BaselineCache in
+// the process; CacheStats carries the per-cache view.
+var (
+	metricCacheHits      = obs.Default().Counter("engine.baseline.cache.hits")
+	metricCacheMisses    = obs.Default().Counter("engine.baseline.cache.misses")
+	metricCacheEvictions = obs.Default().Counter("engine.baseline.cache.evictions")
 )
 
 // progKey identifies a generated program: the same (workload, scale, seed)
@@ -39,7 +49,42 @@ type BaselineCache struct {
 	mu    sync.Mutex
 	progs map[progKey]*trace.Program
 	dets  map[detKey]*sim.Result
+
+	// Lookup tallies for the detailed-reference map (the expensive slot):
+	// one hit or miss per logical cell lookup, one eviction per detailed
+	// entry DropWorkload deletes.
+	hits, misses, evictions atomic.Int64
 }
+
+// CacheStats is a point-in-time view of a cache's detailed-reference
+// behaviour — the numbers the sweep/corpus end-of-run summaries print,
+// since baseline computation dominates campaign cost.
+type CacheStats struct {
+	// Hits and Misses tally detailed-reference lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts detailed entries dropped by DropWorkload.
+	Evictions int64
+	// Entries is the current number of cached detailed references.
+	Entries int
+}
+
+// Stats returns the cache's current lookup tallies.
+func (c *BaselineCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.dets)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// noteHit and noteMiss record one logical detailed-reference lookup, in
+// both the per-cache tallies and the process-wide metrics.
+func (c *BaselineCache) noteHit()  { c.hits.Add(1); metricCacheHits.Inc() }
+func (c *BaselineCache) noteMiss() { c.misses.Add(1); metricCacheMisses.Inc() }
 
 // NewBaselineCache returns an empty cache.
 func NewBaselineCache() *BaselineCache {
@@ -93,6 +138,8 @@ func (c *BaselineCache) DropWorkload(workload string) {
 	for k := range c.dets {
 		if k.workload == workload {
 			delete(c.dets, k)
+			c.evictions.Add(1)
+			metricCacheEvictions.Inc()
 		}
 	}
 }

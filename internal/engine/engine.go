@@ -21,6 +21,7 @@ import (
 
 	"taskpoint/internal/arch"
 	"taskpoint/internal/core"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
 	"taskpoint/internal/strata"
@@ -91,10 +92,22 @@ type Engine struct {
 	workers  int
 	cache    *BaselineCache
 	progress func(done, total int, rep Report)
+	rec      *obs.Recorder
 
 	semOnce sync.Once
 	sem     chan struct{}
 }
+
+// Engine metrics in the default registry: cell throughput and latency,
+// worker-pool occupancy, and baseline computation volume. The baseline
+// cache's hit/miss/eviction counters live in cache.go.
+var (
+	metricCellsCompleted = obs.Default().Counter("engine.cells.completed")
+	metricCellsFailed    = obs.Default().Counter("engine.cells.failed")
+	metricCellWallMS     = obs.Default().Histogram("engine.cell.wall_ms")
+	metricWorkersBusy    = obs.Default().Gauge("engine.workers.busy")
+	metricBaselineRuns   = obs.Default().Counter("engine.baseline.computed")
+)
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -129,6 +142,14 @@ func WithProgress(fn func(done, total int, rep Report)) Option {
 	return func(e *Engine) { e.progress = fn }
 }
 
+// WithRecorder attaches a flight recorder: the engine emits cell
+// lifecycle, baseline-computation and sampler-decision events to it. A
+// nil recorder (the default) is the free disabled path — the same call
+// sites compile to immediate returns.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(e *Engine) { e.rec = r }
+}
+
 // New builds an engine. Defaults: one worker slot per CPU, a fresh
 // private baseline cache, no progress observer.
 func New(opts ...Option) *Engine {
@@ -154,7 +175,8 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 	e.semOnce.Do(func() { e.sem = make(chan struct{}, e.workers) })
 	select {
 	case e.sem <- struct{}{}:
-		return func() { <-e.sem }, nil
+		metricWorkersBusy.Add(1)
+		return func() { <-e.sem; metricWorkersBusy.Add(-1) }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -188,8 +210,12 @@ func detailedKey(n Request, a arch.Arch) detKey {
 // returned result is always the cache's canonical value for the key.
 func (e *Engine) detailedFor(ctx context.Context, key detKey, se *sim.Engine) (res *sim.Result, ran bool, err error) {
 	if res := e.cache.detailed(key); res != nil {
+		e.cache.noteHit()
+		e.rec.Emit("cache.hit", obs.String("workload", key.workload), obs.String("arch", key.arch), obs.Int("threads", key.threads))
 		return res, false, nil
 	}
+	e.cache.noteMiss()
+	e.rec.Emit("cache.miss", obs.String("workload", key.workload), obs.String("arch", key.arch), obs.Int("threads", key.threads))
 	release, err := e.acquire(ctx)
 	if err != nil {
 		return nil, false, err
@@ -199,12 +225,17 @@ func (e *Engine) detailedFor(ctx context.Context, key detKey, se *sim.Engine) (r
 	if err != nil {
 		return nil, false, err
 	}
+	metricBaselineRuns.Inc()
+	e.rec.Emit("baseline.computed",
+		obs.String("workload", key.workload), obs.String("arch", key.arch),
+		obs.Int("threads", key.threads), obs.Float("wall_ms", float64(res.Wall.Microseconds())/1e3))
 	return e.cache.storeDetailed(key, res), true, nil
 }
 
 func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Result, error) {
 	key := detailedKey(n, a)
 	if res := e.cache.detailed(key); res != nil {
+		e.cache.noteHit()
 		return res, nil
 	}
 	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
@@ -235,10 +266,29 @@ func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Res
 // (including the native architecture's noise model) bit-for-bit, so the
 // results are identical to building two engines.
 func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
+	rep, err := e.run(ctx, req)
+	if err != nil {
+		metricCellsFailed.Inc()
+		e.rec.Emit("cell.error", obs.String("key", req.Key()), obs.String("err", err.Error()))
+		return rep, err
+	}
+	metricCellsCompleted.Inc()
+	wallMS := float64((rep.SampledWall + rep.DetailedWall).Microseconds()) / 1e3
+	metricCellWallMS.Observe(wallMS)
+	e.rec.Emit("cell.finish",
+		obs.String("key", rep.Request.Key()),
+		obs.Float("err_pct", rep.ErrPct),
+		obs.Float("detail_fraction", rep.DetailFraction),
+		obs.Float("wall_ms", wallMS))
+	return rep, nil
+}
+
+func (e *Engine) run(ctx context.Context, req Request) (Report, error) {
 	n, policy, err := req.resolve()
 	if err != nil {
 		return Report{}, err
 	}
+	e.rec.Emit("cell.start", obs.String("key", n.Key()))
 	a := arch.Arch(n.Arch)
 	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
 	if err != nil {
@@ -273,6 +323,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	sampler.SetTrace(e.rec, n.Key())
 	release, err := e.acquire(ctx)
 	if err != nil {
 		return Report{}, err

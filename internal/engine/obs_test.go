@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"taskpoint/internal/obs"
+)
+
+// TestBaselineCacheStats: the per-cache counters tell the campaign-cost
+// story — one miss on first compute, hits on reuse, evictions on drop.
+func TestBaselineCacheStats(t *testing.T) {
+	cache := NewBaselineCache()
+	e := New(WithWorkers(1), WithBaselineCache(cache))
+	req := testRequest("swaptions", "lazy", 2)
+
+	if _, err := e.Baseline(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("after first compute: %+v, want 1 miss, 0 hits", st)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+
+	if _, err := e.Baseline(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("after reuse: %+v, want 1 miss, 1 hit", st)
+	}
+
+	cache.DropWorkload(req.Workload)
+	st = cache.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("after DropWorkload: %+v, want 1 eviction", st)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d after drop, want 0", st.Entries)
+	}
+}
+
+// TestRunEmitsFlightRecorderEvents: a traced cell leaves the lifecycle
+// events the flight recorder promises — cell.start, a cache outcome, and
+// cell.finish — all as whole JSON lines.
+func TestRunEmitsFlightRecorderEvents(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	e := New(WithWorkers(1), WithRecorder(rec), WithBaselineCache(NewBaselineCache()))
+
+	if _, err := e.Run(context.Background(), testRequest("cholesky", "lazy", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("torn trace line %q: %v", sc.Text(), err)
+		}
+		kinds[m.Kind]++
+	}
+	for _, k := range []string{"cell.start", "cell.finish", "baseline.computed"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s event in trace (kinds: %v)", k, kinds)
+		}
+	}
+	if kinds["cache.miss"] == 0 {
+		t.Errorf("fresh cache produced no cache.miss event (kinds: %v)", kinds)
+	}
+}

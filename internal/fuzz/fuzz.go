@@ -33,7 +33,15 @@ import (
 	"taskpoint/internal/core"
 	"taskpoint/internal/engine"
 	"taskpoint/internal/gen"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/strata"
+)
+
+// Fuzzer metrics in the default registry: round throughput and violation
+// volume by class (the per-class counters are created on first hit).
+var (
+	metricRounds   = obs.Default().Counter("fuzz.rounds")
+	metricFindings = obs.Default().Counter("fuzz.findings")
 )
 
 // Config parameterises a fuzz campaign. Zero values select the defaults
@@ -79,6 +87,10 @@ type Config struct {
 	Minimize bool `json:"minimize,omitempty"`
 	// Workers bounds concurrent simulations (default NumCPU).
 	Workers int `json:"-"`
+	// Recorder, when non-nil, receives round/finding flight-recorder
+	// events and is threaded into the experiment engine. Excluded from
+	// the fingerprint and from serialized configs.
+	Recorder *obs.Recorder `json:"-"`
 }
 
 // Normalized returns the config with every defaulted field filled — what
@@ -269,7 +281,7 @@ func New(cfg Config) (*Driver, error) {
 		return nil, err
 	}
 	n := cfg.Normalized()
-	return &Driver{cfg: n, eng: engine.New(engine.WithWorkers(n.Workers))}, nil
+	return &Driver{cfg: n, eng: engine.New(engine.WithWorkers(n.Workers), engine.WithRecorder(n.Recorder))}, nil
 }
 
 // Config returns the driver's normalized configuration.
@@ -313,6 +325,8 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 	sc := d.cfg.DrawRound(i)
 	spec := sc.Spec()
 	seed := d.cfg.RoundSeed(i)
+	d.cfg.Recorder.Emit("fuzz.round.start",
+		obs.Int("round", i), obs.String("spec", spec), obs.Uint64("seed", seed))
 	visited := map[string]bool{spec: true}
 	defer func() {
 		for w := range visited {
@@ -363,9 +377,30 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 				f.ShrinkTrials = trials
 			}
 		}
+		metricFindings.Inc()
+		for _, class := range f.Classes {
+			obs.Default().Counter("fuzz.violations." + string(class)).Inc()
+		}
+		d.cfg.Recorder.Emit("fuzz.finding",
+			obs.Int("round", i), obs.String("spec", f.Spec), obs.String("policy", f.Policy),
+			obs.String("classes", classesString(f.Classes)), obs.Float("err_pct", f.ErrPct))
 		findings = append(findings, f)
 	}
+	metricRounds.Inc()
+	d.cfg.Recorder.Emit("fuzz.round.finish", obs.Int("round", i), obs.Int("findings", len(findings)))
 	return findings, nil
+}
+
+// classesString renders a failure signature as a comma-separated list.
+func classesString(cs []strata.ViolationClass) string {
+	s := ""
+	for i, c := range cs {
+		if i > 0 {
+			s += ","
+		}
+		s += string(c)
+	}
+	return s
 }
 
 // Run executes rounds [start, cfg.Rounds) — or forever when Rounds is 0 —

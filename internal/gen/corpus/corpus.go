@@ -202,9 +202,11 @@ func Run(s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
 // RunContext is Run with cooperative cancellation: the corpus is a thin
 // adapter over the sweep engine — itself an adapter over the unified
 // experiment engine — so cancelling ctx stops in-flight simulations
-// promptly and fails the remaining cells with ctx's error.
+// promptly and fails the remaining cells with ctx's error. The optional
+// tune functions adjust the underlying sweep engine before it runs
+// (e.g. attaching a flight recorder).
 func RunContext(ctx context.Context, s Spec, workers int, out io.Writer, completed map[string]sweep.Record,
-	onRecord func(done, total int, rec sweep.Record)) ([]sweep.Record, error) {
+	onRecord func(done, total int, rec sweep.Record), tune ...func(*sweep.Engine)) ([]sweep.Record, error) {
 	sw, err := s.SweepSpec()
 	if err != nil {
 		return nil, err
@@ -214,6 +216,9 @@ func RunContext(ctx context.Context, s Spec, workers int, out io.Writer, complet
 		return nil, err
 	}
 	eng.OnRecord = onRecord
+	for _, fn := range tune {
+		fn(eng)
+	}
 	return eng.RunContext(ctx, out, completed)
 }
 

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live diagnostics for a long-running campaign:
+//
+//	/debug/obs      — the registry snapshot as indented JSON
+//	/debug/vars     — standard expvar (cmdline, memstats, …)
+//	/debug/pprof/*  — net/http/pprof profiles
+//
+// It uses its own mux, never http.DefaultServeMux, so mounting it cannot
+// leak pprof onto an application server by accident.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the diagnostics server on addr (e.g. "127.0.0.1:6060";
+// use port 0 for an ephemeral port) reading from reg, or Default() when
+// reg is nil. It returns once the listener is bound; serving continues in
+// the background until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		b, err := reg.MarshalSnapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go ds.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ds, nil
+}
+
+// Addr is the bound listen address (resolves the actual port when the
+// caller asked for :0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeDebug boots the diagnostics server on an ephemeral port and
+// checks each surface answers: the obs snapshot as JSON, expvar, and the
+// pprof index.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug.test.counter").Add(7)
+
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return b
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/obs"), &snap); err != nil {
+		t.Fatalf("/debug/obs is not a snapshot: %v", err)
+	}
+	if snap.Counters["debug.test.counter"] != 7 {
+		t.Errorf("/debug/obs counter = %d, want 7", snap.Counters["debug.test.counter"])
+	}
+
+	if !json.Valid(get("/debug/vars")) {
+		t.Error("/debug/vars is not valid JSON")
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Error("/debug/pprof/ returned an empty index")
+	}
+}

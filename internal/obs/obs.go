@@ -1,0 +1,399 @@
+// Package obs is the repository's observability layer: a zero-dependency,
+// race-safe metrics registry (counters, gauges, log-bucketed histograms
+// with a JSON snapshot form), a bounded torn-tail-safe JSONL flight
+// recorder for real-execution traces, a Chrome trace-event/Perfetto
+// exporter for simulated per-core task timelines, and an expvar+pprof
+// debug HTTP surface.
+//
+// Design constraints, in order:
+//
+//   - The disabled path is free. A nil *Recorder is a valid recorder whose
+//     Emit is a nil check; metric updates are single atomic operations and
+//     never allocate, so instrumentation compiled into the simulation
+//     kernel's call sites cannot regress the kernel-perf gate.
+//   - Everything is safe for concurrent use: experiment cells run across a
+//     worker pool and all instrument the same process-wide registry.
+//   - Metric keys are flat dotted strings, "<subsystem>.<object>.<metric>"
+//     (e.g. "engine.baseline.cache.hits"), lowercase, with units suffixed
+//     where ambiguous ("engine.cell.wall_ms").
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (set or adjusted atomically).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (lock-free CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram bucket geometry: 8 sub-buckets per power-of-two octave over
+// [2^histMinExp, 2^(histMaxExp+1)), giving every in-range observation a
+// bucket whose width is 1/8 of its lower bound — quantile estimates are
+// within ~7% of the exact value. Out-of-range and non-positive
+// observations clamp (zero/negative land in a dedicated underflow
+// bucket), so Observe never loses a sample.
+const (
+	histSubBits  = 3
+	histSub      = 1 << histSubBits
+	histMinExp   = -16
+	histMaxExp   = 47
+	histNBuckets = (histMaxExp - histMinExp + 1) * histSub
+)
+
+// Histogram is a log-bucketed distribution of non-negative observations:
+// one atomic add per Observe, exact count/sum/min/max, and quantiles
+// interpolated within power-of-two sub-buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64 // valid once count > 0
+	maxBits atomic.Uint64
+	under   atomic.Int64 // observations <= 0 (or NaN)
+	buckets [histNBuckets]atomic.Int64
+}
+
+// bucketIndex maps a positive v to its sub-bucket, clamped to the table.
+func bucketIndex(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	octave := exp - 1          // lower bound 2^octave
+	idx := (octave-histMinExp)<<histSubBits + int((frac*2-1)*histSub)
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histNBuckets {
+		return histNBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns the [lo, hi) value range of sub-bucket idx.
+func bucketBounds(idx int) (lo, hi float64) {
+	octave := histMinExp + idx>>histSubBits
+	sub := idx & (histSub - 1)
+	base := math.Ldexp(1, octave)
+	lo = base * (1 + float64(sub)/histSub)
+	hi = base * (1 + float64(sub+1)/histSub)
+	return lo, hi
+}
+
+// newHistogram builds a histogram with min/max sentinels, so concurrent
+// first observations race safely.
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	if math.IsNaN(v) || v <= 0 {
+		h.under.Add(1)
+		v = 0
+	} else {
+		h.buckets[bucketIndex(v)].Add(1)
+	}
+	addFloat(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations (non-positive counted as 0).
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the sub-bucket holding the rank. Relative error is bounded by
+// half a bucket width (~7%). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	cum := float64(h.under.Load())
+	if rank < cum {
+		return 0
+	}
+	for i := 0; i < histNBuckets; i++ {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if rank < cum+c {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)*(rank-cum+0.5)/c
+		}
+		cum += c
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's JSON form.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	// Under counts non-positive observations (they hold rank 0 in the
+	// quantile walk but have no value bucket).
+	Under   int64         `json:"under,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram's current state. Concurrent Observe
+// calls may straddle the capture; each bucket read is atomic, so the
+// result is a consistent-enough view for reporting.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.Sum(),
+		Under: h.under.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := 0; i < histNBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	return s
+}
+
+// Registry is a named set of metrics. Metrics are created on first use
+// and live for the registry's lifetime; lookups after creation are a
+// read-locked map access, and updates on the returned metric are plain
+// atomics — the fast path callers are expected to cache the pointer at
+// package init.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry every subsystem
+// instruments and the debug surface serves.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is the registry's JSON form: every metric by name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns every registered metric name, sorted — handy for
+// documentation tests and debugging.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MarshalSnapshot renders the registry as indented JSON — the form the
+// debug endpoint serves and -metrics-out files contain.
+func (r *Registry) MarshalSnapshot() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

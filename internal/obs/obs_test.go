@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — the
+// same pattern the worker pool produces — and checks nothing is lost.
+// Run under -race this also proves the get-or-create paths are sound.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Counter("test.counter").Inc()
+				r.Gauge("test.gauge").Add(1)
+				r.Histogram("test.hist").Observe(float64(i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const want = workers * perW
+	if got := r.Counter("test.counter").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("test.gauge").Value(); got != want {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	if got := r.Histogram("test.hist").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestRegistryIdentity checks get-or-create returns the same metric for
+// the same name — updates through two lookups must share state.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter(a) returned two distinct counters")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge(g) returned two distinct gauges")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram(h) returned two distinct histograms")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Error("distinct names share a counter")
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5 (negative Add must be ignored)", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+}
+
+// TestHistogramQuantiles draws a lognormal-ish sample, compares the
+// bucketed quantile estimate against the exact sorted-slice quantile, and
+// requires the documented accuracy: bucket width is 1/8 of the value, so
+// the estimate must sit within ~12.5% of the exact answer.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHistogram()
+	const n = 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		v := math.Exp(rng.NormFloat64()*2 + 3) // spans several octaves
+		vals[i] = v
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		exact := vals[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.125 {
+			t.Errorf("Quantile(%.2f) = %g, exact %g (rel err %.1f%% > 12.5%%)", q, got, exact, 100*rel)
+		}
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+	if min := math.Float64frombits(h.minBits.Load()); min != vals[0] {
+		t.Errorf("min = %g, want %g", min, vals[0])
+	}
+	if max := math.Float64frombits(h.maxBits.Load()); max != vals[n-1] {
+		t.Errorf("max = %g, want %g", max, vals[n-1])
+	}
+}
+
+// TestHistogramUnderflow checks non-positive and NaN observations land in
+// the underflow bucket and hold rank 0 in the quantile walk.
+func TestHistogramUnderflow(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(10)
+	s := h.snapshot()
+	if s.Under != 3 {
+		t.Errorf("under = %d, want 3", s.Under)
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0 (underflow ranks first)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10)/10 > 0.125 {
+		t.Errorf("Quantile(1) = %g, want ~10", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	s := h.snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+// TestSnapshotRoundTrip marshals a populated registry and decodes it back,
+// checking the JSON form carries every metric faithfully.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.one").Add(42)
+	r.Gauge("g.one").Set(2.5)
+	for i := 1; i <= 100; i++ {
+		r.Histogram("h.one").Observe(float64(i))
+	}
+
+	b, err := r.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if got.Counters["c.one"] != 42 {
+		t.Errorf("counter c.one = %d, want 42", got.Counters["c.one"])
+	}
+	if got.Gauges["g.one"] != 2.5 {
+		t.Errorf("gauge g.one = %g, want 2.5", got.Gauges["g.one"])
+	}
+	h := got.Histograms["h.one"]
+	if h.Count != 100 || h.Min != 1 || h.Max != 100 {
+		t.Errorf("histogram h.one = %+v, want count 100, min 1, max 100", h)
+	}
+	if h.Sum != 5050 {
+		t.Errorf("histogram sum = %g, want 5050", h.Sum)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Errorf("bucket counts sum to %d, want 100", total)
+	}
+
+	names := r.Names()
+	want := []string{"c.one", "g.one", "h.one"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestBucketGeometry checks every positive value maps into a bucket whose
+// bounds contain it (the interpolation contract Quantile relies on).
+func TestBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64()*40 - 10) // 2^-14 .. 2^43 roughly
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("v=%g mapped to bucket %d [%g, %g)", v, idx, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Field is one typed key/value attribute of a flight-recorder event.
+// Construct fields with String/Int/Int64/Uint64/Float/Bool — the encoder
+// is reflection-free, so emitting an event performs no per-field
+// allocation beyond the variadic slice.
+type Field struct {
+	Key  string
+	kind uint8
+	str  string
+	num  float64
+	i    int64
+}
+
+const (
+	fieldString uint8 = iota
+	fieldInt
+	fieldUint
+	fieldFloat
+	fieldBool
+)
+
+// String builds a string field.
+func String(key, v string) Field { return Field{Key: key, kind: fieldString, str: v} }
+
+// Int builds an integer field.
+func Int(key string, v int) Field { return Field{Key: key, kind: fieldInt, i: int64(v)} }
+
+// Int64 builds a 64-bit integer field.
+func Int64(key string, v int64) Field { return Field{Key: key, kind: fieldInt, i: v} }
+
+// Uint64 builds an unsigned 64-bit integer field.
+func Uint64(key string, v uint64) Field { return Field{Key: key, kind: fieldUint, i: int64(v)} }
+
+// Float builds a float field (NaN and infinities encode as null).
+func Float(key string, v float64) Field { return Field{Key: key, kind: fieldFloat, num: v} }
+
+// Bool builds a boolean field.
+func Bool(key string, v bool) Field {
+	f := Field{Key: key, kind: fieldBool}
+	if v {
+		f.i = 1
+	}
+	return f
+}
+
+// DefaultTraceLimit bounds a recorder's output when no explicit limit is
+// given: once reached, further events are counted as dropped instead of
+// written, so a runaway campaign cannot fill the disk.
+const DefaultTraceLimit = 256 << 20
+
+// Recorder is the flight recorder: a bounded JSONL event trace of the
+// real execution. Every event is one line of the form
+//
+//	{"seq":3,"t_ns":152000,"kind":"cell.finish","key":"...","err_pct":0.4}
+//
+// seq is a per-recorder monotonic sequence number (a deterministic total
+// order over what happened) and t_ns the monotonic elapsed nanoseconds
+// since the recorder started — relative, never wall-clock dates, so two
+// traces of the same run diff cleanly on everything but the timing
+// fields. Each event is written with a single Write call, so a line can
+// only tear if the process dies mid-write — and Open repairs exactly that
+// case on reopen via the DropPartialTail contract.
+//
+// A nil *Recorder is a valid no-op recorder: every method returns
+// immediately, which is the disabled path compiled into the
+// instrumentation call sites. Recorders are safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	w       io.Writer
+	closer  io.Closer
+	start   time.Time
+	seq     uint64
+	written int64
+	limit   int64
+	dropped uint64
+	closed  bool
+	buf     []byte
+}
+
+// NewRecorder wraps w in a recorder with the default byte limit. The
+// caller owns w; Close flushes nothing and closes nothing.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w, start: time.Now(), limit: DefaultTraceLimit, buf: make([]byte, 0, 256)}
+}
+
+// Open opens (or creates) a trace file for appending, first truncating a
+// torn trailing line left by a previous run killed mid-write — the same
+// DropPartialTail contract every resumable JSONL output of the repository
+// honours. Close closes the file.
+func Open(path string) (*Recorder, error) {
+	if err := DropPartialTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRecorder(f)
+	r.closer = f
+	return r, nil
+}
+
+// SetLimit bounds the total bytes written (<= 0 means unlimited). Events
+// beyond the limit are counted by Dropped instead of written.
+func (r *Recorder) SetLimit(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Dropped reports how many events the byte limit suppressed.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Emit appends one event line. Safe on a nil recorder (no-op) and from
+// concurrent goroutines (events serialize; seq orders them).
+func (r *Recorder) Emit(kind string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if r.limit > 0 && r.written >= r.limit {
+		r.dropped++
+		return
+	}
+	r.seq++
+	b := r.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, r.seq, 10)
+	b = append(b, `,"t_ns":`...)
+	b = strconv.AppendInt(b, time.Since(r.start).Nanoseconds(), 10)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, kind)
+	for i := range fields {
+		f := &fields[i]
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		switch f.kind {
+		case fieldString:
+			b = appendJSONString(b, f.str)
+		case fieldInt:
+			b = strconv.AppendInt(b, f.i, 10)
+		case fieldUint:
+			b = strconv.AppendUint(b, uint64(f.i), 10)
+		case fieldFloat:
+			if math.IsNaN(f.num) || math.IsInf(f.num, 0) {
+				b = append(b, "null"...)
+			} else {
+				b = strconv.AppendFloat(b, f.num, 'g', -1, 64)
+			}
+		case fieldBool:
+			if f.i != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		}
+	}
+	b = append(b, '}', '\n')
+	r.buf = b
+	n, _ := r.w.Write(b) // a write error drops the event; tracing must not fail the run
+	r.written += int64(n)
+}
+
+// Close emits a final "trace.end" event (carrying the drop count, so a
+// truncated trace is self-diagnosing) and closes the underlying file when
+// the recorder owns one. Safe on a nil recorder.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	dropped := r.dropped
+	r.mu.Unlock()
+	r.Emit("trace.end", Uint64("dropped", dropped))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control characters; valid UTF-8 passes through.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"' || c == '\\':
+				b = append(b, '\\', c)
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c < 0x20:
+				const hex = "0123456789abcdef"
+				b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+			default:
+				b = append(b, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}

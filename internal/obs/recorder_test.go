@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRecorderLineFormat checks every emitted line is standalone JSON with
+// monotonic seq, non-decreasing t_ns, and faithfully typed fields.
+func TestRecorderLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Emit("cell.start", String("key", "cholesky/hp/8"), Int("threads", 8))
+	r.Emit("cell.finish", Float("err_pct", 0.25), Bool("ok", true), Uint64("n", 3))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 { // 2 events + trace.end
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	lastT := -1.0
+	for i, m := range lines {
+		if got := m["seq"].(float64); got != float64(i+1) {
+			t.Errorf("line %d seq = %v, want %d", i, got, i+1)
+		}
+		tns := m["t_ns"].(float64)
+		if tns < lastT {
+			t.Errorf("line %d t_ns = %v went backwards (prev %v)", i, tns, lastT)
+		}
+		lastT = tns
+	}
+	if lines[0]["kind"] != "cell.start" || lines[0]["key"] != "cholesky/hp/8" || lines[0]["threads"] != 8.0 {
+		t.Errorf("event 0 fields wrong: %v", lines[0])
+	}
+	if lines[1]["err_pct"] != 0.25 || lines[1]["ok"] != true || lines[1]["n"] != 3.0 {
+		t.Errorf("event 1 fields wrong: %v", lines[1])
+	}
+	if lines[2]["kind"] != "trace.end" || lines[2]["dropped"] != 0.0 {
+		t.Errorf("final event is not a clean trace.end: %v", lines[2])
+	}
+}
+
+// TestRecorderNilNoOp checks the disabled path: every method on a nil
+// recorder is a safe no-op.
+func TestRecorderNilNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit("anything", Int("x", 1))
+	r.SetLimit(10)
+	if r.Dropped() != 0 {
+		t.Error("nil Dropped() != 0")
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("nil Close() = %v", err)
+	}
+}
+
+// TestRecorderEscaping checks strings with quotes, newlines, control
+// bytes and invalid UTF-8 still produce valid single-line JSON.
+func TestRecorderEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	nasty := "a\"b\\c\nd\te\rf\x01g\xffh → ok"
+	r.Emit("evil", String("s", nasty))
+
+	line := strings.TrimRight(buf.String(), "\n")
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("event spans multiple lines: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("escaped line is not valid JSON: %v\n%q", err, line)
+	}
+	want := "a\"b\\c\nd\te\rf\x01g�h → ok"
+	if m["s"] != want {
+		t.Errorf("round-tripped string = %q, want %q", m["s"], want)
+	}
+}
+
+// TestOpenDropsTornTail writes a trace with a torn final line (process
+// killed mid-write), reopens it, and checks the torn fragment is gone and
+// new events append cleanly.
+func TestOpenDropsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	seed := `{"seq":1,"t_ns":10,"kind":"cell.start"}` + "\n" + `{"seq":2,"t_ns":20,"kind":"cell.fin`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit("resumed")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 { // surviving seed line + resumed + trace.end
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), data)
+	}
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Errorf("line %d is not valid JSON: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], `"kind":"resumed"`) {
+		t.Errorf("line 1 = %q, want the resumed event", lines[1])
+	}
+}
+
+// TestRecorderByteLimit checks events past the limit are counted as
+// dropped, and Close's trace.end reports the count.
+func TestRecorderByteLimit(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Emit("first")
+	r.SetLimit(int64(buf.Len())) // at the limit: everything further drops
+	r.Emit("second")
+	r.Emit("third")
+	if got := r.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+	r.Close()
+	if s := buf.String(); strings.Contains(s, "second") || strings.Contains(s, "third") {
+		t.Errorf("dropped events leaked into output:\n%s", s)
+	}
+	// trace.end also drops (it respects the limit), but the count is still
+	// available from Dropped; what matters is no torn or partial output.
+	for _, l := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !json.Valid([]byte(l)) {
+			t.Errorf("line is not valid JSON: %q", l)
+		}
+	}
+}
+
+// TestRecorderConcurrent emits from many goroutines and checks every line
+// is whole and seq covers 1..N exactly once (run under -race).
+func TestRecorderConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	const workers, perW = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Emit("tick", Int("worker", w), Int("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := map[uint64]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("torn line %q: %v", sc.Text(), err)
+		}
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	if len(seen) != workers*perW {
+		t.Errorf("got %d events, want %d", len(seen), workers*perW)
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// DropPartialTail truncates a JSONL file that does not end in a newline
+// back to its last complete line. A process killed mid-write leaves a
+// partial trailing record; appending to it would glue the next record
+// onto the same line, corrupting both. Every resumable JSONL output of
+// the repository — sweep/corpus records, the fuzz regression corpus, and
+// flight-recorder traces — calls this before opening the file for
+// append. A missing or empty file is a no-op.
+func DropPartialTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil || size == 0 {
+		return err
+	}
+	buf := make([]byte, 64*1024)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return err
+		}
+		if end == size && buf[n-1] == '\n' {
+			return nil // file ends cleanly
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(end - n + i + 1)
+			}
+		}
+		end -= n
+	}
+	return f.Truncate(0) // a single partial line
+}

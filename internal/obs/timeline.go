@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one completed interval on a simulated timeline — a task
+// instance on a core, a sampling phase, a campaign cell. Start and Dur
+// are in simulated cycles; the exporter maps cycles 1:1 to trace
+// microseconds (Chrome trace-event ts/dur are µs), so one timeline tick
+// reads as one cycle in the viewer.
+type Span struct {
+	// Name labels the span in the viewer (e.g. the task type name).
+	Name string
+	// Cat is the comma-separated category list Perfetto filters on.
+	Cat string
+	// PID and TID place the span on a process/thread track.
+	PID, TID int
+	// Start and Dur are in simulated cycles.
+	Start, Dur int64
+	// Args are free-form details shown when the span is selected.
+	Args map[string]any
+}
+
+// Process names a timeline process track and its threads, rendered as
+// trace metadata events so the viewer shows e.g. "core 3" instead of a
+// bare tid.
+type Process struct {
+	PID  int
+	Name string
+	// Threads maps tid → display name.
+	Threads map[int]string
+}
+
+// traceEvent is one entry of the Chrome trace-event JSON array, the
+// subset of the format Perfetto and chrome://tracing both load: "X"
+// complete events for spans and "M" metadata events for track names.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTimeline renders processes and spans as Chrome trace-event JSON
+// (the "JSON Array Format" Perfetto and chrome://tracing load). Metadata
+// events come first, ordered by pid/tid, then spans in the order given —
+// with encoding/json's sorted map keys this makes the output
+// deterministic, so a golden test can diff it byte-for-byte.
+func WriteTimeline(w io.Writer, procs []Process, spans []Span) error {
+	events := make([]traceEvent, 0, 2*len(procs)+len(spans))
+	sorted := append([]Process(nil), procs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PID < sorted[j].PID })
+	for _, p := range sorted {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", PID: p.PID,
+			Args: map[string]any{"name": p.Name},
+		})
+		tids := make([]int, 0, len(p.Threads))
+		for tid := range p.Threads {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", PID: p.PID, TID: tid,
+				Args: map[string]any{"name": p.Threads[tid]},
+			})
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.Dur < 0 {
+			return fmt.Errorf("obs: span %q has negative duration %d", s.Name, s.Dur)
+		}
+		dur := s.Dur
+		events = append(events, traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start, Dur: &dur, PID: s.PID, TID: s.TID,
+			Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

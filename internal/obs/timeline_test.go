@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteTimelineGolden renders a fixed two-process timeline and diffs
+// it byte-for-byte against the committed golden file — the output is
+// deterministic (sorted metadata, sorted JSON keys, fixed indent), so any
+// schema drift shows up as a readable diff. Regenerate with -update.
+func TestWriteTimelineGolden(t *testing.T) {
+	procs := []Process{
+		{PID: 2, Name: "detailed cholesky", Threads: map[int]string{0: "core 0", 1: "core 1"}},
+		{PID: 1, Name: "sampled cholesky", Threads: map[int]string{0: "core 0"}},
+	}
+	spans := []Span{
+		{Name: "potrf", Cat: "task,detailed", PID: 1, TID: 0, Start: 0, Dur: 120,
+			Args: map[string]any{"instance": 0, "instr": 4000}},
+		{Name: "gemm", Cat: "task,fast", PID: 1, TID: 0, Start: 120, Dur: 80,
+			Args: map[string]any{"instance": 1, "ipc": 1.5}},
+		{Name: "potrf", Cat: "task,detailed", PID: 2, TID: 1, Start: 40, Dur: 0},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, procs, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "timeline.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Independent of the byte diff, check the trace-event schema contract
+	// the viewers rely on.
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", tf.DisplayTimeUnit)
+	}
+	// 2 process_name + 3 thread_name metadata events, then 3 spans.
+	if len(tf.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(tf.TraceEvents))
+	}
+	// Metadata first, sorted by pid; pid 1 before pid 2.
+	if tf.TraceEvents[0].Ph != "M" || tf.TraceEvents[0].PID != 1 || tf.TraceEvents[0].Name != "process_name" {
+		t.Errorf("event 0 = %+v, want process_name metadata for pid 1", tf.TraceEvents[0])
+	}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Args["name"] == "" {
+				t.Errorf("metadata event without a name: %+v", ev)
+			}
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("complete event without a non-negative dur: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+}
+
+// TestWriteTimelineRejectsNegativeDur checks the exporter refuses spans
+// that would render as corrupt events.
+func TestWriteTimelineRejectsNegativeDur(t *testing.T) {
+	err := WriteTimeline(&bytes.Buffer{}, nil, []Span{{Name: "x", Dur: -1}})
+	if err == nil || !strings.Contains(err.Error(), "negative duration") {
+		t.Errorf("err = %v, want negative-duration error", err)
+	}
+}

@@ -59,6 +59,13 @@ type Result struct {
 	Mem mem.Stats
 	// Wall is the host wall-clock time the simulation took.
 	Wall time.Duration
+	// Events is the number of scheduler events the run processed (one
+	// per core advance: a detailed quantum or a fast-burst completion).
+	Events int64
+	// MaxHeapDepth is the deepest the event heap got — an upper bound on
+	// simultaneously busy cores, the occupancy evidence an intra-run
+	// parallelisation of the kernel would start from.
+	MaxHeapDepth int
 }
 
 // DetailFraction returns the fraction of instructions simulated in detail.
@@ -372,6 +379,11 @@ func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, erro
 		PerInstance:       make([]InstanceRecord, len(e.prog.Instances)),
 	}
 
+	// Plain locals keep the per-event cost of the observability counters
+	// at two register operations; they flush to the shared metrics
+	// registry once, after the loop.
+	var events int64
+	maxDepth := 0
 	for iter := 0; !e.sched.Done(); iter++ {
 		if iter&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -391,6 +403,10 @@ func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, erro
 			}
 			return nil, ErrDeadlock
 		}
+		if d := len(e.events); d > maxDepth {
+			maxDepth = d
+		}
+		events++
 		e.advance(int(e.events[0].core), ctrl, res)
 	}
 
@@ -401,6 +417,9 @@ func (e *Engine) RunContext(ctx context.Context, ctrl Controller) (*Result, erro
 	}
 	res.Mem = e.memsys.Stats()
 	res.Wall = time.Since(wallStart)
+	res.Events = events
+	res.MaxHeapDepth = maxDepth
+	recordRunMetrics(res)
 	return res, nil
 }
 

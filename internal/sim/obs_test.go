@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"taskpoint/internal/obs"
+)
+
+// TestResultEventCounters: every run reports how many scheduler events it
+// processed and the deepest the event heap got — the occupancy evidence
+// the kernel's metrics flush from.
+func TestResultEventCounters(t *testing.T) {
+	p := independentProgram(8, 2000)
+	res, err := Simulate(smallCfg(2), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events <= 0 {
+		t.Errorf("Events = %d, want > 0", res.Events)
+	}
+	// At least one event per task must flow through the heap.
+	if res.Events < int64(len(p.Instances)) {
+		t.Errorf("Events = %d, want >= %d (one per task)", res.Events, len(p.Instances))
+	}
+	if res.MaxHeapDepth <= 0 {
+		t.Errorf("MaxHeapDepth = %d, want > 0", res.MaxHeapDepth)
+	}
+
+	// Determinism: an identical run reports identical counters.
+	res2, err := Simulate(smallCfg(2), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Events != res.Events || res2.MaxHeapDepth != res.MaxHeapDepth {
+		t.Errorf("counters differ across identical runs: %d/%d vs %d/%d",
+			res.Events, res.MaxHeapDepth, res2.Events, res2.MaxHeapDepth)
+	}
+}
+
+// TestTimelineAdapter: the Result → obs.Span adapter produces one span
+// per executed instance, on the right core track, with the type name and
+// mode category, and the whole thing renders as loadable trace JSON.
+func TestTimelineAdapter(t *testing.T) {
+	p := independentProgram(6, 1500)
+	res, err := Simulate(smallCfg(2), p, DetailedController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := res.TimelineSpans(p, 1)
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	for i, s := range spans {
+		if s.Name != "work" {
+			t.Errorf("span %d name = %q, want the task type name", i, s.Name)
+		}
+		if s.Cat != "task,detailed" {
+			t.Errorf("span %d cat = %q, want task,detailed", i, s.Cat)
+		}
+		if s.PID != 1 || s.TID < 0 || s.TID >= 2 {
+			t.Errorf("span %d placed at pid %d tid %d", i, s.PID, s.TID)
+		}
+		if s.Dur <= 0 {
+			t.Errorf("span %d has dur %d", i, s.Dur)
+		}
+	}
+
+	proc := res.TimelineProcess(p, 1)
+	if proc.Name != p.Name {
+		t.Errorf("process name = %q, want %q", proc.Name, p.Name)
+	}
+	if len(proc.Threads) == 0 || len(proc.Threads) > 2 {
+		t.Errorf("process has %d threads, want 1-2 cores", len(proc.Threads))
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteTimeline(&buf, []obs.Process{proc}, spans); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + len(proc.Threads) + len(spans); len(tf.TraceEvents) != want {
+		t.Errorf("got %d trace events, want %d", len(tf.TraceEvents), want)
+	}
+}

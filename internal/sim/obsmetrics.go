@@ -1,0 +1,28 @@
+package sim
+
+import "taskpoint/internal/obs"
+
+// Kernel metrics, registered once in the default registry. The scheduler
+// loop itself touches none of them — it accumulates plain locals and
+// RunContext flushes a handful of atomic adds per run, so the steady-state
+// path stays allocation-free and within the kernel-perf gate.
+var (
+	metricRuns          = obs.Default().Counter("sim.runs")
+	metricEvents        = obs.Default().Counter("sim.events")
+	metricInstrTotal    = obs.Default().Counter("sim.instr.total")
+	metricInstrDetailed = obs.Default().Counter("sim.instr.detailed")
+	metricHeapDepth     = obs.Default().Histogram("sim.heap.depth.max")
+	metricInstrPerSec   = obs.Default().Gauge("sim.instr_per_sec")
+)
+
+// recordRunMetrics flushes one completed run's tallies to the registry.
+func recordRunMetrics(res *Result) {
+	metricRuns.Inc()
+	metricEvents.Add(res.Events)
+	metricInstrTotal.Add(res.TotalInstructions)
+	metricInstrDetailed.Add(res.DetailedInstructions)
+	metricHeapDepth.Observe(float64(res.MaxHeapDepth))
+	if s := res.Wall.Seconds(); s > 0 {
+		metricInstrPerSec.Set(float64(res.TotalInstructions) / s)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"taskpoint/internal/obs"
+	"taskpoint/internal/trace"
+)
+
+// TimelineSpans renders the result's per-core task schedule as timeline
+// spans for obs.WriteTimeline: one span per executed task instance,
+// placed on the core (thread) that ran it, named by its task type and
+// categorised by simulation mode — so an estimator violation caught by
+// the fuzzer can be inspected visually in Perfetto. pid labels the
+// process track (several results can share one timeline). Instances the
+// run never executed (an interrupted simulation) are skipped.
+func (r *Result) TimelineSpans(prog *trace.Program, pid int) []obs.Span {
+	spans := make([]obs.Span, 0, len(r.PerInstance))
+	for id := range r.PerInstance {
+		rec := &r.PerInstance[id]
+		if rec.End <= 0 && rec.Start <= 0 && rec.Instr == 0 {
+			continue // never executed
+		}
+		name := fmt.Sprintf("type%d", rec.Type)
+		if t := int(rec.Type); t >= 0 && t < len(prog.Types) && prog.Types[t].Name != "" {
+			name = prog.Types[t].Name
+		}
+		dur := rec.End - rec.Start
+		if dur < 0 {
+			dur = 0
+		}
+		spans = append(spans, obs.Span{
+			Name:  name,
+			Cat:   "task," + rec.Mode.String(),
+			PID:   pid,
+			TID:   rec.Thread,
+			Start: int64(rec.Start),
+			Dur:   int64(dur),
+			Args: map[string]any{
+				"instance": id,
+				"instr":    rec.Instr,
+				"ipc":      rec.IPC,
+				"mode":     rec.Mode.String(),
+			},
+		})
+	}
+	return spans
+}
+
+// TimelineProcess builds the process track for TimelineSpans: one thread
+// per core that executed at least one instance, named "core N".
+func (r *Result) TimelineProcess(prog *trace.Program, pid int) obs.Process {
+	threads := make(map[int]string)
+	for id := range r.PerInstance {
+		rec := &r.PerInstance[id]
+		if rec.End <= 0 && rec.Start <= 0 && rec.Instr == 0 {
+			continue
+		}
+		if _, ok := threads[rec.Thread]; !ok {
+			threads[rec.Thread] = fmt.Sprintf("core %d", rec.Thread)
+		}
+	}
+	return obs.Process{PID: pid, Name: prog.Name, Threads: threads}
+}

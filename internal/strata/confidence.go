@@ -242,5 +242,6 @@ func (s *Stratified) Confidence() Confidence {
 		c.Lo = math.Min(c.Lo, c.Estimate-floor)
 		c.Hi = math.Max(c.Hi, c.Estimate+floor)
 	}
+	metricCIRelWidthPct.Observe(100 * c.RelWidth())
 	return c
 }

@@ -1,0 +1,17 @@
+package strata
+
+import "taskpoint/internal/obs"
+
+// Stratified-sampling metrics in the default registry: how the budget is
+// spent (pilot vs phase vs directed vs warm-up observations), how
+// allocation distributes it, and the resulting interval quality — the
+// telemetry an online fidelity manager would steer by.
+var (
+	metricSamplesPilot    = obs.Default().Counter("strata.samples.pilot")
+	metricSamplesPhase    = obs.Default().Counter("strata.samples.phase")
+	metricSamplesDirected = obs.Default().Counter("strata.samples.directed")
+	metricSamplesWarmup   = obs.Default().Counter("strata.samples.warmup")
+	metricAllocRounds     = obs.Default().Counter("strata.alloc.rounds")
+	metricAllocQuota      = obs.Default().Histogram("strata.alloc.quota")
+	metricCIRelWidthPct   = obs.Default().Histogram("strata.ci.rel_width_pct")
+)

@@ -382,8 +382,18 @@ func (s *Stratified) Observe(fi sim.FinishInfo, kind core.SampleKind) {
 	switch kind {
 	case core.KindValid:
 		st.phase.Add(dur, instr)
+		// Before allocation the sampling phase is the pilot: that split
+		// is what the "pilot vs directed" budget telemetry reports.
+		if s.allocated {
+			metricSamplesPhase.Inc()
+		} else {
+			metricSamplesPilot.Inc()
+		}
 	case core.KindDirected:
 		st.dir.Add(dur, instr)
+		metricSamplesDirected.Inc()
+	case core.KindWarmup:
+		metricSamplesWarmup.Inc()
 	}
 	if kind != core.KindWarmup {
 		st.ipc.Push(fi.IPC)
@@ -498,10 +508,12 @@ func (s *Stratified) allocate() {
 		copy(weights, pops)
 	}
 
+	metricAllocRounds.Inc()
 	quotas := apportion(left, weights, caps)
 	for i, k := range s.order {
 		st := s.strata[k]
 		st.quota = quotas[i]
+		metricAllocQuota.Observe(float64(quotas[i]))
 		st.target = st.sampled() + st.inFlight + quotas[i]
 		// Phase one's contract stands across (re-)allocations: every
 		// stratum's first Pilot instances are forced while budget lasts,

@@ -7,12 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"strings"
 
 	"taskpoint/internal/core"
 	"taskpoint/internal/engine"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/results"
 	"taskpoint/internal/stats"
 )
@@ -116,6 +116,11 @@ type Engine struct {
 	// OnRecord, when set, observes every newly completed cell, in
 	// deterministic cell order.
 	OnRecord func(done, total int, rec Record)
+
+	// Recorder, when set, is threaded into the experiment engine so the
+	// flight recorder sees cell lifecycle, cache and sampler events. A nil
+	// recorder is the free disabled path.
+	Recorder *obs.Recorder
 }
 
 // New validates the spec and builds an engine with the given worker
@@ -194,7 +199,7 @@ func (e *Engine) RunContext(ctx context.Context, out io.Writer, completed map[st
 		})
 	}
 
-	eng := engine.New(engine.WithWorkers(e.workers))
+	eng := engine.New(engine.WithWorkers(e.workers), engine.WithRecorder(e.Recorder))
 	var enc *json.Encoder
 	if out != nil {
 		enc = json.NewEncoder(out)
@@ -243,41 +248,10 @@ func (e *Engine) RunContext(ctx context.Context, out io.Writer, completed map[st
 // the glued line off the tail, LoadCompleted rejects the file outright.
 // Every resumable command must call it before opening the file for
 // append. A missing file is a no-op.
-func DropPartialTail(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil || size == 0 {
-		return err
-	}
-	buf := make([]byte, 64*1024)
-	end := size
-	for end > 0 {
-		n := int64(len(buf))
-		if n > end {
-			n = end
-		}
-		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
-			return err
-		}
-		if end == size && buf[n-1] == '\n' {
-			return nil // file ends cleanly
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				return f.Truncate(end - n + i + 1)
-			}
-		}
-		end -= n
-	}
-	return f.Truncate(0) // a single partial line
-}
+//
+// The implementation lives in internal/obs (flight-recorder traces honour
+// the same contract); this wrapper preserves the original call sites.
+func DropPartialTail(path string) error { return obs.DropPartialTail(path) }
 
 // LoadCompleted reads a JSONL stream written by Run and returns its
 // records keyed by cell key — the resume set. A truncated final line

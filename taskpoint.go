@@ -50,6 +50,7 @@ import (
 	"taskpoint/internal/engine"
 	"taskpoint/internal/gen"
 	"taskpoint/internal/gen/corpus"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
@@ -151,6 +152,21 @@ type (
 	// BaselineCache caches generated programs and detailed reference
 	// results across cells and engines.
 	BaselineCache = engine.BaselineCache
+	// CacheStats is a point-in-time view of a baseline cache's
+	// hit/miss/eviction behaviour.
+	CacheStats = engine.CacheStats
+	// Recorder is the observability flight recorder: a bounded,
+	// torn-tail-safe JSONL trace of the real execution (cell lifecycle,
+	// cache outcomes, sampler decisions). A nil *Recorder is a valid
+	// no-op — the free disabled path.
+	Recorder = obs.Recorder
+	// MetricsSnapshot is a point-in-time JSON form of the process-wide
+	// metrics registry (counters, gauges, histograms).
+	MetricsSnapshot = obs.Snapshot
+	// TimelineSpan is one interval on a simulated timeline, in cycles.
+	TimelineSpan = obs.Span
+	// TimelineProcess names a timeline process track and its threads.
+	TimelineProcess = obs.Process
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -349,8 +365,52 @@ func WithProgress(fn func(done, total int, rep Report)) EngineOption {
 	return engine.WithProgress(fn)
 }
 
+// WithRecorder attaches a flight recorder to an engine: cell lifecycle,
+// baseline-cache outcomes and sampler phase transitions are traced as
+// JSONL events. A nil recorder (the default) costs nothing.
+func WithRecorder(r *Recorder) EngineOption { return engine.WithRecorder(r) }
+
 // NewBaselineCache returns an empty baseline cache for WithBaselineCache.
 func NewBaselineCache() *BaselineCache { return engine.NewBaselineCache() }
+
+// OpenRecorder opens (or creates) a flight-recorder trace file for
+// appending, truncating a torn trailing line left by an interrupted run
+// first. Close the recorder to flush the final "trace.end" event and
+// release the file.
+func OpenRecorder(path string) (*Recorder, error) { return obs.Open(path) }
+
+// NewRecorder wraps an arbitrary writer in a flight recorder (the caller
+// keeps ownership of the writer).
+func NewRecorder(w io.Writer) *Recorder { return obs.NewRecorder(w) }
+
+// Metrics returns a point-in-time snapshot of the process-wide metrics
+// registry: engine cell throughput and latency, baseline-cache behaviour,
+// stratified-sampler budget spending and interval widths, and simulation
+// kernel volume.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// WriteTimeline renders a report's simulated execution — the per-core
+// task schedule of the sampled run and its detailed reference — as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing. Simulated
+// cycles map 1:1 to trace microseconds. The sampled run is pid 1, the
+// detailed reference pid 2.
+func WriteTimeline(w io.Writer, rep Report) error {
+	var procs []TimelineProcess
+	var spans []TimelineSpan
+	if rep.Sampled != nil {
+		p := rep.Sampled.TimelineProcess(rep.Program, 1)
+		p.Name = "sampled " + p.Name
+		procs = append(procs, p)
+		spans = append(spans, rep.Sampled.TimelineSpans(rep.Program, 1)...)
+	}
+	if rep.Detailed != nil {
+		p := rep.Detailed.TimelineProcess(rep.Program, 2)
+		p.Name = "detailed " + p.Name
+		procs = append(procs, p)
+		spans = append(spans, rep.Detailed.TimelineSpans(rep.Program, 2)...)
+	}
+	return obs.WriteTimeline(w, procs, spans)
+}
 
 // NewRunner builds an evaluation runner at the given benchmark scale with
 // the given worker parallelism; it caches detailed baselines across

@@ -1,0 +1,99 @@
+package taskpoint_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"taskpoint"
+)
+
+// TestTimelineSchemaGenScenario is the committed schema contract for
+// `taskpoint -timeline`: run a generated scenario through the engine,
+// render the report's timeline, and validate the Chrome trace-event JSON
+// shape Perfetto loads — metadata events first with named tracks for both
+// the sampled run (pid 1) and the detailed reference (pid 2), then one
+// complete event per executed task instance with non-negative timing.
+func TestTimelineSchemaGenScenario(t *testing.T) {
+	eng := taskpoint.NewEngine(taskpoint.WithWorkers(1))
+	rep, err := eng.Run(context.Background(), taskpoint.Request{
+		Workload: "gen:forkjoin(tasks=48)",
+		Arch:     "hp",
+		Threads:  4,
+		Scale:    1.0 / 64,
+		Seed:     7,
+		Policy:   "lazy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := taskpoint.WriteTimeline(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", tf.DisplayTimeUnit)
+	}
+
+	procNames := map[int]string{}
+	spansPerPID := map[int]int{}
+	inMetadata := true
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if !inMetadata {
+				t.Errorf("event %d: metadata after the first span", i)
+			}
+			if ev.Name == "process_name" {
+				procNames[ev.PID], _ = ev.Args["name"].(string)
+			}
+		case "X":
+			inMetadata = false
+			if ev.TS == nil || *ev.TS < 0 {
+				t.Errorf("event %d: missing or negative ts", i)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("event %d: missing or negative dur", i)
+			}
+			if ev.Name == "" || ev.Cat == "" {
+				t.Errorf("event %d: unnamed or uncategorised span: %+v", i, ev)
+			}
+			if ev.Args["mode"] == nil || ev.Args["instr"] == nil {
+				t.Errorf("event %d: span lacks mode/instr args: %v", i, ev.Args)
+			}
+			spansPerPID[ev.PID]++
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+
+	if procNames[1] != "sampled gen:forkjoin(tasks=48)" {
+		t.Errorf("pid 1 = %q, want the sampled-prefixed scenario spec", procNames[1])
+	}
+	if procNames[2] != "detailed gen:forkjoin(tasks=48)" {
+		t.Errorf("pid 2 = %q, want the detailed-prefixed scenario spec", procNames[2])
+	}
+	// Both runs executed all 48 instances of the scenario.
+	if spansPerPID[1] != 48 || spansPerPID[2] != 48 {
+		t.Errorf("spans per pid = %v, want 48 on both tracks", spansPerPID)
+	}
+}
