@@ -35,6 +35,7 @@ import (
 	"taskpoint/internal/arch"
 	"taskpoint/internal/gen/corpus"
 	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
 	"taskpoint/internal/sweep"
 )
 
@@ -55,8 +56,10 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress and summary output on stderr")
 
 		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/obs/campaign, /debug/vars and /debug/pprof on this address while running")
 		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
+		profSlow   = flag.Duration("profile-slow", 0, "capture a CPU profile (slow-NNN-<cell>.pprof) of any cell running longer than this")
+		profDir    = flag.String("profile-dir", ".", "directory for -profile-slow captures")
 	)
 	flag.Parse()
 
@@ -91,7 +94,13 @@ func main() {
 
 	var tune []func(*sweep.Engine)
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, nil)
+		// With a trace on disk, the debug server also answers
+		// /debug/obs/campaign with the live cost report over it.
+		var extra []obs.DebugEndpoint
+		if *tracePath != "" {
+			extra = append(extra, query.Endpoint(*tracePath))
+		}
+		ds, err := obs.ServeDebug(*debugAddr, nil, extra...)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,6 +114,16 @@ func main() {
 		}
 		defer rec.Close()
 		tune = append(tune, func(eng *sweep.Engine) { eng.Recorder = rec })
+	}
+	if *profSlow > 0 {
+		prof := obs.NewSlowProfiler(*profSlow, *profDir)
+		defer func() {
+			prof.Close()
+			if n := prof.Captures(); n > 0 && !*quiet {
+				fmt.Fprintf(os.Stderr, "captured %d slow-cell CPU profiles in %s\n", n, *profDir)
+			}
+		}()
+		tune = append(tune, func(eng *sweep.Engine) { eng.SlowProfiler = prof })
 	}
 
 	// "-out -" streams JSONL to stdout (no resume); anything else appends

@@ -37,6 +37,7 @@ import (
 	"taskpoint/internal/bench"
 	"taskpoint/internal/fuzz"
 	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
 )
 
 // state is the resumable round cursor, written atomically after every
@@ -68,8 +69,10 @@ func main() {
 		failHits = flag.Bool("fail-on-violation", false, "exit 3 when any violation was found (for CI)")
 
 		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/obs/campaign, /debug/vars and /debug/pprof on this address while running")
 		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
+		profSlow   = flag.Duration("profile-slow", 0, "capture a CPU profile (slow-NNN-<cell>.pprof) of any cell running longer than this")
+		profDir    = flag.String("profile-dir", ".", "directory for -profile-slow captures")
 	)
 	flag.Parse()
 
@@ -82,7 +85,13 @@ func main() {
 		defer rec.Close()
 	}
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, nil)
+		// With a trace on disk, the debug server also answers
+		// /debug/obs/campaign with the live cost report over it.
+		var extra []obs.DebugEndpoint
+		if *tracePath != "" {
+			extra = append(extra, query.Endpoint(*tracePath))
+		}
+		ds, err := obs.ServeDebug(*debugAddr, nil, extra...)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +104,16 @@ func main() {
 		MinTasks: *minTasks, MaxTasks: *maxTasks,
 		Minimize: *minimize, Workers: *workers,
 		Recorder: rec,
+	}
+	if *profSlow > 0 {
+		prof := obs.NewSlowProfiler(*profSlow, *profDir)
+		defer func() {
+			prof.Close()
+			if n := prof.Captures(); n > 0 && !*quiet {
+				fmt.Fprintf(os.Stderr, "captured %d slow-cell CPU profiles in %s\n", n, *profDir)
+			}
+		}()
+		cfg.SlowProfiler = prof
 	}
 	if *policies != "" {
 		cfg.Policies = splitCSV(*policies)

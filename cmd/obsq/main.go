@@ -1,0 +1,83 @@
+// Command obsq analyzes a flight-recorder trace: it reads the JSONL a
+// campaign recorded via -trace (sweep, corpus, estfuzz, taskpoint),
+// rebuilds the span tree, and prints the campaign cost report — wall-clock
+// attribution by phase/cell/stratum, the critical path through the worker
+// pool, baseline-cache economics, sample cost per CI point, and straggler
+// cells. Interrupted traces (killed campaigns, torn tails) are analyzed
+// as-is; the report marks them INTERRUPTED instead of failing.
+//
+// Usage:
+//
+//	obsq trace.jsonl              # human tables on stdout
+//	obsq -json trace.jsonl        # canonical machine JSON on stdout
+//	obsq -json -o report.json trace.jsonl
+//
+// The report is a pure function of the trace bytes: the same file always
+// produces byte-identical output, so reports diff cleanly across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"taskpoint/internal/obs/query"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code lifted out for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obsq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the canonical machine JSON report instead of human tables")
+	outPath := fs.String("o", "", "write the report to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: obsq [-json] [-o report] trace.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	rep, err := query.AnalyzeFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "obsq: %v\n", err)
+		return 1
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "obsq: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if *asJSON {
+		b, err := query.MarshalReport(rep)
+		if err != nil {
+			fmt.Fprintf(stderr, "obsq: %v\n", err)
+			return 1
+		}
+		if _, err := out.Write(b); err != nil {
+			fmt.Fprintf(stderr, "obsq: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := query.WriteText(out, rep); err != nil {
+		fmt.Fprintf(stderr, "obsq: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goldenDir = "../../internal/obs/query/testdata"
+
+// TestObsqGoldenJSON: the acceptance gate — obsq -json over the committed
+// golden trace must reproduce the committed report byte for byte.
+func TestObsqGoldenJSON(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join(goldenDir, "golden_report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", filepath.Join(goldenDir, "golden_trace.jsonl")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("obsq -json drifted from golden report.\n--- got ---\n%s", stdout.String())
+	}
+}
+
+// TestObsqGoldenText: the default human rendering is pinned the same way.
+func TestObsqGoldenText(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join(goldenDir, "golden_report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(goldenDir, "golden_trace.jsonl")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("obsq text output drifted from golden report.\n--- got ---\n%s", stdout.String())
+	}
+}
+
+// TestObsqOutputFile: -o writes the report to a file instead of stdout.
+func TestObsqOutputFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-o", out, filepath.Join(goldenDir, "golden_trace.jsonl")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-o still wrote %d bytes to stdout", stdout.Len())
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "golden_report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("-o file differs from golden report")
+	}
+}
+
+// TestObsqUsageErrors: bad invocations exit 2 with usage, missing traces
+// exit 1 with a diagnostic.
+func TestObsqUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("no usage on stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"/nonexistent/trace.jsonl"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing trace: exit %d, want 1", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("missing trace produced no diagnostic")
+	}
+}

@@ -16,6 +16,11 @@
 //	sweep -out -                       # stream JSONL to stdout (no resume)
 //	sweep -print-spec                  # show the effective spec and exit
 //	sweep -trace t.jsonl -debug-addr 127.0.0.1:6060  # observability
+//	sweep -trace t.jsonl -profile-slow 30s           # profile straggler cells
+//
+// A recorded trace is analyzed offline with obsq (cost attribution,
+// critical path, cache economics); with -debug-addr the same report is
+// served live at /debug/obs/campaign while the sweep runs.
 //
 // All progress and summary output goes to stderr (suppress with -quiet);
 // stdout carries machine-parseable data only (-out -, -print-spec).
@@ -38,6 +43,7 @@ import (
 
 	"taskpoint/internal/arch"
 	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
 	"taskpoint/internal/sweep"
 )
 
@@ -59,8 +65,10 @@ func main() {
 		printSpec  = flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress and summary output on stderr")
 		tracePath  = flag.String("trace", "", "append a flight-recorder JSONL trace of the campaign to this file")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address while running")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs, /debug/obs/campaign, /debug/vars and /debug/pprof on this address while running")
 		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot as JSON to this file")
+		profSlow   = flag.Duration("profile-slow", 0, "capture a CPU profile (slow-NNN-<cell>.pprof) of any cell running longer than this")
+		profDir    = flag.String("profile-dir", ".", "directory for -profile-slow captures")
 	)
 	flag.Parse()
 
@@ -86,7 +94,13 @@ func main() {
 	defer stop()
 
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, nil)
+		// With a trace on disk, the debug server also answers
+		// /debug/obs/campaign with the live cost report over it.
+		var extra []obs.DebugEndpoint
+		if *tracePath != "" {
+			extra = append(extra, query.Endpoint(*tracePath))
+		}
+		ds, err := obs.ServeDebug(*debugAddr, nil, extra...)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +114,16 @@ func main() {
 		}
 		defer rec.Close()
 		eng.Recorder = rec
+	}
+	if *profSlow > 0 {
+		prof := obs.NewSlowProfiler(*profSlow, *profDir)
+		defer func() {
+			prof.Close()
+			if n := prof.Captures(); n > 0 && !*quiet {
+				fmt.Fprintf(os.Stderr, "captured %d slow-cell CPU profiles in %s\n", n, *profDir)
+			}
+		}()
+		eng.SlowProfiler = prof
 	}
 
 	// "-out -" streams JSONL to stdout (no resume); anything else appends

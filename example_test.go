@@ -1,6 +1,7 @@
 package taskpoint_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
@@ -195,6 +196,66 @@ func ExampleParseScenario() {
 	// task types: 4
 	// instances: 128
 	// deterministic: true
+}
+
+// Record a campaign through the flight recorder and read the structured
+// span tree back: every engine run leaves paired span.begin/span.end
+// lines (campaign → cell → baseline/sampled), and ReadSpans rebuilds the
+// hierarchy from the JSONL bytes.
+func ExampleReadSpans() {
+	var buf bytes.Buffer
+	rec := taskpoint.NewRecorder(&buf)
+	eng := taskpoint.NewEngine(taskpoint.WithWorkers(1), taskpoint.WithRecorder(rec))
+
+	_, err := eng.Run(context.Background(), taskpoint.Request{
+		Workload: "cholesky", Arch: "hp", Threads: 2, Scale: 1.0 / 64, Seed: 42, Policy: "lazy",
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rec.Close()
+
+	tr, err := taskpoint.ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cell := tr.Roots[0]
+	fmt.Println("clean trace:", tr.Clean)
+	fmt.Println("root span:", cell.Name)
+	for _, child := range cell.Children {
+		fmt.Println("  phase:", child.Name)
+	}
+	// Output:
+	// clean trace: true
+	// root span: cell
+	//   phase: baseline
+	//   phase: sampled
+}
+
+// Analyze a recorded trace into the campaign cost report — the same
+// attribution cmd/obsq prints: wall-clock by phase and cell, the critical
+// path through the worker pool, and baseline-cache economics.
+func ExampleObsqReport() {
+	rep, err := taskpoint.AnalyzeTraceFile("internal/obs/query/testdata/golden_trace.jsonl")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	fmt.Println("cells:", len(rep.Cells))
+	fmt.Println("cache hits:", rep.Cache.Hits)
+	fmt.Printf("critical path: %d cells, %.1f%% of the campaign\n",
+		len(rep.CriticalPath.Steps), rep.CriticalPath.CoveragePct)
+	for _, s := range rep.Stragglers {
+		fmt.Printf("straggler: %s at %.2fx the group median\n", s.Workload, s.Ratio)
+	}
+	// Output:
+	// cells: 5
+	// cache hits: 3
+	// critical path: 3 cells, 99.2% of the campaign
+	// straggler: cholesky at 2.03x the group median
 }
 
 // Run a small generated accuracy-stress corpus: scenarios drawn across

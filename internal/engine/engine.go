@@ -93,6 +93,7 @@ type Engine struct {
 	cache    *BaselineCache
 	progress func(done, total int, rep Report)
 	rec      *obs.Recorder
+	prof     *obs.SlowProfiler
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -148,6 +149,14 @@ func WithProgress(fn func(done, total int, rep Report)) Option {
 // sites compile to immediate returns.
 func WithRecorder(r *obs.Recorder) Option {
 	return func(e *Engine) { e.rec = r }
+}
+
+// WithSlowProfiler attaches a slow-cell profiler: every cell registers
+// with it for the duration of its run, so cells exceeding the profiler's
+// threshold get a pprof CPU capture. A nil profiler (the default) is the
+// free disabled path.
+func WithSlowProfiler(p *obs.SlowProfiler) Option {
+	return func(e *Engine) { e.prof = p }
 }
 
 // New builds an engine. Defaults: one worker slot per CPU, a fresh
@@ -216,19 +225,24 @@ func (e *Engine) detailedFor(ctx context.Context, key detKey, se *sim.Engine) (r
 	}
 	e.cache.noteMiss()
 	e.rec.Emit("cache.miss", obs.String("workload", key.workload), obs.String("arch", key.arch), obs.Int("threads", key.threads))
+	// The baseline span covers queue wait plus the detailed run; wall_ms on
+	// span.end is the pure simulation time — the quantity a later cache.hit
+	// on the same (workload, arch, threads) saves.
+	sp := obs.ChildSpan(ctx, e.rec, "baseline",
+		obs.String("workload", key.workload), obs.String("arch", key.arch), obs.Int("threads", key.threads))
 	release, err := e.acquire(ctx)
 	if err != nil {
+		sp.End(obs.String("status", "error"))
 		return nil, false, err
 	}
 	res, err = se.RunContext(ctx, sim.DetailedController{})
 	release()
 	if err != nil {
+		sp.End(obs.String("status", "error"))
 		return nil, false, err
 	}
 	metricBaselineRuns.Inc()
-	e.rec.Emit("baseline.computed",
-		obs.String("workload", key.workload), obs.String("arch", key.arch),
-		obs.Int("threads", key.threads), obs.Float("wall_ms", float64(res.Wall.Microseconds())/1e3))
+	sp.End(obs.String("status", "ok"), obs.Float("wall_ms", float64(res.Wall.Microseconds())/1e3))
 	return e.cache.storeDetailed(key, res), true, nil
 }
 
@@ -266,17 +280,30 @@ func (e *Engine) baseline(ctx context.Context, n Request, a arch.Arch) (*sim.Res
 // (including the native architecture's noise model) bit-for-bit, so the
 // results are identical to building two engines.
 func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
+	n := req.normalized()
+	key := n.Key()
+	sp := obs.ChildSpan(ctx, e.rec, "cell",
+		obs.String("key", key),
+		obs.String("workload", n.Workload),
+		obs.String("arch", n.Arch),
+		obs.Int("threads", n.Threads),
+		obs.String("policy", n.Policy),
+		obs.Uint64("seed", n.Seed))
+	ctx = obs.ContextWithSpan(ctx, sp)
+	cellDone := e.prof.CellStarted(key)
 	rep, err := e.run(ctx, req)
+	cellDone()
 	if err != nil {
 		metricCellsFailed.Inc()
-		e.rec.Emit("cell.error", obs.String("key", req.Key()), obs.String("err", err.Error()))
+		sp.Emit("cell.error", obs.String("key", key), obs.String("err", err.Error()))
+		sp.End(obs.String("status", "error"))
 		return rep, err
 	}
 	metricCellsCompleted.Inc()
 	wallMS := float64((rep.SampledWall + rep.DetailedWall).Microseconds()) / 1e3
 	metricCellWallMS.Observe(wallMS)
-	e.rec.Emit("cell.finish",
-		obs.String("key", rep.Request.Key()),
+	sp.End(
+		obs.String("status", "ok"),
 		obs.Float("err_pct", rep.ErrPct),
 		obs.Float("detail_fraction", rep.DetailFraction),
 		obs.Float("wall_ms", wallMS))
@@ -288,7 +315,6 @@ func (e *Engine) run(ctx context.Context, req Request) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	e.rec.Emit("cell.start", obs.String("key", n.Key()))
 	a := arch.Arch(n.Arch)
 	prog, err := e.cache.Program(n.Workload, n.Scale, n.Seed)
 	if err != nil {
@@ -324,15 +350,27 @@ func (e *Engine) run(ctx context.Context, req Request) (Report, error) {
 		return Report{}, err
 	}
 	sampler.SetTrace(e.rec, n.Key())
+	// The sampled-phase span nests under the cell span Run put in ctx; a
+	// tracing-aware policy (strata.Stratified) opens its pilot/allocation/
+	// directed phase spans beneath it.
+	ssp := obs.ChildSpan(ctx, e.rec, "sampled")
+	if tr, ok := policy.(interface {
+		SetTrace(*obs.Recorder, obs.Span)
+	}); ok {
+		tr.SetTrace(e.rec, ssp)
+	}
 	release, err := e.acquire(ctx)
 	if err != nil {
+		ssp.End(obs.String("status", "error"))
 		return Report{}, err
 	}
 	res, err := se.RunContext(ctx, sampler)
 	release()
 	if err != nil {
+		ssp.End(obs.String("status", "error"))
 		return Report{}, err
 	}
+	ssp.End(obs.String("status", "ok"), obs.Float("wall_ms", float64(res.Wall.Microseconds())/1e3))
 
 	rep := Report{
 		Request:            n,
@@ -374,6 +412,13 @@ func (e *Engine) RunAll(ctx context.Context, reqs []Request) iter.Seq2[Report, e
 	return func(yield func(Report, error) bool) {
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
+		camp := obs.ChildSpan(ctx, e.rec, "campaign",
+			obs.Int("requests", len(reqs)), obs.Int("workers", e.workers))
+		ctx = obs.ContextWithSpan(ctx, camp)
+		completed := 0
+		defer func() {
+			camp.End(obs.Int("requests", len(reqs)), obs.Int("completed", completed))
+		}()
 
 		type outcome struct {
 			idx int
@@ -455,6 +500,7 @@ func (e *Engine) RunAll(ctx context.Context, reqs []Request) iter.Seq2[Report, e
 				}
 				if po.err == nil {
 					done++
+					completed = done
 					if e.progress != nil {
 						e.progress(done, len(reqs), po.rep)
 					}

@@ -46,9 +46,10 @@ func TestBaselineCacheStats(t *testing.T) {
 	}
 }
 
-// TestRunEmitsFlightRecorderEvents: a traced cell leaves the lifecycle
-// events the flight recorder promises — cell.start, a cache outcome, and
-// cell.finish — all as whole JSON lines.
+// TestRunEmitsFlightRecorderEvents: a traced cell leaves the structured
+// span tree the flight recorder promises — a cell span nesting baseline
+// and sampled phase spans, plus a cache outcome event — all as whole JSON
+// lines with matched begin/end pairs.
 func TestRunEmitsFlightRecorderEvents(t *testing.T) {
 	var buf bytes.Buffer
 	rec := obs.NewRecorder(&buf)
@@ -59,19 +60,47 @@ func TestRunEmitsFlightRecorderEvents(t *testing.T) {
 	}
 
 	kinds := map[string]int{}
+	begins := map[string]float64{} // span name → id
+	parents := map[string]float64{}
+	var endIDs []float64
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		var m struct {
-			Kind string `json:"kind"`
+			Kind   string  `json:"kind"`
+			Name   string  `json:"name"`
+			Span   float64 `json:"span"`
+			Parent float64 `json:"parent"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
 			t.Fatalf("torn trace line %q: %v", sc.Text(), err)
 		}
 		kinds[m.Kind]++
+		switch m.Kind {
+		case "span.begin":
+			begins[m.Name] = m.Span
+			parents[m.Name] = m.Parent
+		case "span.end":
+			endIDs = append(endIDs, m.Span)
+		}
 	}
-	for _, k := range []string{"cell.start", "cell.finish", "baseline.computed"} {
-		if kinds[k] == 0 {
-			t.Errorf("no %s event in trace (kinds: %v)", k, kinds)
+	for _, name := range []string{"cell", "baseline", "sampled"} {
+		if _, ok := begins[name]; !ok {
+			t.Errorf("no %s span in trace (begins: %v)", name, begins)
+		}
+	}
+	if parents["baseline"] != begins["cell"] || parents["sampled"] != begins["cell"] {
+		t.Errorf("baseline/sampled spans not parented under the cell span: begins %v parents %v", begins, parents)
+	}
+	if kinds["span.begin"] != kinds["span.end"] {
+		t.Errorf("unbalanced spans: %d begins vs %d ends", kinds["span.begin"], kinds["span.end"])
+	}
+	ended := map[float64]bool{}
+	for _, id := range endIDs {
+		ended[id] = true
+	}
+	for name, id := range begins {
+		if !ended[id] {
+			t.Errorf("span %s (id %v) never ended", name, id)
 		}
 	}
 	if kinds["cache.miss"] == 0 {

@@ -91,6 +91,10 @@ type Config struct {
 	// events and is threaded into the experiment engine. Excluded from
 	// the fingerprint and from serialized configs.
 	Recorder *obs.Recorder `json:"-"`
+	// SlowProfiler, when non-nil, is threaded into the experiment engine
+	// so cells exceeding its threshold get a pprof CPU capture. Excluded
+	// from the fingerprint and from serialized configs.
+	SlowProfiler *obs.SlowProfiler `json:"-"`
 }
 
 // Normalized returns the config with every defaulted field filled — what
@@ -281,7 +285,10 @@ func New(cfg Config) (*Driver, error) {
 		return nil, err
 	}
 	n := cfg.Normalized()
-	return &Driver{cfg: n, eng: engine.New(engine.WithWorkers(n.Workers), engine.WithRecorder(n.Recorder))}, nil
+	return &Driver{cfg: n, eng: engine.New(
+		engine.WithWorkers(n.Workers),
+		engine.WithRecorder(n.Recorder),
+		engine.WithSlowProfiler(n.SlowProfiler))}, nil
 }
 
 // Config returns the driver's normalized configuration.
@@ -325,8 +332,14 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 	sc := d.cfg.DrawRound(i)
 	spec := sc.Spec()
 	seed := d.cfg.RoundSeed(i)
-	d.cfg.Recorder.Emit("fuzz.round.start",
+	// The round span is the root of this round's trace subtree: the engine
+	// nests every cell it runs for the round (baseline included) under it
+	// through the context.
+	sp := obs.ChildSpan(ctx, d.cfg.Recorder, "fuzz.round",
 		obs.Int("round", i), obs.String("spec", spec), obs.Uint64("seed", seed))
+	ctx = obs.ContextWithSpan(ctx, sp)
+	nFindings := 0
+	defer func() { sp.End(obs.Int("round", i), obs.Int("findings", nFindings)) }()
 	visited := map[string]bool{spec: true}
 	defer func() {
 		for w := range visited {
@@ -355,11 +368,13 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 			continue
 		}
 		if d.cfg.Minimize {
+			msp := sp.StartSpan("fuzz.minimize", obs.String("spec", spec), obs.String("policy", policy))
+			mctx := obs.ContextWithSpan(ctx, msp)
 			memo := map[string]Finding{spec: f}
 			min, trials, err := Minimize(sc, f.Classes, func(cand *gen.Scenario) ([]strata.ViolationClass, error) {
 				cs := cand.Spec()
 				visited[cs] = true
-				cf, err := d.evaluate(ctx, cs, policy, seed, i)
+				cf, err := d.evaluate(mctx, cs, policy, seed, i)
 				if err != nil {
 					return nil, err
 				}
@@ -367,6 +382,7 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 				return cf.Classes, nil
 			})
 			if err != nil {
+				msp.End(obs.String("status", "error"))
 				return nil, fmt.Errorf("fuzz: round %d minimizing %s under %s: %w", i, spec, policy, err)
 			}
 			if ms := min.Spec(); ms != spec {
@@ -376,18 +392,19 @@ func (d *Driver) Round(ctx context.Context, i int) ([]Finding, error) {
 			} else {
 				f.ShrinkTrials = trials
 			}
+			msp.End(obs.String("status", "ok"), obs.String("minimized", f.Spec), obs.Int("trials", trials))
 		}
 		metricFindings.Inc()
 		for _, class := range f.Classes {
 			obs.Default().Counter("fuzz.violations." + string(class)).Inc()
 		}
-		d.cfg.Recorder.Emit("fuzz.finding",
+		sp.Emit("fuzz.finding",
 			obs.Int("round", i), obs.String("spec", f.Spec), obs.String("policy", f.Policy),
 			obs.String("classes", classesString(f.Classes)), obs.Float("err_pct", f.ErrPct))
 		findings = append(findings, f)
 	}
 	metricRounds.Inc()
-	d.cfg.Recorder.Emit("fuzz.round.finish", obs.Int("round", i), obs.Int("findings", len(findings)))
+	nFindings = len(findings)
 	return findings, nil
 }
 

@@ -21,11 +21,21 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// DebugEndpoint mounts one extra handler on a DebugServer's mux — the
+// extension point higher layers use to expose diagnostics obs itself
+// cannot compute without an import cycle (e.g. internal/obs/query's
+// /debug/obs/campaign report over the in-flight trace).
+type DebugEndpoint struct {
+	// Pattern is the mux pattern, e.g. "/debug/obs/campaign".
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts the diagnostics server on addr (e.g. "127.0.0.1:6060";
 // use port 0 for an ephemeral port) reading from reg, or Default() when
-// reg is nil. It returns once the listener is bound; serving continues in
-// the background until Close.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// reg is nil, plus any extra endpoints. It returns once the listener is
+// bound; serving continues in the background until Close.
+func ServeDebug(addr string, reg *Registry, extra ...DebugEndpoint) (*DebugServer, error) {
 	if reg == nil {
 		reg = Default()
 	}
@@ -45,6 +55,11 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Pattern != "" && e.Handler != nil {
+			mux.Handle(e.Pattern, e.Handler)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

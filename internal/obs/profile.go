@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// SlowProfiler captures a pprof CPU profile of slow experiment cells: the
+// engine registers every cell as it starts, a watchdog goroutine checks
+// in-flight cells against the threshold, and the first cell to exceed it
+// triggers a CPU capture that runs until the cell finishes (capped at one
+// more threshold interval). Go supports one CPU profile per process, so
+// captures are serialized — while one runs, other slow cells wait for the
+// next watchdog pass; a cell is profiled at most once.
+//
+// Profiles land in dir as slow-<n>-<key>.pprof, announced on stderr. A
+// nil *SlowProfiler is a valid no-op — the disabled path of the
+// -profile-slow flag.
+type SlowProfiler struct {
+	threshold time.Duration
+	dir       string
+
+	mu        sync.Mutex
+	cells     map[uint64]*slowCell
+	nextID    uint64
+	profiling bool
+	captures  int
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type slowCell struct {
+	key      string
+	start    time.Time
+	done     chan struct{}
+	profiled bool
+}
+
+// NewSlowProfiler starts a profiler with the given slow-cell threshold,
+// writing profiles into dir ("" means the working directory). Close it to
+// stop the watchdog.
+func NewSlowProfiler(threshold time.Duration, dir string) *SlowProfiler {
+	if threshold <= 0 {
+		return nil
+	}
+	if dir == "" {
+		dir = "."
+	}
+	p := &SlowProfiler{
+		threshold: threshold,
+		dir:       dir,
+		cells:     make(map[uint64]*slowCell),
+		stop:      make(chan struct{}),
+	}
+	tick := threshold / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	p.wg.Add(1)
+	go p.watch(tick)
+	return p
+}
+
+// CellStarted registers an in-flight cell and returns the function that
+// unregisters it when the cell completes. Safe on a nil profiler.
+func (p *SlowProfiler) CellStarted(key string) func() {
+	if p == nil {
+		return func() {}
+	}
+	c := &slowCell{key: key, start: time.Now(), done: make(chan struct{})}
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.cells[id] = c
+	p.mu.Unlock()
+	return func() {
+		close(c.done)
+		p.mu.Lock()
+		delete(p.cells, id)
+		p.mu.Unlock()
+	}
+}
+
+// Captures reports how many profiles the watchdog has written so far.
+func (p *SlowProfiler) Captures() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures
+}
+
+// Close stops the watchdog; any capture in flight finishes first. Safe on
+// a nil profiler.
+func (p *SlowProfiler) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// watch is the watchdog loop: on every tick, profile the longest-running
+// unprofiled cell past the threshold, unless a capture is already active.
+func (p *SlowProfiler) watch(tick time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		if p.profiling {
+			p.mu.Unlock()
+			continue
+		}
+		var victim *slowCell
+		for _, c := range p.cells {
+			if c.profiled || time.Since(c.start) < p.threshold {
+				continue
+			}
+			if victim == nil || c.start.Before(victim.start) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			p.mu.Unlock()
+			continue
+		}
+		victim.profiled = true
+		p.profiling = true
+		p.captures++
+		n := p.captures
+		p.mu.Unlock()
+		p.capture(victim, n)
+	}
+}
+
+// capture profiles CPU until the cell finishes or one more threshold
+// interval elapses, whichever comes first.
+func (p *SlowProfiler) capture(c *slowCell, n int) {
+	defer func() {
+		p.mu.Lock()
+		p.profiling = false
+		p.mu.Unlock()
+	}()
+	path := filepath.Join(p.dir, fmt.Sprintf("slow-%03d-%s.pprof", n, sanitizeKey(c.key)))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: slow-cell profile: %v\n", err)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is active in this process (e.g. a debug
+		// endpoint capture); skip rather than fail the run.
+		fmt.Fprintf(os.Stderr, "obs: slow-cell profile of %s skipped: %v\n", c.key, err)
+		f.Close()
+		os.Remove(path)
+		return
+	}
+	window := time.NewTimer(p.threshold)
+	defer window.Stop()
+	select {
+	case <-c.done:
+	case <-window.C:
+	case <-p.stop:
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+	fmt.Fprintf(os.Stderr, "obs: cell %s exceeded %v; CPU profile written to %s\n",
+		c.key, p.threshold, path)
+}
+
+// sanitizeKey maps a cell key onto a filesystem-safe file-name fragment.
+func sanitizeKey(key string) string {
+	b := []byte(key)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	const maxLen = 80
+	if len(b) > maxLen {
+		b = b[:maxLen]
+	}
+	return string(b)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSlowProfilerCapturesSlowCell checks the watchdog profiles a cell
+// that outlives the threshold and writes a pprof file named after it.
+func TestSlowProfilerCapturesSlowCell(t *testing.T) {
+	dir := t.TempDir()
+	p := NewSlowProfiler(20*time.Millisecond, dir)
+	defer p.Close()
+
+	done := p.CellStarted("cholesky|hp|8|always-sample|1")
+	deadline := time.After(5 * time.Second)
+	for p.Captures() == 0 {
+		select {
+		case <-deadline:
+			done()
+			t.Fatal("watchdog never captured a profile for a slow cell")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	done()
+	p.Close()
+
+	matches, err := filepath.Glob(filepath.Join(dir, "slow-*.pprof"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("profile files = %v (err %v), want exactly one", matches, err)
+	}
+	name := filepath.Base(matches[0])
+	if name != "slow-001-cholesky_hp_8_always-sample_1.pprof" {
+		t.Errorf("profile name %q: cell key not sanitized as expected", name)
+	}
+	fi, err := os.Stat(matches[0])
+	if err != nil || fi.Size() == 0 {
+		t.Errorf("profile file empty or unreadable: %v %v", fi, err)
+	}
+}
+
+// TestSlowProfilerFastCellsUntouched checks cells finishing under the
+// threshold never trigger a capture.
+func TestSlowProfilerFastCellsUntouched(t *testing.T) {
+	dir := t.TempDir()
+	p := NewSlowProfiler(time.Hour, dir)
+	for i := 0; i < 8; i++ {
+		done := p.CellStarted("fast")
+		done()
+	}
+	p.Close()
+	if n := p.Captures(); n != 0 {
+		t.Fatalf("fast cells triggered %d captures, want 0", n)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*.pprof")); len(matches) != 0 {
+		t.Fatalf("unexpected profile files: %v", matches)
+	}
+}
+
+// TestSlowProfilerNilNoOp checks the disabled path: a nil profiler (also
+// what a non-positive threshold returns) absorbs all calls.
+func TestSlowProfilerNilNoOp(t *testing.T) {
+	var p *SlowProfiler
+	done := p.CellStarted("any")
+	done()
+	if p.Captures() != 0 {
+		t.Error("nil profiler reported captures")
+	}
+	p.Close()
+	if q := NewSlowProfiler(0, ""); q != nil {
+		t.Error("zero threshold should return the nil no-op profiler")
+	}
+}

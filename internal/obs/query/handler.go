@@ -1,0 +1,46 @@
+package query
+
+import (
+	"net/http"
+	"os"
+
+	"taskpoint/internal/obs"
+)
+
+// Handler serves the campaign report computed over the trace file at path,
+// re-read on every request — so while a campaign is running, each request
+// reports the trace as of now (spans still in flight show as open). JSON
+// by default; ?format=text renders the human tables.
+func Handler(path string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep, err := AnalyzeFile(path)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if os.IsNotExist(err) {
+				code = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteText(w, rep) //nolint:errcheck // best-effort over HTTP
+			return
+		}
+		b, err := MarshalReport(rep)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck // best-effort over HTTP
+	})
+}
+
+// Endpoint mounts the live campaign report at /debug/obs/campaign on an
+// obs.ServeDebug server — the wiring the long-running CLIs use when both
+// -trace-out and -debug-addr are set. (obs cannot serve this itself:
+// query imports obs, so the dependency only works this way around.)
+func Endpoint(tracePath string) obs.DebugEndpoint {
+	return obs.DebugEndpoint{Pattern: "/debug/obs/campaign", Handler: Handler(tracePath)}
+}

@@ -1,0 +1,128 @@
+package query_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"taskpoint/internal/engine"
+	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
+)
+
+// TestAnalyzeLiveEngineTrace closes the loop between the writer and the
+// reader: a real campaign records through the flight recorder, and the
+// report computed from those bytes must satisfy the attribution algebra —
+// every cell's wall-clock fully decomposed into baseline + sampled +
+// overhead, phase totals covering every span, and a critical path that
+// never exceeds the campaign interval.
+func TestAnalyzeLiveEngineTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	// One worker serializes the cells so cache behavior is deterministic:
+	// with concurrent workers, two cold cells of the same workload can both
+	// miss before either populates the baseline cache.
+	e := engine.New(engine.WithWorkers(1), engine.WithRecorder(rec))
+
+	reqs := []engine.Request{
+		{Workload: "cholesky", Arch: "hp", Threads: 2, Scale: 1.0 / 64, Seed: 7, Policy: "lazy"},
+		{Workload: "cholesky", Arch: "hp", Threads: 2, Scale: 1.0 / 64, Seed: 7, Policy: "periodic(250)"},
+		{Workload: "swaptions", Arch: "hp", Threads: 2, Scale: 1.0 / 64, Seed: 7, Policy: "stratified(96)"},
+		{Workload: "swaptions", Arch: "hp", Threads: 2, Scale: 1.0 / 64, Seed: 7, Policy: "lazy"},
+	}
+	for rep, err := range e.RunAll(context.Background(), reqs) {
+		if err != nil {
+			t.Fatalf("cell %s: %v", rep.Request.Key(), err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := query.ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Clean || tr.TornTail {
+		t.Fatalf("closed recorder left an unclean trace: clean=%v torn=%v", tr.Clean, tr.TornTail)
+	}
+	rep := query.Analyze(tr)
+
+	if rep.Interrupted || rep.OpenSpans != 0 {
+		t.Errorf("completed campaign reported interrupted: %+v", rep)
+	}
+	if len(rep.Cells) != len(reqs) {
+		t.Fatalf("report has %d cells, campaign ran %d", len(rep.Cells), len(reqs))
+	}
+	for _, c := range rep.Cells {
+		if c.Open {
+			t.Errorf("cell %s open in a completed trace", c.Key)
+		}
+		if c.Status != "ok" {
+			t.Errorf("cell %s status %q", c.Key, c.Status)
+		}
+		if c.WallNs <= 0 {
+			t.Errorf("cell %s has no wall-clock", c.Key)
+		}
+		if c.BaselineNs+c.SampledNs+c.OverheadNs != c.WallNs {
+			t.Errorf("cell %s: %d + %d + %d != wall %d",
+				c.Key, c.BaselineNs, c.SampledNs, c.OverheadNs, c.WallNs)
+		}
+	}
+
+	phases := map[string]query.PhaseCost{}
+	for _, p := range rep.Phases {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"campaign", "cell", "baseline", "sampled"} {
+		if phases[name].Count == 0 {
+			t.Errorf("phase %q missing from report (have %v)", name, rep.Phases)
+		}
+	}
+	if phases["cell"].Count != len(reqs) {
+		t.Errorf("cell phase count = %d, want %d", phases["cell"].Count, len(reqs))
+	}
+	// Two workloads at the same (arch, threads): two baseline computes,
+	// two cache hits.
+	if phases["baseline"].Count != 2 {
+		t.Errorf("baseline phase count = %d, want 2", phases["baseline"].Count)
+	}
+	if rep.Cache.Misses != 2 || rep.Cache.Hits != 2 || rep.Cache.Computes != 2 {
+		t.Errorf("cache = %+v, want 2 misses / 2 hits / 2 computes", rep.Cache)
+	}
+
+	// The stratified cell must surface per-stratum costs.
+	if len(rep.Strata) == 0 {
+		t.Error("stratified cell produced no stratum costs")
+	}
+
+	cp := rep.CriticalPath
+	if len(cp.Steps) == 0 {
+		t.Fatal("no critical path through a multi-cell campaign")
+	}
+	if cp.PathNs <= 0 || cp.PathNs > cp.SpanNs {
+		t.Errorf("critical path %d ns outside campaign span %d ns", cp.PathNs, cp.SpanNs)
+	}
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].StartNs < cp.Steps[i-1].EndNs {
+			t.Errorf("critical path step %d starts before its predecessor ends", i)
+		}
+	}
+
+	// Determinism end-to-end: the same bytes must render the same report.
+	b1, err := query.MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := query.ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := query.MarshalReport(query.Analyze(tr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("re-analyzing the same trace bytes produced a different report")
+	}
+}

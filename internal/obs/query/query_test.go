@@ -1,0 +1,206 @@
+package query
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goldenTrace = "testdata/golden_trace.jsonl"
+
+// readGoldenTrace parses the committed fixture.
+func readGoldenTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// golden compares got against the committed golden file, rewriting it when
+// the test runs with UPDATE_GOLDEN=1.
+func golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenReport pins the whole analysis byte-for-byte: the committed
+// trace must produce exactly the committed JSON report and text rendering.
+func TestGoldenReport(t *testing.T) {
+	rep := Analyze(readGoldenTrace(t))
+	b, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "testdata/golden_report.json", b)
+
+	var text bytes.Buffer
+	if err := WriteText(&text, rep); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "testdata/golden_report.txt", text.Bytes())
+}
+
+// TestGoldenReportValues spot-checks the numbers the golden fixture was
+// engineered to produce, so the golden files cannot silently pin a wrong
+// analysis.
+func TestGoldenReportValues(t *testing.T) {
+	rep := Analyze(readGoldenTrace(t))
+	if rep.Interrupted || rep.TornTail || rep.DroppedEvents != 0 || rep.OpenSpans != 0 {
+		t.Errorf("clean fixture parsed as damaged: %+v", rep)
+	}
+	if rep.TotalWallNs != 120600000 {
+		t.Errorf("TotalWallNs = %d, want 120600000", rep.TotalWallNs)
+	}
+	if len(rep.Cells) != 5 {
+		t.Fatalf("cells = %d, want 5", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.BaselineNs+c.SampledNs+c.OverheadNs != c.WallNs {
+			t.Errorf("cell %s: attribution %d+%d+%d != wall %d",
+				c.Key, c.BaselineNs, c.SampledNs, c.OverheadNs, c.WallNs)
+		}
+	}
+	// Critical path: cell A (last baseline holder) → C → E.
+	wantPath := []string{
+		"cholesky|high-performance|2|lazy|1",
+		"cholesky|high-performance|2|periodic(250)|1",
+		"cholesky|high-performance|2|periodic(64)|1",
+	}
+	if len(rep.CriticalPath.Steps) != len(wantPath) {
+		t.Fatalf("critical path %v, want %v", rep.CriticalPath.Steps, wantPath)
+	}
+	for i, s := range rep.CriticalPath.Steps {
+		if s.Key != wantPath[i] {
+			t.Errorf("critical path step %d = %s, want %s", i, s.Key, wantPath[i])
+		}
+	}
+	// Cache: 3 cholesky hits at a 29 ms measured baseline → 87 ms saved.
+	if rep.Cache.Hits != 3 || rep.Cache.Misses != 2 || rep.Cache.Computes != 2 {
+		t.Errorf("cache = %+v, want 3 hits / 2 misses / 2 computes", rep.Cache)
+	}
+	if rep.Cache.SavedNs != 87000000 {
+		t.Errorf("SavedNs = %d, want 87000000", rep.Cache.SavedNs)
+	}
+	// Straggler: the 60 ms lazy cell vs the cholesky median of 29.5 ms.
+	if len(rep.Stragglers) != 1 || rep.Stragglers[0].Key != "cholesky|high-performance|2|lazy|1" {
+		t.Errorf("stragglers = %+v, want exactly the lazy cholesky cell", rep.Stragglers)
+	}
+	// Strata: four distinct strata over the two stratified cells.
+	if len(rep.Strata) != 4 {
+		t.Errorf("strata = %d, want 4", len(rep.Strata))
+	}
+	for _, s := range rep.Strata {
+		if s.SamplesPerCIPoint <= 0 {
+			t.Errorf("stratum %s has no cost-per-CI-point", s.Stratum)
+		}
+	}
+}
+
+// TestShuffledInterleavings: the report is a function of trace *content* —
+// seq restores the deterministic total order however the lines arrive, so
+// arbitrarily shuffled traces produce the byte-identical report.
+func TestShuffledInterleavings(t *testing.T) {
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(readGoldenTrace(t))
+	want, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewPCG(42, uint64(trial)))
+		shuffled := append([]string(nil), lines...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		tr, err := ReadSpans(strings.NewReader(strings.Join(shuffled, "\n") + "\n"))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := MarshalReport(Analyze(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: shuffled trace produced a different report.\n--- got ---\n%s", trial, got)
+		}
+	}
+}
+
+// TestInterruptedTrace: a campaign killed mid-flight leaves a trace with
+// no trace.end, open spans, and a torn final line. The reader repairs the
+// tail in memory, the report flags the damage, and the attribution
+// invariant still holds with in-flight cells pinned to the last timestamp.
+func TestInterruptedTrace(t *testing.T) {
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	// Cut after the sampled-C begin (seq 35) and append half a line, as if
+	// the process died mid-Write.
+	cut := strings.Join(lines[:35], "\n") + "\n" + lines[35][:20]
+	tr, err := ReadSpans(strings.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TornTail {
+		t.Error("torn final line not detected")
+	}
+	if tr.Clean {
+		t.Error("interrupted trace reported clean")
+	}
+	rep := Analyze(tr)
+	if !rep.Interrupted || !rep.TornTail {
+		t.Errorf("report does not flag interruption: %+v", rep)
+	}
+	if rep.OpenSpans == 0 {
+		t.Error("no open spans in an interrupted trace")
+	}
+	openCells := 0
+	for _, c := range rep.Cells {
+		if c.Open {
+			openCells++
+		}
+		if c.BaselineNs+c.SampledNs+c.OverheadNs != c.WallNs {
+			t.Errorf("cell %s: attribution broken on interrupted trace", c.Key)
+		}
+	}
+	if openCells == 0 {
+		t.Error("no open cells, want the in-flight cells C and D flagged")
+	}
+}
+
+// TestReadFileMissing: a missing trace is an error, not a crash.
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+// TestMalformedMidFile: corruption anywhere but the final line must error
+// (only a torn tail is a legitimate artifact of the single-Write contract).
+func TestMalformedMidFile(t *testing.T) {
+	in := `{"seq":1,"t_ns":0,"kind":"a"}` + "\n" + `{"seq":2,"t_` + "\n" + `{"seq":3,"t_ns":2,"kind":"b"}` + "\n"
+	if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file corruption did not error")
+	}
+}

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// ns renders nanoseconds as a compact human duration with fixed formatting
+// (not time.Duration.String, whose unit switching makes columns ragged).
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// pct renders a share of total as a percentage ("-" when total is 0).
+func pct(part, total int64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+// WriteText renders the report as the human-readable table stack the obsq
+// CLI prints. Like the JSON form it is deterministic for a given trace.
+func WriteText(w io.Writer, r *Report) error {
+	fmt.Fprintf(w, "trace: %d events, %s wall-clock", r.TraceEvents, ns(r.TotalWallNs))
+	if r.Interrupted {
+		fmt.Fprintf(w, ", INTERRUPTED (%d open spans)", r.OpenSpans)
+	}
+	if r.TornTail {
+		fmt.Fprint(w, ", torn tail skipped")
+	}
+	if r.DroppedEvents > 0 {
+		fmt.Fprintf(w, ", %d events dropped by byte limit", r.DroppedEvents)
+	}
+	fmt.Fprintln(w)
+
+	if len(r.Phases) > 0 {
+		fmt.Fprintln(w, "\n== wall-clock by phase ==")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "phase\tcount\ttotal\tself\tself/wall")
+		for _, p := range r.Phases {
+			open := ""
+			if p.Open > 0 {
+				open = fmt.Sprintf(" (%d open)", p.Open)
+			}
+			fmt.Fprintf(tw, "%s\t%d%s\t%s\t%s\t%s\n",
+				p.Name, p.Count, open, ns(p.TotalNs), ns(p.SelfNs), pct(p.SelfNs, r.TotalWallNs))
+		}
+		tw.Flush()
+	}
+
+	if len(r.Cells) > 0 {
+		fmt.Fprintln(w, "\n== cells ==")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "cell\twall\tbaseline\tsampled\toverhead\tstatus\terr%")
+		for _, c := range r.Cells {
+			status := c.Status
+			if c.Open {
+				status = "OPEN"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.3g\n",
+				c.Key, ns(c.WallNs), ns(c.BaselineNs), ns(c.SampledNs), ns(c.OverheadNs), status, c.ErrPct)
+		}
+		tw.Flush()
+	}
+
+	if len(r.Strata) > 0 {
+		fmt.Fprintln(w, "\n== strata ==")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "stratum\tcells\tpop\tsampled\tquota\tmean CI width%\tsamples/CI-pt")
+		for _, s := range r.Strata {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.3g\t%.3g\n",
+				s.Stratum, s.Cells, s.Population, s.Sampled, s.Quota, s.MeanCIRelWidthPct, s.SamplesPerCIPoint)
+		}
+		tw.Flush()
+	}
+
+	if len(r.CriticalPath.Steps) > 0 {
+		cp := r.CriticalPath
+		fmt.Fprintf(w, "\n== critical path == %d cells, %s of %s (%.1f%% coverage)\n",
+			len(cp.Steps), ns(cp.PathNs), ns(cp.SpanNs), cp.CoveragePct)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "cell\tstart\twall\tgap")
+		for _, s := range cp.Steps {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", s.Key, ns(s.StartNs), ns(s.WallNs), ns(s.GapNs))
+		}
+		tw.Flush()
+	}
+
+	fmt.Fprintf(w, "\n== baseline cache == %d hits, %d misses, %d computes, %s computed, %s saved\n",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Computes, ns(r.Cache.ComputeNs), ns(r.Cache.SavedNs))
+	if len(r.Cache.Baselines) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "baseline\tcomputes\thits\tcompute\tsaved")
+		for _, b := range r.Cache.Baselines {
+			fmt.Fprintf(tw, "%s/%s/t%d\t%d\t%d\t%s\t%s\n",
+				b.Workload, b.Arch, b.Threads, b.Computes, b.Hits, ns(b.ComputeNs), ns(b.SavedNs))
+		}
+		tw.Flush()
+	}
+
+	if len(r.Stragglers) > 0 {
+		fmt.Fprintln(w, "\n== stragglers ==")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "cell\twall\tgroup median\tratio")
+		for _, s := range r.Stragglers {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2fx\n", s.Key, ns(s.WallNs), ns(s.MedianNs), s.Ratio)
+		}
+		tw.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,510 @@
+package query
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Report is the deterministic campaign cost report computed from one
+// flight-recorder trace. Every field derives purely from trace content,
+// and every slice has a total deterministic order, so the same trace
+// always marshals to the byte-identical JSON — the contract the golden
+// tests pin down. No field is a map: JSON object key order would survive,
+// but consumers iterating would not be deterministic.
+type Report struct {
+	// TraceEvents counts decoded lines; TotalWallNs is the last trace
+	// timestamp — the traced process's total wall-clock.
+	TraceEvents int   `json:"trace_events"`
+	TotalWallNs int64 `json:"total_wall_ns"`
+	// Interrupted reports the trace had no trace.end (the producer was
+	// killed); TornTail that a half-written final line was skipped.
+	Interrupted bool `json:"interrupted,omitempty"`
+	TornTail    bool `json:"torn_tail,omitempty"`
+	// DroppedEvents is the byte-limit drop count from trace.end; OpenSpans
+	// counts spans the trace never closed.
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+	OpenSpans     int    `json:"open_spans,omitempty"`
+	// Phases attribute wall-clock by span name; Cells by experiment cell;
+	// Strata by sampling stratum across cells.
+	Phases []PhaseCost   `json:"phases,omitempty"`
+	Cells  []CellCost    `json:"cells,omitempty"`
+	Strata []StratumCost `json:"strata,omitempty"`
+	// CriticalPath is the chain of cells that bounded campaign completion
+	// through the worker pool.
+	CriticalPath CriticalPath `json:"critical_path"`
+	// Cache is the baseline-cache economics; Stragglers flags cells far
+	// above their workload group's median wall-clock.
+	Cache      CacheReport `json:"cache"`
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+}
+
+// PhaseCost is the wall-clock attribution of one span name ("cell",
+// "baseline", "sampled", "strata.pilot", "fuzz.round", …). TotalNs sums
+// span durations; SelfNs sums durations minus child spans — the exclusive
+// cost, which adds up across phases without double counting the tree.
+type PhaseCost struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	Open    int    `json:"open,omitempty"`
+	TotalNs int64  `json:"total_ns"`
+	SelfNs  int64  `json:"self_ns"`
+}
+
+// CellCost is the wall-clock decomposition of one experiment cell:
+// WallNs = BaselineNs + SampledNs + OverheadNs, where overhead is cell
+// time outside both phase spans (program build, queueing, comparison).
+type CellCost struct {
+	Key            string  `json:"key"`
+	StartNs        int64   `json:"start_ns"`
+	WallNs         int64   `json:"wall_ns"`
+	BaselineNs     int64   `json:"baseline_ns"`
+	SampledNs      int64   `json:"sampled_ns"`
+	OverheadNs     int64   `json:"overhead_ns"`
+	Status         string  `json:"status,omitempty"`
+	ErrPct         float64 `json:"err_pct,omitempty"`
+	DetailFraction float64 `json:"detail_fraction,omitempty"`
+	CIRelWidthPct  float64 `json:"ci_rel_width_pct,omitempty"`
+	// Open marks a cell the interrupted trace left in flight.
+	Open bool `json:"open,omitempty"`
+}
+
+// StratumCost aggregates one sampling stratum across every cell that
+// reported it: how many detailed samples it consumed and what confidence
+// they bought. SamplesPerCIPoint is the stratum's detailed samples per
+// percentage point of its cells' mean CI relative width — the marginal
+// price signal a budget-stealing fidelity manager would steer by.
+type StratumCost struct {
+	Stratum           string  `json:"stratum"`
+	Cells             int     `json:"cells"`
+	Population        int     `json:"population"`
+	Sampled           int     `json:"sampled"`
+	Quota             int     `json:"quota"`
+	MeanCIRelWidthPct float64 `json:"mean_ci_rel_width_pct,omitempty"`
+	SamplesPerCIPoint float64 `json:"samples_per_ci_point,omitempty"`
+}
+
+// CriticalPath is the completion-bounding chain of cells: starting from
+// the cell that finished last, each predecessor is the latest-finishing
+// cell that ended before the current one started — the worker-slot
+// handoff chain an ideal scheduler could not have compressed. PathNs sums
+// the chain's cell durations; CoveragePct is PathNs over the wall-clock
+// between the chain's first start and last end (low coverage means idle
+// gaps or non-cell work bound the campaign, not the cells themselves).
+type CriticalPath struct {
+	PathNs      int64      `json:"path_ns"`
+	SpanNs      int64      `json:"span_ns"`
+	CoveragePct float64    `json:"coverage_pct,omitempty"`
+	Steps       []PathStep `json:"steps,omitempty"`
+}
+
+// PathStep is one cell on the critical path, first-to-last. GapNs is the
+// idle time between the previous step's end and this step's start.
+type PathStep struct {
+	Key     string `json:"key"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	WallNs  int64  `json:"wall_ns"`
+	GapNs   int64  `json:"gap_ns,omitempty"`
+}
+
+// CacheReport is the baseline-cache economics: every cache.hit reuses a
+// detailed reference some baseline span paid for, so the saved wall-clock
+// is hits × the measured compute cost of the same (workload, arch,
+// threads) baseline.
+type CacheReport struct {
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Computes int `json:"computes"`
+	// ComputeNs sums measured baseline simulation time; SavedNs estimates
+	// the time hits avoided re-spending.
+	ComputeNs int64          `json:"compute_ns"`
+	SavedNs   int64          `json:"saved_ns"`
+	Baselines []BaselineCost `json:"baselines,omitempty"`
+}
+
+// BaselineCost is the cache economics of one (workload, arch, threads)
+// baseline identity.
+type BaselineCost struct {
+	Workload  string `json:"workload"`
+	Arch      string `json:"arch"`
+	Threads   int    `json:"threads"`
+	Computes  int    `json:"computes"`
+	Hits      int    `json:"hits"`
+	ComputeNs int64  `json:"compute_ns"`
+	SavedNs   int64  `json:"saved_ns"`
+}
+
+// stragglerRatio and stragglerMinGroup gate outlier detection: a cell is a
+// straggler when its workload group has enough cells for a meaningful
+// median and the cell ran at least stragglerRatio× that median.
+const (
+	stragglerRatio    = 2.0
+	stragglerMinGroup = 4
+)
+
+// Straggler is one outlier cell: wall-clock far above the median of the
+// cells sharing its workload.
+type Straggler struct {
+	Key      string  `json:"key"`
+	Workload string  `json:"workload"`
+	WallNs   int64   `json:"wall_ns"`
+	MedianNs int64   `json:"median_ns"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// Analyze computes the campaign report of a parsed trace.
+func Analyze(t *Trace) *Report {
+	r := &Report{
+		TraceEvents:   len(t.Events),
+		TotalWallNs:   t.EndNs,
+		Interrupted:   !t.Clean,
+		TornTail:      t.TornTail,
+		DroppedEvents: t.Dropped,
+	}
+
+	// Phase attribution by span name.
+	byName := map[string]*PhaseCost{}
+	var names []string
+	for _, s := range t.Spans {
+		if s.Open {
+			r.OpenSpans++
+		}
+		pc := byName[s.Name]
+		if pc == nil {
+			pc = &PhaseCost{Name: s.Name}
+			byName[s.Name] = pc
+			names = append(names, s.Name)
+		}
+		pc.Count++
+		if s.Open {
+			pc.Open++
+		}
+		pc.TotalNs += s.Dur()
+		pc.SelfNs += s.SelfNs()
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Phases = append(r.Phases, *byName[n])
+	}
+
+	cells := cellSpans(t)
+	r.Cells = cellCosts(cells)
+	r.Strata = stratumCosts(cells)
+	r.CriticalPath = criticalPath(cells)
+	r.Cache = cacheReport(t)
+	r.Stragglers = stragglers(r.Cells, cells)
+	return r
+}
+
+// cellSpans returns the trace's cell spans in begin order.
+func cellSpans(t *Trace) []*Span {
+	var cells []*Span
+	for _, s := range t.Spans {
+		if s.Name == "cell" {
+			cells = append(cells, s)
+		}
+	}
+	return cells
+}
+
+// cellCosts decomposes each cell span, sorted by start then seq.
+func cellCosts(cells []*Span) []CellCost {
+	out := make([]CellCost, 0, len(cells))
+	for _, c := range cells {
+		cc := CellCost{
+			Key:     c.beginStr("key"),
+			StartNs: c.StartNs,
+			WallNs:  c.Dur(),
+			Open:    c.Open,
+		}
+		for _, ch := range c.Children {
+			switch ch.Name {
+			case "baseline":
+				cc.BaselineNs += ch.Dur()
+			case "sampled":
+				cc.SampledNs += ch.Dur()
+				for _, ev := range ch.Events {
+					if ev.Kind == "strata.confidence" {
+						cc.CIRelWidthPct = ev.Num("rel_width_pct")
+					}
+				}
+			}
+		}
+		cc.OverheadNs = cc.WallNs - cc.BaselineNs - cc.SampledNs
+		if cc.OverheadNs < 0 {
+			cc.OverheadNs = 0
+		}
+		if c.End != nil {
+			if v, ok := c.End["status"].(string); ok {
+				cc.Status = v
+			}
+			cc.ErrPct = c.endNum("err_pct")
+			cc.DetailFraction = c.endNum("detail_fraction")
+		}
+		out = append(out, cc)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// stratumCosts aggregates the strata.stratum events of every cell's
+// sampled phase, keyed by the stratum's rendered key, sorted by key.
+func stratumCosts(cells []*Span) []StratumCost {
+	type acc struct {
+		StratumCost
+		widthSum float64
+		widthN   int
+	}
+	byKey := map[string]*acc{}
+	var keys []string
+	for _, c := range cells {
+		for _, ch := range c.Children {
+			if ch.Name != "sampled" {
+				continue
+			}
+			relWidth := 0.0
+			for _, ev := range ch.Events {
+				if ev.Kind == "strata.confidence" {
+					relWidth = ev.Num("rel_width_pct")
+				}
+			}
+			for _, ev := range ch.Events {
+				if ev.Kind != "strata.stratum" {
+					continue
+				}
+				k := ev.Str("stratum")
+				a := byKey[k]
+				if a == nil {
+					a = &acc{StratumCost: StratumCost{Stratum: k}}
+					byKey[k] = a
+					keys = append(keys, k)
+				}
+				a.Cells++
+				a.Population += int(ev.Num("population"))
+				a.Sampled += int(ev.Num("sampled"))
+				a.Quota += int(ev.Num("quota"))
+				if relWidth > 0 {
+					a.widthSum += relWidth
+					a.widthN++
+				}
+			}
+		}
+	}
+	sort.Strings(keys)
+	out := make([]StratumCost, 0, len(keys))
+	for _, k := range keys {
+		a := byKey[k]
+		if a.widthN > 0 {
+			a.MeanCIRelWidthPct = a.widthSum / float64(a.widthN)
+			a.SamplesPerCIPoint = float64(a.Sampled) / a.MeanCIRelWidthPct
+		}
+		out = append(out, a.StratumCost)
+	}
+	return out
+}
+
+// criticalPath walks backward from the last-finishing cell, at each step
+// hopping to the latest-finishing cell that ended at or before the current
+// one started (worker-slot handoff). Ties break on lower StartSeq — the
+// trace's deterministic order — so shuffled inputs reproduce the path.
+func criticalPath(cells []*Span) CriticalPath {
+	var cp CriticalPath
+	if len(cells) == 0 {
+		return cp
+	}
+	cur := cells[0]
+	for _, c := range cells[1:] {
+		if c.EndNs > cur.EndNs || (c.EndNs == cur.EndNs && c.StartSeq < cur.StartSeq) {
+			cur = c
+		}
+	}
+	var chain []*Span
+	for cur != nil {
+		chain = append(chain, cur)
+		var pred *Span
+		for _, c := range cells {
+			if c == cur || c.EndNs > cur.StartNs {
+				continue
+			}
+			if pred == nil || c.EndNs > pred.EndNs ||
+				(c.EndNs == pred.EndNs && c.StartSeq < pred.StartSeq) {
+				pred = c
+			}
+		}
+		cur = pred
+	}
+	// chain is last-to-first; reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	for i, c := range chain {
+		step := PathStep{
+			Key:     c.beginStr("key"),
+			StartNs: c.StartNs,
+			EndNs:   c.EndNs,
+			WallNs:  c.Dur(),
+		}
+		if i > 0 {
+			step.GapNs = c.StartNs - chain[i-1].EndNs
+		}
+		cp.PathNs += step.WallNs
+		cp.Steps = append(cp.Steps, step)
+	}
+	cp.SpanNs = chain[len(chain)-1].EndNs - chain[0].StartNs
+	if cp.SpanNs > 0 {
+		cp.CoveragePct = 100 * float64(cp.PathNs) / float64(cp.SpanNs)
+	}
+	return cp
+}
+
+// cacheReport pairs cache.hit/cache.miss events with the measured compute
+// cost of baseline spans sharing the same (workload, arch, threads)
+// identity: each hit saves that identity's mean measured compute time.
+func cacheReport(t *Trace) CacheReport {
+	type ident struct {
+		workload, arch string
+		threads        int
+	}
+	byID := map[ident]*BaselineCost{}
+	get := func(id ident) *BaselineCost {
+		a := byID[id]
+		if a == nil {
+			a = &BaselineCost{Workload: id.workload, Arch: id.arch, Threads: id.threads}
+			byID[id] = a
+		}
+		return a
+	}
+	var rep CacheReport
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case "cache.hit":
+			rep.Hits++
+			get(ident{ev.Str("workload"), ev.Str("arch"), int(ev.Num("threads"))}).Hits++
+		case "cache.miss":
+			rep.Misses++
+		}
+	}
+	for _, s := range t.Spans {
+		if s.Name != "baseline" {
+			continue
+		}
+		rep.Computes++
+		id := ident{workload: s.beginStr("workload"), arch: s.beginStr("arch")}
+		if v, ok := s.Begin["threads"].(float64); ok {
+			id.threads = int(v)
+		}
+		a := get(id)
+		a.Computes++
+		// wall_ms on span.end is the pure simulation time; for a baseline
+		// the interrupt left open (or that errored before measuring), the
+		// span interval itself is the best available cost.
+		ns := int64(s.endNum("wall_ms") * 1e6)
+		if ns <= 0 {
+			ns = s.Dur()
+		}
+		a.ComputeNs += ns
+	}
+	ids := make([]ident, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		if a.arch != b.arch {
+			return a.arch < b.arch
+		}
+		return a.threads < b.threads
+	})
+	for _, id := range ids {
+		a := byID[id]
+		if a.Computes > 0 && a.Hits > 0 {
+			a.SavedNs = int64(float64(a.ComputeNs) / float64(a.Computes) * float64(a.Hits))
+		}
+		rep.ComputeNs += a.ComputeNs
+		rep.SavedNs += a.SavedNs
+		rep.Baselines = append(rep.Baselines, *a)
+	}
+	return rep
+}
+
+// workloadOf extracts the workload from a pipe-separated cell key.
+func workloadOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// stragglers flags completed cells running stragglerRatio× past the median
+// of their workload group, most-extreme first.
+func stragglers(costs []CellCost, _ []*Span) []Straggler {
+	byWL := map[string][]int64{}
+	for _, c := range costs {
+		if c.Open {
+			continue
+		}
+		wl := workloadOf(c.Key)
+		byWL[wl] = append(byWL[wl], c.WallNs)
+	}
+	var out []Straggler
+	for _, c := range costs {
+		if c.Open {
+			continue
+		}
+		wl := workloadOf(c.Key)
+		group := byWL[wl]
+		if len(group) < stragglerMinGroup {
+			continue
+		}
+		med := medianNs(group)
+		if med > 0 && float64(c.WallNs) >= stragglerRatio*float64(med) {
+			out = append(out, Straggler{
+				Key: c.Key, Workload: wl, WallNs: c.WallNs, MedianNs: med,
+				Ratio: float64(c.WallNs) / float64(med),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// medianNs is the median of vs (lower middle for even counts).
+func medianNs(vs []int64) int64 {
+	s := append([]int64(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// MarshalReport renders the report as the canonical indented JSON the
+// golden tests and the CI health artifact pin byte-for-byte.
+func MarshalReport(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// AnalyzeFile reads, parses and analyzes the trace at path.
+func AnalyzeFile(path string) (*Report, error) {
+	t, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(t), nil
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -72,21 +73,32 @@ const DefaultTraceLimit = 256 << 20
 // only tear if the process dies mid-write — and Open repairs exactly that
 // case on reopen via the DropPartialTail contract.
 //
+// Beyond flat events, the recorder supports structured spans (StartSpan):
+// paired "span.begin"/"span.end" lines carrying a recorder-scoped
+// monotonic span id and a parent link, from which internal/obs/query
+// rebuilds the interval tree of a campaign.
+//
 // A nil *Recorder is a valid no-op recorder: every method returns
 // immediately, which is the disabled path compiled into the
 // instrumentation call sites. Recorders are safe for concurrent use.
 type Recorder struct {
-	mu      sync.Mutex
-	w       io.Writer
-	closer  io.Closer
-	start   time.Time
-	seq     uint64
-	written int64
-	limit   int64
-	dropped uint64
-	closed  bool
-	buf     []byte
+	mu       sync.Mutex
+	w        io.Writer
+	closer   io.Closer
+	start    time.Time
+	seq      uint64
+	nextSpan uint64
+	written  int64
+	limit    int64
+	dropped  uint64
+	closed   bool
+	buf      []byte
 }
+
+// metricTraceDropped counts events suppressed by recorder byte limits in
+// the default registry, so a -metrics-out snapshot records truncation even
+// when nobody reads the trace's own trace.end marker.
+var metricTraceDropped = Default().Counter("obs.trace.dropped_events")
 
 // NewRecorder wraps w in a recorder with the default byte limit. The
 // caller owns w; Close flushes nothing and closes nothing.
@@ -135,6 +147,13 @@ func (r *Recorder) Dropped() uint64 {
 // Emit appends one event line. Safe on a nil recorder (no-op) and from
 // concurrent goroutines (events serialize; seq orders them).
 func (r *Recorder) Emit(kind string, fields ...Field) {
+	r.emit(kind, 0, 0, "", fields)
+}
+
+// emit appends one event line, optionally tagged with a span id, a parent
+// span link and a span name — the single write path shared by Emit and the
+// span lifecycle methods.
+func (r *Recorder) emit(kind string, span, parent uint64, name string, fields []Field) {
 	if r == nil {
 		return
 	}
@@ -145,6 +164,7 @@ func (r *Recorder) Emit(kind string, fields ...Field) {
 	}
 	if r.limit > 0 && r.written >= r.limit {
 		r.dropped++
+		metricTraceDropped.Inc()
 		return
 	}
 	r.seq++
@@ -155,6 +175,18 @@ func (r *Recorder) Emit(kind string, fields ...Field) {
 	b = strconv.AppendInt(b, time.Since(r.start).Nanoseconds(), 10)
 	b = append(b, `,"kind":`...)
 	b = appendJSONString(b, kind)
+	if span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, span, 10)
+	}
+	if parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, parent, 10)
+	}
+	if name != "" {
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, name)
+	}
 	for i := range fields {
 		f := &fields[i]
 		b = append(b, ',')
@@ -188,8 +220,9 @@ func (r *Recorder) Emit(kind string, fields ...Field) {
 }
 
 // Close emits a final "trace.end" event (carrying the drop count, so a
-// truncated trace is self-diagnosing) and closes the underlying file when
-// the recorder owns one. Safe on a nil recorder.
+// truncated trace is self-diagnosing), warns on stderr when the byte limit
+// suppressed any events — truncation must never be silent — and closes the
+// underlying file when the recorder owns one. Safe on a nil recorder.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
@@ -197,6 +230,9 @@ func (r *Recorder) Close() error {
 	r.mu.Lock()
 	dropped := r.dropped
 	r.mu.Unlock()
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "obs: flight-recorder trace truncated: %d events dropped by the byte limit (raise it with SetLimit)\n", dropped)
+	}
 	r.Emit("trace.end", Uint64("dropped", dropped))
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,113 @@
+package obs
+
+import "context"
+
+// Span is one in-flight interval of the real execution being traced: a
+// campaign, an experiment cell, a baseline computation, a sampling phase,
+// a fuzz round. StartSpan emits a "span.begin" line carrying a
+// recorder-scoped monotonic span id (and, for child spans, a parent
+// link); End emits the matching "span.end". The query layer
+// (internal/obs/query) pairs the two lines back into an interval tree, so
+// a span costs two trace lines however long it runs — and an interrupted
+// process simply leaves the span open, which the reader detects instead
+// of repairing.
+//
+// A Span is a small value; pass it by value and end it exactly once. The
+// zero Span — also what a nil *Recorder's StartSpan returns — is a valid
+// no-op span: every method returns immediately, preserving the free
+// disabled path of the instrumentation call sites.
+type Span struct {
+	r      *Recorder
+	id     uint64
+	parent uint64
+}
+
+// StartSpan opens a root span named name and emits its "span.begin" line
+// with the given fields. Safe on a nil recorder (returns the no-op zero
+// Span).
+func (r *Recorder) StartSpan(name string, fields ...Field) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	r.nextSpan++
+	id := r.nextSpan
+	r.mu.Unlock()
+	s := Span{r: r, id: id}
+	r.emit("span.begin", id, 0, name, fields)
+	return s
+}
+
+// StartSpan opens a child span of s on the same recorder. On the zero
+// Span it is a no-op returning the zero Span.
+func (s Span) StartSpan(name string, fields ...Field) Span {
+	if s.r == nil {
+		return Span{}
+	}
+	s.r.mu.Lock()
+	s.r.nextSpan++
+	id := s.r.nextSpan
+	s.r.mu.Unlock()
+	child := Span{r: s.r, id: id, parent: s.id}
+	s.r.emit("span.begin", id, s.id, name, fields)
+	return child
+}
+
+// End closes the span, emitting its "span.end" line with the given
+// fields. Call it exactly once; the zero Span ignores it.
+func (s Span) End(fields ...Field) {
+	if s.r == nil {
+		return
+	}
+	s.r.emit("span.end", s.id, 0, "", fields)
+}
+
+// Emit appends one event line attached to the span (the line carries the
+// span's id), so the query layer can attribute the event to the span's
+// subtree — e.g. per-stratum sample-cost events to their cell. No-op on
+// the zero Span.
+func (s Span) Emit(kind string, fields ...Field) {
+	if s.r == nil {
+		return
+	}
+	s.r.emit(kind, s.id, 0, "", fields)
+}
+
+// Valid reports whether the span records anything (false for the zero
+// Span and for spans of a nil recorder).
+func (s Span) Valid() bool { return s.r != nil }
+
+// ID returns the span's recorder-scoped id (0 for the zero Span).
+func (s Span) ID() uint64 { return s.id }
+
+// spanCtxKey keys the current span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span, the
+// parent of spans started with ChildSpan further down the call tree.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if !s.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span of ctx, or the zero Span.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}
+
+// ChildSpan starts a span on rec as a child of ctx's current span when
+// that span lives on the same recorder, and as a root span otherwise —
+// the one-liner instrumented layers use to nest under whatever campaign
+// or round is running above them. Safe with a nil rec (no-op zero Span).
+func ChildSpan(ctx context.Context, rec *Recorder, name string, fields ...Field) Span {
+	if rec == nil {
+		return Span{}
+	}
+	if p := SpanFromContext(ctx); p.r == rec {
+		return p.StartSpan(name, fields...)
+	}
+	return rec.StartSpan(name, fields...)
+}

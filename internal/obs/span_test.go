@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	sc := bufio.NewScanner(buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
+// TestSpanBeginEndPairing checks the span lifecycle wire format: paired
+// span.begin/span.end lines sharing a monotonic id, parent links on child
+// spans, names only on begin, and span-attached events carrying the id.
+func TestSpanBeginEndPairing(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	root := r.StartSpan("campaign", Int("cells", 2))
+	child := root.StartSpan("cell", String("key", "cholesky/hp/8"))
+	child.Emit("cache.hit", String("key", "cholesky/hp/8"))
+	child.End(Float("err_pct", 0.4))
+	root.End()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 6 { // 2 begin + 1 event + 2 end + trace.end
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	begin0, begin1, ev, end1, end0 := lines[0], lines[1], lines[2], lines[3], lines[4]
+	if begin0["kind"] != "span.begin" || begin0["name"] != "campaign" || begin0["span"] != 1.0 {
+		t.Errorf("root begin wrong: %v", begin0)
+	}
+	if _, has := begin0["parent"]; has {
+		t.Errorf("root span must not carry a parent link: %v", begin0)
+	}
+	if begin0["cells"] != 2.0 {
+		t.Errorf("root begin lost its fields: %v", begin0)
+	}
+	if begin1["kind"] != "span.begin" || begin1["name"] != "cell" || begin1["span"] != 2.0 || begin1["parent"] != 1.0 {
+		t.Errorf("child begin wrong: %v", begin1)
+	}
+	if ev["kind"] != "cache.hit" || ev["span"] != 2.0 {
+		t.Errorf("span-attached event wrong: %v", ev)
+	}
+	if end1["kind"] != "span.end" || end1["span"] != 2.0 || end1["err_pct"] != 0.4 {
+		t.Errorf("child end wrong: %v", end1)
+	}
+	if _, has := end1["name"]; has {
+		t.Errorf("span.end must not repeat the name: %v", end1)
+	}
+	if end0["kind"] != "span.end" || end0["span"] != 1.0 {
+		t.Errorf("root end wrong: %v", end0)
+	}
+}
+
+// TestSpanNilAndZeroNoOp checks the free disabled path: spans of a nil
+// recorder and the zero Span swallow every operation.
+func TestSpanNilAndZeroNoOp(t *testing.T) {
+	var r *Recorder
+	s := r.StartSpan("campaign")
+	if s.Valid() || s.ID() != 0 {
+		t.Errorf("nil recorder span should be the invalid zero span, got %+v", s)
+	}
+	child := s.StartSpan("cell")
+	child.Emit("cache.hit")
+	child.End()
+	s.End()
+	if got := SpanFromContext(ContextWithSpan(context.Background(), s)); got.Valid() {
+		t.Errorf("zero span must not attach to a context, got %+v", got)
+	}
+	if c := ChildSpan(context.Background(), nil, "x"); c.Valid() {
+		t.Errorf("ChildSpan with nil recorder must be a no-op, got %+v", c)
+	}
+}
+
+// TestChildSpanContextThreading checks ChildSpan nests under the context's
+// span when it lives on the same recorder, and starts a root span when the
+// context carries a span of a different recorder.
+func TestChildSpanContextThreading(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	root := r.StartSpan("campaign")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	if got := SpanFromContext(ctx); got.ID() != root.ID() {
+		t.Fatalf("SpanFromContext = %v, want the campaign span %v", got.ID(), root.ID())
+	}
+	child := ChildSpan(ctx, r, "cell")
+	child.End()
+
+	var otherBuf bytes.Buffer
+	other := NewRecorder(&otherBuf)
+	foreign := ChildSpan(ctx, other, "cell")
+	foreign.End()
+	root.End()
+	r.Close()
+	other.Close()
+
+	lines := decodeLines(t, &buf)
+	if lines[1]["parent"] != 1.0 {
+		t.Errorf("same-recorder ChildSpan should parent under ctx span: %v", lines[1])
+	}
+	otherLines := decodeLines(t, &otherBuf)
+	if _, has := otherLines[0]["parent"]; has {
+		t.Errorf("cross-recorder ChildSpan must start a root span: %v", otherLines[0])
+	}
+}
+
+// TestSpanIDsMonotonicUnderConcurrency checks concurrent StartSpan calls
+// never reuse an id.
+func TestSpanIDsMonotonicUnderConcurrency(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	const n = 64
+	done := make(chan Span, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- r.StartSpan("cell") }()
+	}
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		s := <-done
+		if seen[s.ID()] {
+			t.Fatalf("span id %d handed out twice", s.ID())
+		}
+		seen[s.ID()] = true
+		s.End()
+	}
+	r.Close()
+}

@@ -7,12 +7,12 @@ import (
 	"sort"
 )
 
-// Span is one completed interval on a simulated timeline — a task
+// TimelineSpan is one completed interval on a simulated timeline — a task
 // instance on a core, a sampling phase, a campaign cell. Start and Dur
 // are in simulated cycles; the exporter maps cycles 1:1 to trace
 // microseconds (Chrome trace-event ts/dur are µs), so one timeline tick
 // reads as one cycle in the viewer.
-type Span struct {
+type TimelineSpan struct {
 	// Name labels the span in the viewer (e.g. the task type name).
 	Name string
 	// Cat is the comma-separated category list Perfetto filters on.
@@ -59,7 +59,7 @@ type traceFile struct {
 // events come first, ordered by pid/tid, then spans in the order given —
 // with encoding/json's sorted map keys this makes the output
 // deterministic, so a golden test can diff it byte-for-byte.
-func WriteTimeline(w io.Writer, procs []Process, spans []Span) error {
+func WriteTimeline(w io.Writer, procs []Process, spans []TimelineSpan) error {
 	events := make([]traceEvent, 0, 2*len(procs)+len(spans))
 	sorted := append([]Process(nil), procs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PID < sorted[j].PID })

@@ -21,7 +21,7 @@ func TestWriteTimelineGolden(t *testing.T) {
 		{PID: 2, Name: "detailed cholesky", Threads: map[int]string{0: "core 0", 1: "core 1"}},
 		{PID: 1, Name: "sampled cholesky", Threads: map[int]string{0: "core 0"}},
 	}
-	spans := []Span{
+	spans := []TimelineSpan{
 		{Name: "potrf", Cat: "task,detailed", PID: 1, TID: 0, Start: 0, Dur: 120,
 			Args: map[string]any{"instance": 0, "instr": 4000}},
 		{Name: "gemm", Cat: "task,fast", PID: 1, TID: 0, Start: 120, Dur: 80,
@@ -94,7 +94,7 @@ func TestWriteTimelineGolden(t *testing.T) {
 // TestWriteTimelineRejectsNegativeDur checks the exporter refuses spans
 // that would render as corrupt events.
 func TestWriteTimelineRejectsNegativeDur(t *testing.T) {
-	err := WriteTimeline(&bytes.Buffer{}, nil, []Span{{Name: "x", Dur: -1}})
+	err := WriteTimeline(&bytes.Buffer{}, nil, []TimelineSpan{{Name: "x", Dur: -1}})
 	if err == nil || !strings.Contains(err.Error(), "negative duration") {
 		t.Errorf("err = %v, want negative-duration error", err)
 	}

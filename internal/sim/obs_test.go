@@ -39,7 +39,7 @@ func TestResultEventCounters(t *testing.T) {
 	}
 }
 
-// TestTimelineAdapter: the Result → obs.Span adapter produces one span
+// TestTimelineAdapter: the Result → obs.TimelineSpan adapter produces one span
 // per executed instance, on the right core track, with the type name and
 // mode category, and the whole thing renders as loadable trace JSON.
 func TestTimelineAdapter(t *testing.T) {

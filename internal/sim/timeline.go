@@ -14,8 +14,8 @@ import (
 // the fuzzer can be inspected visually in Perfetto. pid labels the
 // process track (several results can share one timeline). Instances the
 // run never executed (an interrupted simulation) are skipped.
-func (r *Result) TimelineSpans(prog *trace.Program, pid int) []obs.Span {
-	spans := make([]obs.Span, 0, len(r.PerInstance))
+func (r *Result) TimelineSpans(prog *trace.Program, pid int) []obs.TimelineSpan {
+	spans := make([]obs.TimelineSpan, 0, len(r.PerInstance))
 	for id := range r.PerInstance {
 		rec := &r.PerInstance[id]
 		if rec.End <= 0 && rec.Start <= 0 && rec.Instr == 0 {
@@ -29,7 +29,7 @@ func (r *Result) TimelineSpans(prog *trace.Program, pid int) []obs.Span {
 		if dur < 0 {
 			dur = 0
 		}
-		spans = append(spans, obs.Span{
+		spans = append(spans, obs.TimelineSpan{
 			Name:  name,
 			Cat:   "task," + rec.Mode.String(),
 			PID:   pid,

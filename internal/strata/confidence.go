@@ -243,5 +243,6 @@ func (s *Stratified) Confidence() Confidence {
 		c.Hi = math.Max(c.Hi, c.Estimate+floor)
 	}
 	metricCIRelWidthPct.Observe(100 * c.RelWidth())
+	s.traceConfidence(c)
 	return c
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"taskpoint/internal/core"
+	"taskpoint/internal/obs"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/trace"
 )
@@ -212,6 +213,13 @@ type Stratified struct {
 	inFlightTotal int
 	allocated     bool
 	streak        int // consecutive starts without a pilot grant
+
+	// Tracing state (trace.go): the engine attaches a recorder and the
+	// cell's sampled-phase span per run; nil rec is the free disabled path.
+	rec       *obs.Recorder
+	parent    obs.Span
+	pilotSpan obs.Span
+	dirSpan   obs.Span
 }
 
 var (
@@ -271,6 +279,8 @@ func (s *Stratified) ResetRun() {
 	s.inFlightTotal = 0
 	s.allocated = false
 	s.streak = 0
+	s.pilotSpan = obs.Span{}
+	s.dirSpan = obs.Span{}
 }
 
 // Prescan counts the exact (type, size-class) populations of prog, giving
@@ -304,6 +314,7 @@ func (s *Stratified) budgetLeft() int {
 // WantDetailed implements core.BudgetedPolicy: it grants a directed sample
 // when the instance's stratum is below its pilot or allocated target.
 func (s *Stratified) WantDetailed(si sim.StartInfo) bool {
+	s.tracePilotStart()
 	k := s.keyOf(si)
 	_, seen := s.strata[k]
 	st := s.stratum(k)
@@ -431,6 +442,10 @@ func (s *Stratified) pilotsDone() bool {
 // over the strata seen so far, and each stratum's pacing gap is derived
 // from its expected remaining instances.
 func (s *Stratified) allocate() {
+	s.traceAllocate(s.allocated, s.allocateBudget)
+}
+
+func (s *Stratified) allocateBudget() {
 	s.allocated = true
 	left := s.budgetLeft()
 	if left <= 0 {

@@ -1,0 +1,101 @@
+package strata
+
+import "taskpoint/internal/obs"
+
+// SetTrace attaches a flight recorder for the coming run, with parent the
+// engine's sampled-phase span: the policy opens its pilot → allocation →
+// directed phase spans beneath it and attaches per-stratum cost events to
+// it, so a trace query can attribute a cell's sampled wall-clock to the
+// sampling phases and price each stratum's CI contribution. The engine
+// discovers this method through an optional interface; a nil rec disables
+// tracing for the run.
+func (s *Stratified) SetTrace(rec *obs.Recorder, parent obs.Span) {
+	s.rec = rec
+	s.parent = parent
+	s.pilotSpan = obs.Span{}
+	s.dirSpan = obs.Span{}
+}
+
+// startPhase opens a phase span under the engine's parent span, or as a
+// root span when the engine attached a bare recorder.
+func (s *Stratified) startPhase(name string, fields ...obs.Field) obs.Span {
+	if s.parent.Valid() {
+		return s.parent.StartSpan(name, fields...)
+	}
+	return s.rec.StartSpan(name, fields...)
+}
+
+// emit attaches an event to the parent span when there is one.
+func (s *Stratified) emit(kind string, fields ...obs.Field) {
+	if s.parent.Valid() {
+		s.parent.Emit(kind, fields...)
+	} else {
+		s.rec.Emit(kind, fields...)
+	}
+}
+
+// tracePilotStart opens the pilot-phase span at the first instance the
+// policy sees (no-op once open, after allocation, or without a recorder).
+func (s *Stratified) tracePilotStart() {
+	if s.rec == nil || s.allocated || s.pilotSpan.Valid() {
+		return
+	}
+	s.pilotSpan = s.startPhase("strata.pilot", obs.Int("pilot", s.cfg.Pilot), obs.Int("budget", s.cfg.Budget))
+}
+
+// traceAllocate brackets one allocation round: the first round closes the
+// pilot span and opens the directed span; every round gets its own
+// allocation span recording the budget split it decided.
+func (s *Stratified) traceAllocate(realloc bool, run func()) {
+	if s.rec == nil {
+		run()
+		return
+	}
+	if !realloc && s.pilotSpan.Valid() {
+		s.pilotSpan.End(obs.Int("strata", len(s.order)), obs.Int("samples", s.detTotal))
+		s.pilotSpan = obs.Span{}
+	}
+	sp := s.startPhase("strata.allocate", obs.Bool("realloc", realloc), obs.Int("budget_left", s.budgetLeft()))
+	run()
+	quota := 0
+	for _, k := range s.order {
+		quota += s.strata[k].quota
+	}
+	sp.End(obs.Int("strata", len(s.order)), obs.Int("quota", quota))
+	if !realloc {
+		s.dirSpan = s.startPhase("strata.directed")
+	}
+}
+
+// traceConfidence closes any open phase span and attaches the run's
+// per-stratum summaries plus the interval verdict to the parent span —
+// the raw material of sample-cost-per-CI-point reporting.
+func (s *Stratified) traceConfidence(c Confidence) {
+	if s.rec == nil {
+		return
+	}
+	if s.pilotSpan.Valid() {
+		s.pilotSpan.End(obs.Int("strata", len(s.order)), obs.Int("samples", s.detTotal))
+		s.pilotSpan = obs.Span{}
+	}
+	if s.dirSpan.Valid() {
+		s.dirSpan.End(obs.Int("samples", s.detTotal))
+		s.dirSpan = obs.Span{}
+	}
+	for _, stat := range s.Strata() {
+		s.emit("strata.stratum",
+			obs.String("stratum", stat.Key.String()),
+			obs.Int("population", stat.Population),
+			obs.Int("sampled", stat.Sampled),
+			obs.Int("quota", stat.Quota),
+			obs.Float("rate", stat.Rate),
+			obs.Float("resid_std", stat.ResidStd))
+	}
+	s.emit("strata.confidence",
+		obs.Int("strata", c.Strata),
+		obs.Int("population", c.Population),
+		obs.Int("sampled", c.Sampled),
+		obs.Int("unsampled", c.Unsampled),
+		obs.Float("estimate", c.Estimate),
+		obs.Float("rel_width_pct", 100*c.RelWidth()))
+}

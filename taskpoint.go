@@ -43,6 +43,7 @@ package taskpoint
 import (
 	"context"
 	"io"
+	"time"
 
 	"taskpoint/internal/arch"
 	"taskpoint/internal/bench"
@@ -51,6 +52,7 @@ import (
 	"taskpoint/internal/gen"
 	"taskpoint/internal/gen/corpus"
 	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
@@ -164,9 +166,29 @@ type (
 	// metrics registry (counters, gauges, histograms).
 	MetricsSnapshot = obs.Snapshot
 	// TimelineSpan is one interval on a simulated timeline, in cycles.
-	TimelineSpan = obs.Span
+	TimelineSpan = obs.TimelineSpan
 	// TimelineProcess names a timeline process track and its threads.
 	TimelineProcess = obs.Process
+	// Span is a live interval in a flight-recorder trace: StartSpan on a
+	// Recorder (or on a parent Span) emits a span.begin line, End the
+	// matching span.end. The zero Span is a valid no-op, so span-
+	// instrumented code needs no nil checks when tracing is disabled.
+	Span = obs.Span
+	// SlowProfiler watches in-flight experiment cells and captures a CPU
+	// profile of any cell that runs longer than a threshold. Built by
+	// NewSlowProfiler, attached with WithSlowProfiler.
+	SlowProfiler = obs.SlowProfiler
+	// CampaignTrace is a parsed flight-recorder trace: the span tree plus
+	// the raw events, as rebuilt by ReadSpans from the JSONL a Recorder
+	// wrote. Interrupted traces parse too (Clean=false, open spans pinned
+	// to the last observed timestamp).
+	CampaignTrace = query.Trace
+	// ObsqReport is the campaign cost report cmd/obsq prints: wall-clock
+	// attribution by phase/cell/stratum, the critical path through the
+	// worker pool, baseline-cache economics and straggler cells. Derived
+	// purely from trace content, so the same trace always yields the
+	// byte-identical report.
+	ObsqReport = query.Report
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -382,6 +404,34 @@ func OpenRecorder(path string) (*Recorder, error) { return obs.Open(path) }
 // NewRecorder wraps an arbitrary writer in a flight recorder (the caller
 // keeps ownership of the writer).
 func NewRecorder(w io.Writer) *Recorder { return obs.NewRecorder(w) }
+
+// NewSlowProfiler builds a profiler that captures a CPU profile
+// (slow-NNN-<cell>.pprof under dir) of any experiment cell running longer
+// than threshold. A nil *SlowProfiler is a valid no-op, so the return
+// value can be attached unconditionally. Close it to stop the watchdog
+// and finish any in-flight capture.
+func NewSlowProfiler(threshold time.Duration, dir string) *SlowProfiler {
+	return obs.NewSlowProfiler(threshold, dir)
+}
+
+// WithSlowProfiler makes the engine capture CPU profiles of slow cells.
+// A nil profiler (the default) costs nothing.
+func WithSlowProfiler(p *SlowProfiler) EngineOption { return engine.WithSlowProfiler(p) }
+
+// ReadSpans parses a flight-recorder JSONL trace into its span tree.
+// The reader sorts events into the recorder's deterministic order, repairs
+// a torn final line in memory (never touching the source), and keeps
+// spans left open by an interrupted campaign, pinned to the last observed
+// timestamp.
+func ReadSpans(r io.Reader) (*CampaignTrace, error) { return query.ReadSpans(r) }
+
+// AnalyzeTrace computes the campaign cost report over a parsed trace —
+// the same analysis cmd/obsq runs, available in-process.
+func AnalyzeTrace(t *CampaignTrace) *ObsqReport { return query.Analyze(t) }
+
+// AnalyzeTraceFile reads and analyzes a flight-recorder trace file,
+// including the live trace of a still-running campaign.
+func AnalyzeTraceFile(path string) (*ObsqReport, error) { return query.AnalyzeFile(path) }
 
 // Metrics returns a point-in-time snapshot of the process-wide metrics
 // registry: engine cell throughput and latency, baseline-cache behaviour,
