@@ -1,0 +1,220 @@
+// Command taskpointc is the thin client for taskpointd:
+//
+//	taskpointc submit -spec campaign.json          # submit, print the id
+//	taskpointc submit -spec campaign.json -wait    # submit and stream progress
+//	taskpointc submit -default -scale 0.03125 -wait
+//	taskpointc events <id>                         # raw JSONL event stream
+//	taskpointc status <id>
+//	taskpointc list
+//
+// The server defaults to http://127.0.0.1:8383; override with -server
+// (before the subcommand). With -wait, per-cell progress goes to stderr
+// and the final machine-parseable summary line goes to stdout:
+//
+//	campaign <id> done: total=16 computed=0 store_hits=16 joined=0 errors=0 hit_pct=100.0
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"taskpoint/internal/server"
+	"taskpoint/internal/sweep"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8383", "taskpointd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fatal(fmt.Errorf("usage: taskpointc [-server URL] submit|events|status|list ..."))
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(*serverURL, args[1:])
+	case "events":
+		err = cmdEvents(*serverURL, args[1:])
+	case "status":
+		err = cmdStatus(*serverURL, args[1:])
+	case "list":
+		err = cmdList(*serverURL)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func cmdSubmit(serverURL string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	specPath := fs.String("spec", "", "JSON sweep spec file")
+	useDefault := fs.Bool("default", false, "submit the built-in default campaign")
+	scale := fs.Float64("scale", 0, "override the spec's benchmark scale")
+	wait := fs.Bool("wait", false, "stream events until the campaign finishes")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	var spec sweep.Spec
+	switch {
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	case *useDefault:
+		spec = sweep.DefaultSpec()
+	default:
+		return fmt.Errorf("submit: need -spec FILE or -default")
+	}
+	if *scale > 0 {
+		spec.Scale = *scale
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(serverURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return httpError("submit", resp)
+	}
+	var sum server.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s accepted: %d cells\n", sum.ID, sum.Total)
+	if !*wait {
+		fmt.Println(sum.ID)
+		return nil
+	}
+	return stream(serverURL, sum.ID, true)
+}
+
+func cmdEvents(serverURL string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: taskpointc events <campaign-id>")
+	}
+	return stream(serverURL, args[0], false)
+}
+
+// stream tails a campaign's JSONL events. Pretty mode renders per-cell
+// progress on stderr and the final summary line on stdout; raw mode
+// copies the JSONL verbatim to stdout.
+func stream(serverURL, id string, pretty bool) error {
+	resp, err := http.Get(serverURL + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("events", resp)
+	}
+	if !pretty {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var done *server.Event
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %w", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "cell.done":
+			var metrics string
+			if ev.Record != nil {
+				metrics = fmt.Sprintf("  err %6.2f%%  %5.1fx detail", ev.Record.ErrPct, ev.Record.SpeedupDetail)
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s %-8s%s\n", ev.Done, ev.Total, ev.Cell, ev.Source, metrics)
+		case "cell.error":
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s FAILED: %s\n", ev.Done, ev.Total, ev.Cell, ev.Error)
+		case "campaign.done":
+			e := ev
+			done = &e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if done == nil {
+		return fmt.Errorf("stream ended without campaign.done")
+	}
+	hitPct := 0.0
+	if done.Total > 0 {
+		hitPct = 100 * float64(done.StoreHits) / float64(done.Total)
+	}
+	fmt.Printf("campaign %s %s: total=%d computed=%d store_hits=%d joined=%d errors=%d hit_pct=%.1f\n",
+		done.Campaign, done.State, done.Total, done.Computed, done.StoreHits, done.Joined, done.Errors, hitPct)
+	if done.State != server.StateDone {
+		return fmt.Errorf("campaign %s: %s", done.Campaign, done.State)
+	}
+	return nil
+}
+
+func cmdStatus(serverURL string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: taskpointc status <campaign-id>")
+	}
+	resp, err := http.Get(serverURL + "/v1/campaigns/" + args[0])
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("status", resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func cmdList(serverURL string) error {
+	resp, err := http.Get(serverURL + "/v1/campaigns")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("list", resp)
+	}
+	var sums []server.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sums); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		fmt.Printf("%-24s %-8s %4d/%-4d computed=%d store_hits=%d joined=%d errors=%d\n",
+			s.ID, s.State, s.Done, s.Total, s.Counts.Computed, s.Counts.StoreHits, s.Counts.Joined, s.Counts.Errors)
+	}
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return fmt.Errorf("%s: %s", op, e.Error)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskpointc:", err)
+	os.Exit(1)
+}

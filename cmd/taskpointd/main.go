@@ -1,0 +1,81 @@
+// Command taskpointd serves campaigns: a long-running HTTP service that
+// accepts design-space sweep specifications, executes them on the shared
+// experiment engine, and persists every result in a content-addressed
+// store so no cell is ever simulated twice — across campaigns, across
+// clients, and across restarts.
+//
+// Usage:
+//
+//	taskpointd                                  # 127.0.0.1:8383, ./taskpoint-store
+//	taskpointd -addr :9000 -store /var/taskpoint
+//	taskpointd -trace t.jsonl                   # also serve /debug/obs/campaign
+//
+// API (see cmd/taskpointc for a client):
+//
+//	POST /v1/campaigns             — submit a sweep spec (JSON), 202 + summary
+//	GET  /v1/campaigns             — list campaigns
+//	GET  /v1/campaigns/{id}        — one campaign's status
+//	GET  /v1/campaigns/{id}/events — JSONL progress stream (replay + live tail)
+//	GET  /debug/obs                — metrics snapshot
+//	GET  /healthz                  — liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taskpoint/internal/server"
+	"taskpoint/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8383", "listen address")
+		storeDir  = flag.String("store", "taskpoint-store", "content-addressed result store directory")
+		workers   = flag.Int("workers", 0, "concurrent cell simulations; 0 = one per CPU")
+		tracePath = flag.String("trace", "", "flight-recorder trace to serve at /debug/obs/campaign")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st, Workers: *workers, TracePath: *tracePath})
+	if err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "taskpointd: serving on http://%s (store %s)\n", *addr, st.Root())
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "taskpointd: shutting down")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx) //nolint:errcheck // best-effort drain
+	srv.Close()          // stops campaigns, flushes write-behind saves
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskpointd:", err)
+	os.Exit(1)
+}

@@ -279,3 +279,37 @@ func ExampleRunCorpus() {
 	// periodic(64): 3 scenarios, ci cells 0
 	// stratified(256): 3 scenarios, ci cells 3
 }
+
+// Content-address an experiment cell: the SHA-256 of its request's
+// canonical form. Every accepted spelling of one cell — short
+// architecture names, whitespace in the policy spec, the colon form —
+// yields the same address, so the campaign store (cmd/taskpointd) never
+// computes one cell twice.
+func ExampleContentAddress() {
+	addr, err := taskpoint.ContentAddress(taskpoint.Request{
+		Workload: "cholesky", Arch: "lp", Threads: 8,
+		Scale: 0.25, Seed: 42, Policy: "periodic(250)",
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A different spelling of the same cell.
+	same, _ := taskpoint.ContentAddress(taskpoint.Request{
+		Workload: "cholesky", Arch: "low-power", Threads: 8,
+		Scale: 0.25, Seed: 42, Policy: "periodic: 250",
+	})
+	// A different cell (another seed).
+	other, _ := taskpoint.ContentAddress(taskpoint.Request{
+		Workload: "cholesky", Arch: "lp", Threads: 8,
+		Scale: 0.25, Seed: 43, Policy: "periodic(250)",
+	})
+
+	fmt.Println("address:", addr)
+	fmt.Println("same cell, same address:", same == addr)
+	fmt.Println("other cell, other address:", other != addr)
+	// Output:
+	// address: 71aefffe93bbd2fbd278cb4e955ffb21d9fb6168af5487007907d519d380d6a7
+	// same cell, same address: true
+	// other cell, other address: true
+}

@@ -35,6 +35,33 @@ type detKey struct {
 	threads int
 }
 
+// BaselineID is the exported identity of one detailed reference
+// simulation — the fields a persistent tier needs to derive its content
+// address. Arch is the canonical architecture name.
+type BaselineID struct {
+	Workload string
+	Scale    float64
+	Seed     uint64
+	Arch     string
+	Threads  int
+}
+
+// BaselineTier is a persistent second tier under the in-memory
+// BaselineCache — internal/store's content-addressed disk store
+// implements it. The cache reads through it on a memory miss and writes
+// freshly computed references behind it asynchronously, so every Engine
+// sharing the cache also shares the durable layer. Implementations must
+// be safe for concurrent use; a load failure of any kind is reported as
+// a plain miss (ok=false) so the engine recomputes.
+type BaselineTier interface {
+	LoadBaseline(id BaselineID) (*sim.Result, bool)
+	SaveBaseline(id BaselineID, res *sim.Result)
+}
+
+func (k detKey) id() BaselineID {
+	return BaselineID{Workload: k.workload, Scale: k.scale, Seed: k.seed, Arch: k.arch, Threads: k.threads}
+}
+
 // BaselineCache caches generated programs and detailed reference results
 // across experiment cells, keyed by their full identity, so the expensive
 // cycle-level baseline of (workload, arch, threads, scale, seed) is paid
@@ -50,11 +77,31 @@ type BaselineCache struct {
 	progs map[progKey]*trace.Program
 	dets  map[detKey]*sim.Result
 
+	// tier is the optional persistent layer under the in-memory maps:
+	// read-through on a memory miss, write-behind on a fresh store.
+	// pending tracks in-flight write-behind saves for Sync.
+	tier    BaselineTier
+	pending sync.WaitGroup
+
 	// Lookup tallies for the detailed-reference map (the expensive slot):
 	// one hit or miss per logical cell lookup, one eviction per detailed
 	// entry DropWorkload deletes.
 	hits, misses, evictions atomic.Int64
 }
+
+// SetTier installs the persistent tier. Call it before the cache is
+// shared with running engines; a nil tier keeps the cache memory-only.
+func (c *BaselineCache) SetTier(t BaselineTier) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tier = t
+}
+
+// Sync blocks until every write-behind save issued so far has reached
+// the tier. Callers that must observe their results durably — a server
+// shutting down, a test asserting on-disk state — call it; the hot path
+// never does.
+func (c *BaselineCache) Sync() { c.pending.Wait() }
 
 // CacheStats is a point-in-time view of a cache's detailed-reference
 // behaviour — the numbers the sweep/corpus end-of-run summaries print,
@@ -144,21 +191,57 @@ func (c *BaselineCache) DropWorkload(workload string) {
 	}
 }
 
-// detailed returns the cached reference result for key, or nil.
+// detailed returns the cached reference result for key, or nil. A memory
+// miss reads through the persistent tier (when one is installed): a tier
+// hit is adopted into memory — without a write-behind echo — and served
+// like any other hit.
 func (c *BaselineCache) detailed(key detKey) *sim.Result {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dets[key]
+	res, tier := c.dets[key], c.tier
+	c.mu.Unlock()
+	if res != nil || tier == nil {
+		return res
+	}
+	loaded, ok := tier.LoadBaseline(key.id())
+	if !ok {
+		return nil
+	}
+	return c.adopt(key, loaded)
 }
 
-// storeDetailed records a freshly computed reference, returning the stored
+// adopt records a reference loaded from the tier, returning the stored
 // canonical value (an earlier writer's result wins the race).
-func (c *BaselineCache) storeDetailed(key detKey, res *sim.Result) *sim.Result {
+func (c *BaselineCache) adopt(key detKey, res *sim.Result) *sim.Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.dets[key]; ok {
 		return prev
 	}
 	c.dets[key] = res
+	return res
+}
+
+// storeDetailed records a freshly computed reference, returning the
+// stored canonical value (an earlier writer's result wins the race). The
+// winning result is written behind to the persistent tier asynchronously;
+// Sync waits for those writes.
+func (c *BaselineCache) storeDetailed(key detKey, res *sim.Result) *sim.Result {
+	c.mu.Lock()
+	if prev, ok := c.dets[key]; ok {
+		c.mu.Unlock()
+		return prev
+	}
+	c.dets[key] = res
+	tier := c.tier
+	if tier != nil {
+		c.pending.Add(1)
+	}
+	c.mu.Unlock()
+	if tier != nil {
+		go func() {
+			defer c.pending.Done()
+			tier.SaveBaseline(key.id(), res)
+		}()
+	}
 	return res
 }

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"taskpoint/internal/sim"
+)
+
+// fakeTier is an in-memory BaselineTier recording its traffic.
+type fakeTier struct {
+	mu     sync.Mutex
+	data   map[BaselineID]*sim.Result
+	loads  int
+	saves  int
+	hits   int
+	frozen bool // when set, SaveBaseline drops writes (simulates a full disk)
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{data: map[BaselineID]*sim.Result{}} }
+
+func (t *fakeTier) LoadBaseline(id BaselineID) (*sim.Result, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loads++
+	res, ok := t.data[id]
+	if ok {
+		t.hits++
+	}
+	return res, ok
+}
+
+func (t *fakeTier) SaveBaseline(id BaselineID, res *sim.Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.saves++
+	if !t.frozen {
+		t.data[id] = res
+	}
+}
+
+func (t *fakeTier) counts() (loads, hits, saves int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.loads, t.hits, t.saves
+}
+
+var tierReq = Request{Workload: "gen:forkjoin(tasks=24,mean=300)", Threads: 2, Scale: 1, Seed: 7}
+
+// TestBaselineCacheWriteBehind: a computed reference reaches the tier
+// after Sync, and a fresh cache over the same tier serves it without
+// recomputation (read-through).
+func TestBaselineCacheWriteBehind(t *testing.T) {
+	tier := newFakeTier()
+	cache := NewBaselineCache()
+	cache.SetTier(tier)
+	eng := New(WithBaselineCache(cache), WithWorkers(1))
+
+	res, err := eng.Baseline(context.Background(), tierReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Sync()
+	if _, _, saves := tier.counts(); saves != 1 {
+		t.Fatalf("want exactly 1 write-behind save, got %d", saves)
+	}
+
+	// A second engine with a cold in-memory cache must read through the
+	// tier instead of simulating.
+	cold := NewBaselineCache()
+	cold.SetTier(tier)
+	eng2 := New(WithBaselineCache(cold), WithWorkers(1))
+	res2, err := eng2.Baseline(context.Background(), tierReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles || res2.TotalInstructions != res.TotalInstructions {
+		t.Fatalf("tier round trip changed the result: %v cycles vs %v", res2.Cycles, res.Cycles)
+	}
+	if _, hits, _ := tier.counts(); hits != 1 {
+		t.Fatalf("want exactly 1 tier hit on the cold cache, got %d", hits)
+	}
+	cold.Sync()
+	if _, _, saves := tier.counts(); saves != 1 {
+		t.Fatalf("tier-loaded result must not be written back; saves = %d", saves)
+	}
+	if stats := cold.Stats(); stats.Hits != 1 || stats.Misses != 0 {
+		t.Fatalf("tier hit should count as a cache hit: %+v", stats)
+	}
+}
+
+// TestBaselineCacheTierMissRecomputes: a tier that loses its writes never
+// blocks progress — the cache recomputes on every cold start.
+func TestBaselineCacheTierMissRecomputes(t *testing.T) {
+	tier := newFakeTier()
+	tier.frozen = true
+	cache := NewBaselineCache()
+	cache.SetTier(tier)
+	eng := New(WithBaselineCache(cache), WithWorkers(1))
+	if _, err := eng.Baseline(context.Background(), tierReq); err != nil {
+		t.Fatal(err)
+	}
+	cache.Sync()
+	loads, hits, saves := tier.counts()
+	if loads < 1 || hits != 0 || saves != 1 {
+		t.Fatalf("want >=1 loads / 0 hits / 1 save, got %d/%d/%d", loads, hits, saves)
+	}
+	if stats := cache.Stats(); stats.Misses != 1 {
+		t.Fatalf("frozen tier should leave the miss a miss: %+v", stats)
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"testing"
+
+	"taskpoint/internal/core"
+)
+
+// TestNormalizedCanonicalizesEquivalentSpellings: every group lists
+// spellings of ONE experiment cell; Normalized must map all of them to
+// the group's canonical form, so they share one Key and (through
+// internal/store) one content address.
+func TestNormalizedCanonicalizesEquivalentSpellings(t *testing.T) {
+	groups := []struct {
+		name string
+		want Request // the canonical form every member must normalise to
+		reqs []Request
+	}{
+		{
+			name: "policy whitespace and colon form",
+			want: Request{Workload: "cholesky", Arch: "high-performance", Threads: 1, Scale: 1, Policy: "periodic(250)"},
+			reqs: []Request{
+				{Workload: "cholesky", Policy: "periodic(250)"},
+				{Workload: "cholesky", Policy: "periodic( 250 )"},
+				{Workload: "cholesky", Policy: "periodic:250"},
+				{Workload: "cholesky", Policy: " periodic(250)"},
+			},
+		},
+		{
+			name: "stratified policy forms",
+			want: Request{Workload: "knn", Arch: "high-performance", Threads: 1, Scale: 1, Policy: "stratified(400)"},
+			reqs: []Request{
+				{Workload: "knn", Policy: "stratified(400)"},
+				{Workload: "knn", Policy: "stratified:400"},
+				{Workload: "knn", Policy: "stratified( 400 )"},
+			},
+		},
+		{
+			name: "defaulted fields and arch short form",
+			want: Request{Workload: "cholesky", Arch: "high-performance", Threads: 8, Scale: 1, Policy: "lazy"},
+			reqs: []Request{
+				{Workload: "cholesky", Arch: "hp", Threads: 8},
+				{Workload: "cholesky", Arch: "high-performance", Threads: 8, Policy: "lazy"},
+				{Workload: "cholesky", Arch: "hp", Threads: 8, Scale: 1, Policy: " lazy "},
+			},
+		},
+		{
+			name: "low-power arch alias",
+			want: Request{Workload: "3d-stencil", Arch: "low-power", Threads: 2, Scale: 1, Policy: "lazy"},
+			reqs: []Request{
+				{Workload: "3d-stencil", Arch: "lp", Threads: 2},
+				{Workload: "3d-stencil", Arch: "low-power", Threads: 2},
+			},
+		},
+		{
+			name: "gen scenario knob order, spacing and elided defaults",
+			want: Request{Workload: "gen:forkjoin(tasks=96,mean=600)", Arch: "high-performance", Threads: 1, Scale: 1, Policy: "lazy"},
+			reqs: []Request{
+				{Workload: "gen:forkjoin(tasks=96,mean=600)"},
+				{Workload: "gen:forkjoin(mean=600,tasks=96)"},
+				{Workload: "gen:forkjoin( tasks=96, mean=600 )"},
+			},
+		},
+	}
+	for _, g := range groups {
+		t.Run(g.name, func(t *testing.T) {
+			g.want.Params = core.DefaultParams()
+			for _, req := range g.reqs {
+				got := req.Normalized()
+				if got != g.want {
+					t.Errorf("Normalized(%+v) = %+v, want %+v", req, got, g.want)
+				}
+				if got.Key() != g.want.Key() {
+					t.Errorf("Key(%+v) = %q, want %q", req, got.Key(), g.want.Key())
+				}
+			}
+		})
+	}
+}
+
+// TestNormalizedKeepsDistinctCellsDistinct: requests that differ in any
+// identity dimension must stay distinct after normalization — collisions
+// here would silently merge different experiments into one stored result.
+func TestNormalizedKeepsDistinctCellsDistinct(t *testing.T) {
+	reqs := []Request{
+		{Workload: "cholesky"},
+		{Workload: "knn"},
+		{Workload: "cholesky", Arch: "lp"},
+		{Workload: "cholesky", Threads: 8},
+		{Workload: "cholesky", Seed: 1},
+		{Workload: "cholesky", Policy: "periodic(250)"},
+		{Workload: "cholesky", Policy: "periodic(251)"},
+		{Workload: "cholesky", Policy: "stratified(250)"},
+		{Workload: "gen:forkjoin(tasks=96)"},
+		{Workload: "gen:forkjoin(tasks=97)"},
+		{Workload: "gen:pipeline(tasks=96)"},
+	}
+	seen := map[string]Request{}
+	for _, req := range reqs {
+		key := req.Key()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("distinct requests %+v and %+v share key %q", prev, req, key)
+		}
+		seen[key] = req
+	}
+}
+
+// TestNormalizedLeavesInvalidNamesAlone: Normalized never rewrites a name
+// it cannot resolve — Validate owns rejection.
+func TestNormalizedLeavesInvalidNamesAlone(t *testing.T) {
+	req := Request{Workload: "no-such-benchmark", Arch: "vax", Policy: "periodic(-3)"}
+	n := req.Normalized()
+	if n.Workload != "no-such-benchmark" || n.Arch != "vax" || n.Policy != "periodic(-3)" {
+		t.Fatalf("Normalized rewrote unresolvable names: %+v", n)
+	}
+	if err := req.Validate(); err == nil {
+		t.Fatal("Validate accepted an invalid request")
+	}
+}

@@ -72,6 +72,36 @@ func (r Request) normalized() Request {
 	return r
 }
 
+// Normalized returns the request in canonical form: every defaulted
+// field filled and every name reduced to its one canonical spelling —
+// the architecture via arch.Parse ("hp" → "high-performance"), the
+// policy via core.ParsePolicy round-tripped through Policy.Name (so
+// "periodic( 250 )", "periodic:250" and "periodic(250)" all normalise
+// to "periodic(250)"), and the workload via the benchmark registry (so
+// a "gen:" scenario spec is rewritten to gen.Scenario.Spec's canonical
+// knob order with defaults elided). Two requests meaning the same cell
+// therefore normalise to one identical value, which is what the
+// content-address scheme of internal/store hashes: equivalent spellings
+// collide on one address, distinct cells never share one.
+//
+// Names that do not resolve are left as given — Validate reports them;
+// Normalized never invents a meaning for an invalid request.
+func (r Request) Normalized() Request {
+	n := r.normalized()
+	if spec, err := bench.ByName(n.Workload); err == nil && spec.Name != "" {
+		n.Workload = spec.Name
+	}
+	if a, err := arch.Parse(n.Arch); err == nil {
+		n.Arch = string(a)
+	}
+	if n.PolicyValue == nil {
+		if pol, err := core.ParsePolicy(n.Policy); err == nil {
+			n.Policy = pol.Name()
+		}
+	}
+	return n
+}
+
 // resolve normalises the request and eagerly resolves every name it
 // carries, so an invalid cell fails before any simulation runs. The
 // returned request has canonical Arch and Policy spellings; the policy
@@ -121,15 +151,7 @@ func (r Request) Validate() error {
 // are deliberately excluded; durable records carry them alongside the key
 // and cross-check on resume).
 func (r Request) Key() string {
-	n := r.normalized()
-	if n.PolicyValue == nil {
-		if pol, err := core.ParsePolicy(n.Policy); err == nil {
-			n.Policy = pol.Name()
-		}
-	}
-	if a, err := arch.Parse(n.Arch); err == nil {
-		n.Arch = string(a)
-	}
+	n := r.Normalized()
 	return CellKey(n.Workload, n.Arch, n.Threads, n.Policy, n.Seed)
 }
 

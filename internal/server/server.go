@@ -1,0 +1,552 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"taskpoint/internal/engine"
+	"taskpoint/internal/obs"
+	"taskpoint/internal/obs/query"
+	"taskpoint/internal/store"
+	"taskpoint/internal/sweep"
+)
+
+// Server metrics in the default obs registry.
+var (
+	metricCampaignsAccepted = obs.Default().Counter("server.campaigns.accepted")
+	metricCampaignsResumed  = obs.Default().Counter("server.campaigns.resumed")
+	metricCellsComputed     = obs.Default().Counter("server.cells.computed")
+	metricCellsStoreHits    = obs.Default().Counter("server.cells.store_hits")
+	metricCellsJoined       = obs.Default().Counter("server.cells.joined")
+	metricCellsFailed       = obs.Default().Counter("server.cells.failed")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the persistent result store (required). The server wires
+	// it under the engine's baseline cache as the read-through/
+	// write-behind tier, and serves finished cell reports from it.
+	Store *store.DiskStore
+	// Workers bounds concurrent cell executions; <=1 selects the
+	// engine's default (one per CPU).
+	Workers int
+	// TracePath, when set, mounts the /debug/obs/campaign report over
+	// the flight-recorder trace at that path.
+	TracePath string
+}
+
+// flight is one in-progress computation of a cell, shared by every
+// campaign that needs the same content address at the same time.
+type flight struct {
+	done chan struct{}
+	rec  *sweep.Record
+	err  error
+}
+
+// Server is the campaign service: submitted sweeps run through one
+// shared engine and one persistent store, with cross-campaign
+// single-flight per content address so no cell is ever simulated twice —
+// not by two concurrent campaigns, and not again after a restart.
+type Server struct {
+	st    *store.DiskStore
+	eng   *engine.Engine
+	cache *engine.BaselineCache
+	mux   *http.ServeMux
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // campaign IDs in acceptance order
+	nextSeq   int
+	finished  map[string]outcome // completed before this process started
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// New builds a Server over the given store and resumes any campaign a
+// previous process accepted but did not finish. It does not listen;
+// mount Handler on an http.Server (or use cmd/taskpointd).
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	cache := engine.NewBaselineCache()
+	cache.SetTier(cfg.Store.Tier())
+	opts := []engine.Option{engine.WithBaselineCache(cache)}
+	if cfg.Workers > 1 {
+		opts = append(opts, engine.WithWorkers(cfg.Workers))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		st:        cfg.Store,
+		eng:       engine.New(opts...),
+		cache:     cache,
+		ctx:       ctx,
+		cancel:    cancel,
+		campaigns: map[string]*campaign{},
+		finished:  map[string]outcome{},
+		flights:   map[string]*flight{},
+	}
+	s.buildMux(cfg.TracePath)
+	if err := s.resume(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close stops accepting work, waits for running campaigns' goroutines to
+// observe cancellation, and flushes write-behind baseline saves.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	s.cache.Sync()
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the shared engine (for tests and embedding callers).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+func (s *Server) buildMux(tracePath string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := obs.Default().MarshalSnapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	if tracePath != "" {
+		ep := query.Endpoint(tracePath)
+		mux.Handle("GET "+ep.Pattern, ep.Handler)
+	}
+	s.mux = mux
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	c, err := s.accept(spec, "")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, c.summary())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sums := make([]Summary, 0, len(s.order)+len(s.finished))
+	for _, id := range s.order {
+		sums = append(sums, s.campaigns[id].summary())
+	}
+	for _, out := range s.finished {
+		sums = append(sums, Summary{ID: out.ID, State: out.State, Total: out.Total, Done: out.Total, Counts: out.Counts})
+	}
+	s.mu.Unlock()
+	sort.Slice(sums, func(i, j int) bool { return sums[i].ID < sums[j].ID })
+	writeJSON(w, http.StatusOK, sums)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	out, wasFinished := s.finished[id]
+	s.mu.Unlock()
+	if c != nil {
+		writeJSON(w, http.StatusOK, c.summary())
+		return
+	}
+	if wasFinished {
+		writeJSON(w, http.StatusOK, Summary{ID: out.ID, State: out.State, Total: out.Total, Done: out.Total, Counts: out.Counts})
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+}
+
+// handleEvents streams a campaign's event log as JSONL: full replay from
+// the beginning, then live tail until the campaign finishes or the
+// client disconnects. Any number of clients can stream one campaign.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	out, wasFinished := s.finished[id]
+	s.mu.Unlock()
+	if c == nil && !wasFinished {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if c == nil {
+		// Finished before this process started: the event history is
+		// gone, but the durable outcome still closes the stream.
+		enc.Encode(Event{ //nolint:errcheck
+			Type: "campaign.done", Campaign: out.ID, State: out.State,
+			Done: out.Total, Total: out.Total,
+			Computed: out.Counts.Computed, StoreHits: out.Counts.StoreHits,
+			Joined: out.Counts.Joined, Errors: out.Counts.Errors,
+		})
+		return
+	}
+	next := 0
+	for {
+		evs, notify, done := c.eventsFrom(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // drain before deciding to wait
+		}
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// --- campaign lifecycle ---
+
+// accept validates a spec, registers the campaign, persists its manifest
+// and launches the runner. A non-empty id reuses an existing manifest
+// (the resume path); an empty one allocates the next ID and persists.
+func (s *Server) accept(spec sweep.Spec, id string) (*campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Cells()
+	s.mu.Lock()
+	fresh := id == ""
+	if fresh {
+		s.nextSeq++
+		id = campaignID(s.nextSeq, spec)
+	}
+	c := newCampaign(id, spec, len(cells), time.Now().UTC())
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if fresh {
+		if err := s.writeManifest(manifest{ID: id, Spec: spec, Submitted: c.submitted}); err != nil {
+			return nil, err
+		}
+	}
+	metricCampaignsAccepted.Inc()
+	c.append(Event{Type: "campaign.accepted", Total: len(cells)})
+	s.wg.Add(1)
+	go s.runCampaign(c, cells)
+	return c, nil
+}
+
+// runCampaign drives one campaign's cells over a bounded worker group on
+// the shared engine, then records the durable outcome.
+func (s *Server) runCampaign(c *campaign, cells []sweep.Cell) {
+	defer s.wg.Done()
+	workers := s.eng.Workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	sem := make(chan struct{}, workers)
+	var cellWG sync.WaitGroup
+	for _, cell := range cells {
+		if s.ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		cellWG.Add(1)
+		go func(cell sweep.Cell) {
+			defer cellWG.Done()
+			defer func() { <-sem }()
+			s.runCell(c, cell)
+		}(cell)
+	}
+	cellWG.Wait()
+	if s.ctx.Err() != nil {
+		return // interrupted: no outcome written, next start resumes it
+	}
+	counts := s.finish(c)
+	if err := s.writeOutcome(c, counts); err != nil {
+		fmt.Fprintf(os.Stderr, "server: recording outcome of %s: %v\n", c.id, err)
+	}
+}
+
+func (s *Server) finish(c *campaign) Counts { return c.finish() }
+
+// runCell resolves one cell: from the store if a previous campaign
+// already ran it, by joining another campaign's in-flight computation,
+// or by simulating it now — in which case the finished record is
+// persisted before anyone else can observe the flight as complete.
+func (s *Server) runCell(c *campaign, cell sweep.Cell) {
+	req := requestOf(cell, c.spec)
+	addr, err := store.ContentAddress(req)
+	if err != nil {
+		metricCellsFailed.Inc()
+		c.cellError(cell.Key(), err)
+		return
+	}
+	if rec, err := s.st.Report(addr); err == nil {
+		metricCellsStoreHits.Inc()
+		c.cellDone(cell.Key(), addr, "store", rec)
+		return
+	} else if !errors.Is(err, store.ErrNotFound) {
+		metricCellsFailed.Inc()
+		c.cellError(cell.Key(), err)
+		return
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.flights[addr]; ok {
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+		case <-s.ctx.Done():
+			return
+		}
+		if f.err != nil {
+			metricCellsFailed.Inc()
+			c.cellError(cell.Key(), f.err)
+			return
+		}
+		metricCellsJoined.Inc()
+		c.cellDone(cell.Key(), addr, "joined", f.rec)
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[addr] = f
+	s.flightMu.Unlock()
+
+	f.rec, f.err = s.compute(addr, req, cell, c.spec)
+	s.flightMu.Lock()
+	delete(s.flights, addr)
+	s.flightMu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		metricCellsFailed.Inc()
+		c.cellError(cell.Key(), f.err)
+		return
+	}
+	metricCellsComputed.Inc()
+	c.cellDone(cell.Key(), addr, "computed", f.rec)
+}
+
+// compute simulates one cell and persists its record. The store is
+// re-checked first: between this campaign's store miss and its flight
+// registration, another campaign may have finished and unregistered the
+// same address — without the re-check that window would simulate the
+// cell twice.
+func (s *Server) compute(addr string, req engine.Request, cell sweep.Cell, spec sweep.Spec) (*sweep.Record, error) {
+	if rec, err := s.st.Report(addr); err == nil {
+		return rec, nil
+	}
+	rep, err := s.eng.Run(s.ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	rec := sweep.RecordOf(cell, spec, rep)
+	if err := s.st.PutReport(addr, &rec); err != nil {
+		// The result is good; only its persistence failed. Serve it and
+		// let a later campaign recompute.
+		fmt.Fprintf(os.Stderr, "server: persisting %s: %v\n", addr[:12], err)
+	}
+	return &rec, nil
+}
+
+// requestOf maps one sweep cell to the engine request the server
+// executes and addresses.
+func requestOf(cell sweep.Cell, spec sweep.Spec) engine.Request {
+	return engine.Request{
+		Workload: cell.Bench,
+		Arch:     string(cell.Arch),
+		Threads:  cell.Threads,
+		Scale:    spec.Scale,
+		Seed:     cell.Seed,
+		Policy:   cell.Policy,
+		Params:   spec.Params(),
+	}
+}
+
+// --- durable campaign bookkeeping ---
+
+func (s *Server) campaignsDir() string { return filepath.Join(s.st.Root(), "campaigns") }
+
+func (s *Server) writeManifest(m manifest) error {
+	dir := s.campaignsDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return atomicWrite(filepath.Join(dir, m.ID+".json"), b)
+}
+
+func (s *Server) writeOutcome(c *campaign, counts Counts) error {
+	sum := c.summary()
+	b, err := json.MarshalIndent(outcome{
+		ID: c.id, State: sum.State, Total: c.total, Counts: counts,
+		Finished: time.Now().UTC(),
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.campaignsDir(), c.id+".done.json"), b)
+}
+
+// atomicWrite stages b in a temp file and renames it into place, the
+// same crash discipline as store entries.
+func atomicWrite(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return nil
+}
+
+// resume scans the campaigns directory: finished campaigns become
+// listable history; accepted-but-unfinished ones relaunch. Their cells
+// hit the store for everything persisted before the crash, so resuming
+// costs only the genuinely unfinished work.
+func (s *Server) resume() error {
+	dir := s.campaignsDir()
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	donee := map[string]outcome{}
+	var pending []manifest
+	maxSeq := 0
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".done.json"):
+			var out outcome
+			if readJSON(filepath.Join(dir, name), &out) == nil && out.ID != "" {
+				donee[out.ID] = out
+			}
+		case strings.HasSuffix(name, ".json"):
+			var m manifest
+			if readJSON(filepath.Join(dir, name), &m) == nil && m.ID != "" {
+				pending = append(pending, m)
+			}
+		}
+	}
+	for _, m := range pending {
+		if seq := seqOf(m.ID); seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	for id := range donee {
+		if seq := seqOf(id); seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	s.mu.Lock()
+	s.nextSeq = maxSeq
+	s.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	for _, m := range pending {
+		if out, ok := donee[m.ID]; ok {
+			s.mu.Lock()
+			s.finished[m.ID] = out
+			s.mu.Unlock()
+			continue
+		}
+		if _, err := s.accept(m.Spec, m.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "server: cannot resume %s: %v\n", m.ID, err)
+			continue
+		}
+		metricCampaignsResumed.Inc()
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+// seqOf extracts the sequence number from a campaign ID ("c%06d-...").
+func seqOf(id string) int {
+	var seq int
+	if _, err := fmt.Sscanf(id, "c%d-", &seq); err != nil {
+		return 0
+	}
+	return seq
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"taskpoint/internal/store"
+	"taskpoint/internal/sweep"
+)
+
+// testSpec is a small campaign over generated scenarios: 2 workloads ×
+// 2 policies = 4 cells, seconds of wall time.
+func testSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:       "itest",
+		Scale:      1,
+		Benchmarks: []string{"gen:forkjoin(tasks=24,mean=300)", "gen:pipeline(depth=4,cv=0.5)"},
+		Archs:      []string{"hp"},
+		Threads:    []int{2},
+		Policies:   []string{"lazy", "periodic(250)"},
+		Seeds:      []uint64{42},
+	}
+}
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server, *store.DiskStore) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: st, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, st
+}
+
+func submit(t *testing.T, baseURL string, spec sweep.Spec) Summary {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, e)
+	}
+	var sum Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// streamEvents reads a campaign's JSONL event stream to completion and
+// returns every event plus the terminal campaign.done event.
+func streamEvents(t *testing.T, baseURL, id string) ([]Event, Event) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	var evs []Event
+	var done Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+		if ev.Type == "campaign.done" {
+			done = ev
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Type != "campaign.done" {
+		t.Fatalf("stream for %s ended without campaign.done (%d events)", id, len(evs))
+	}
+	return evs, done
+}
+
+// TestConcurrentIdenticalCampaignsSingleFlight is the ISSUE's acceptance
+// scenario: two clients submit an identical spec concurrently against
+// one server, and every cell is simulated exactly once — each cell's
+// record comes from exactly one "computed" flight, with the duplicate
+// side either joining the in-flight computation or hitting the store.
+func TestConcurrentIdenticalCampaignsSingleFlight(t *testing.T) {
+	srv, ts, st := newTestServer(t, t.TempDir())
+	spec := testSpec()
+	total := len(spec.Cells())
+
+	var wg sync.WaitGroup
+	dones := make([]Event, 2)
+	for i := range dones {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sum := submit(t, ts.URL, spec)
+			_, dones[i] = streamEvents(t, ts.URL, sum.ID)
+		}(i)
+	}
+	wg.Wait()
+
+	computed, rest := 0, 0
+	for _, d := range dones {
+		if d.State != StateDone || d.Done != total || d.Errors != 0 {
+			t.Fatalf("campaign did not finish cleanly: %+v", d)
+		}
+		computed += d.Computed
+		rest += d.StoreHits + d.Joined
+	}
+	if computed != total {
+		t.Errorf("want exactly %d cells computed across both campaigns (single-flight), got %d", total, computed)
+	}
+	if rest != total {
+		t.Errorf("want %d deduplicated cells (store or joined), got %d", total, rest)
+	}
+
+	// The store confirms it: one report write per unique cell, one
+	// baseline write per unique (workload, arch, threads, scale, seed).
+	srv.Close()
+	baselines := len(spec.Benchmarks) // one arch × one thread count × one seed
+	if got := st.Stats().Writes; got != int64(total+baselines) {
+		t.Errorf("want %d store writes (%d reports + %d baselines), got %d", total+baselines, total, baselines, got)
+	}
+}
+
+// TestRestartServesFromStore is the ISSUE's second acceptance scenario:
+// a submission after a server restart completes entirely from the
+// persistent store — zero detailed re-simulations.
+func TestRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := newTestServer(t, dir)
+	spec := testSpec()
+	total := len(spec.Cells())
+
+	sum := submit(t, ts.URL, spec)
+	if _, done := streamEvents(t, ts.URL, sum.ID); done.Computed != total {
+		t.Fatalf("cold store: want %d computed, got %+v", total, done)
+	}
+
+	// "Restart": a fresh server process over the same store directory.
+	_, ts2, st2 := newTestServer(t, dir)
+	sum2 := submit(t, ts2.URL, spec)
+	_, done2 := streamEvents(t, ts2.URL, sum2.ID)
+	if done2.State != StateDone || done2.Done != total {
+		t.Fatalf("post-restart campaign did not finish: %+v", done2)
+	}
+	if done2.Computed != 0 {
+		t.Errorf("post-restart submission re-simulated %d cells; want 0", done2.Computed)
+	}
+	if done2.StoreHits != total {
+		t.Errorf("want all %d cells from the store, got %d", total, done2.StoreHits)
+	}
+	if st := st2.Stats(); st.ReportHits != int64(total) {
+		t.Errorf("store saw %d report hits, want %d", st.ReportHits, total)
+	}
+}
+
+// TestEventStreamReplay: a subscriber arriving after completion replays
+// the full history, and two concurrent subscribers see identical logs.
+func TestEventStreamReplay(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	spec := testSpec()
+	sum := submit(t, ts.URL, spec)
+
+	var wg sync.WaitGroup
+	live := make([][]Event, 2)
+	for i := range live {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			live[i], _ = streamEvents(t, ts.URL, sum.ID)
+		}(i)
+	}
+	wg.Wait()
+	if len(live[0]) != len(live[1]) {
+		t.Fatalf("concurrent subscribers saw %d vs %d events", len(live[0]), len(live[1]))
+	}
+
+	// Late subscriber: full replay after the campaign is done.
+	replay, done := streamEvents(t, ts.URL, sum.ID)
+	if len(replay) != len(live[0]) {
+		t.Fatalf("late subscriber replayed %d events, live saw %d", len(replay), len(live[0]))
+	}
+	want := 1 + len(spec.Cells()) + 1 // accepted + cells + done
+	if len(replay) != want {
+		t.Fatalf("want %d events, got %d", want, len(replay))
+	}
+	if replay[0].Type != "campaign.accepted" || done.Type != "campaign.done" {
+		t.Fatalf("malformed log: first=%s", replay[0].Type)
+	}
+	for i, ev := range replay {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestResumeUnfinishedCampaign: a manifest without a completion marker —
+// a campaign accepted by a process that died — is picked up and driven
+// to completion by the next server over the same store.
+func TestResumeUnfinishedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	id := campaignID(1, spec)
+	cdir := filepath.Join(dir, "campaigns")
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(manifest{ID: id, Spec: spec, Submitted: time.Now().UTC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, id+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts, _ := newTestServer(t, dir)
+	_, done := streamEvents(t, ts.URL, id)
+	if done.State != StateDone || done.Done != len(spec.Cells()) {
+		t.Fatalf("resumed campaign did not finish: %+v", done)
+	}
+	// The completion marker must exist so the NEXT restart lists it as
+	// history instead of running it a third time.
+	if _, err := os.Stat(filepath.Join(cdir, id+".done.json")); err != nil {
+		t.Fatalf("no completion marker after resume: %v", err)
+	}
+}
+
+// TestSubmitRejectsBadSpec: validation failures surface as 400s, not
+// half-accepted campaigns.
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	for _, body := range []string{
+		`{"scale": 1}`, // no dimensions
+		`{"scale": 1, "benchmarks": ["no-such-bench"], "archs": ["hp"], "threads": [2], "policies": ["lazy"]}`,
+		`{"scale": -1, "benchmarks": ["cholesky"], "archs": ["hp"], "threads": [2], "policies": ["lazy"]}`,
+		`not json`,
+		`{"unknown_field": true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %q: want 400, got %d", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums []Summary
+	json.NewDecoder(resp.Body).Decode(&sums) //nolint:errcheck
+	resp.Body.Close()
+	if len(sums) != 0 {
+		t.Fatalf("rejected specs left %d campaigns behind", len(sums))
+	}
+}
+
+// TestStatusAndDebugEndpoints: the status, list, health and obs
+// endpoints answer.
+func TestStatusAndDebugEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	spec := testSpec()
+	sum := submit(t, ts.URL, spec)
+	streamEvents(t, ts.URL, sum.ID) // wait for completion
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sum.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	json.NewDecoder(resp.Body).Decode(&got) //nolint:errcheck
+	resp.Body.Close()
+	if got.ID != sum.ID || got.State != StateDone || got.Done != got.Total {
+		t.Fatalf("status: %+v", got)
+	}
+
+	for _, path := range []string{"/healthz", "/debug/obs", "/v1/campaigns"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/no-such-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing campaign: want 404, got %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,129 @@
+// Package store is the content-addressed, persistent result store behind
+// the campaign service: detailed baseline results and finished cell
+// reports keyed by the SHA-256 of their request's canonical form, laid
+// out as a sharded object tree on disk (<root>/ab/cdef..., fan-out by
+// hash prefix) with atomic-rename writes and checksum-verified reads.
+//
+// The address scheme is the package's contract: two requests meaning the
+// same experiment cell (any accepted spelling) hash to one address, two
+// distinct cells never share one, and the pinned golden addresses in
+// address_test.go make any accidental change to the scheme a loud tier-1
+// failure instead of a silently forked cache.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
+)
+
+// AddressVersion is the address-scheme version, hashed into every
+// address. Bump it when the canonical serialization changes shape, so
+// old store entries become unreachable rather than wrongly reused.
+const AddressVersion = 1
+
+// canonical is the serialization the content address hashes: fixed field
+// order, every name in its one canonical spelling, floats rendered via
+// strconv.FormatFloat 'g' so the byte form never depends on
+// encoding/json float behaviour. Baseline addresses leave the policy and
+// sampling-parameter fields zero; they are identified by kind.
+type canonical struct {
+	V                    int    `json:"v"`
+	Kind                 string `json:"kind"`
+	Workload             string `json:"workload"`
+	Arch                 string `json:"arch"`
+	Threads              int    `json:"threads"`
+	Scale                string `json:"scale"`
+	Seed                 uint64 `json:"seed"`
+	Policy               string `json:"policy,omitempty"`
+	W                    int    `json:"w,omitempty"`
+	H                    int    `json:"h,omitempty"`
+	RareCutoff           int    `json:"rare_cutoff,omitempty"`
+	ResampleWarmup       int    `json:"resample_warmup,omitempty"`
+	ConcurrencyTolerance string `json:"concurrency_tolerance,omitempty"`
+	ConcurrencyPatience  int    `json:"concurrency_patience,omitempty"`
+	SizeClasses          bool   `json:"size_classes,omitempty"`
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func hashCanonical(c canonical) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// canonical contains only strings, ints and bools.
+		panic(fmt.Sprintf("store: canonical form not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ContentAddress returns the content address of an experiment cell: the
+// SHA-256 (hex) of the canonical serialization of the request's
+// normalized form — workload, architecture, threads, scale, seed, policy
+// and the full sampling parameters. Every accepted spelling of one cell
+// ("periodic( 250 )" vs "periodic:250", "hp" vs "high-performance",
+// reordered gen: knobs) yields the same address; any semantic difference
+// yields a different one. It is the key finished cell reports are stored
+// under, and the single-flight identity of the campaign server.
+//
+// Requests carrying an in-memory PolicyValue are rejected: a policy
+// value can hold configuration its textual name does not express, so it
+// has no faithful canonical serialization to address.
+func ContentAddress(req engine.Request) (string, error) {
+	if req.PolicyValue != nil {
+		return "", fmt.Errorf("store: cannot content-address a request with an in-memory PolicyValue; use a textual policy spec")
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	n := req.Normalized()
+	return hashCanonical(canonical{
+		V:                    AddressVersion,
+		Kind:                 "report",
+		Workload:             n.Workload,
+		Arch:                 n.Arch,
+		Threads:              n.Threads,
+		Scale:                formatFloat(n.Scale),
+		Seed:                 n.Seed,
+		Policy:               n.Policy,
+		W:                    n.Params.W,
+		H:                    n.Params.H,
+		RareCutoff:           n.Params.RareCutoff,
+		ResampleWarmup:       n.Params.ResampleWarmup,
+		ConcurrencyTolerance: formatFloat(n.Params.ConcurrencyTolerance),
+		ConcurrencyPatience:  n.Params.ConcurrencyPatience,
+		SizeClasses:          n.Params.SizeClasses,
+	}), nil
+}
+
+// BaselineAddress returns the content address of the request's detailed
+// reference simulation: only the fields that pin the baseline — workload,
+// architecture, threads, scale, seed — enter the hash, so every policy
+// sweeping over one cell shares its baseline entry. The request's policy
+// and sampling parameters are irrelevant and ignored (mirroring
+// Engine.Baseline).
+func BaselineAddress(req engine.Request) (string, error) {
+	// The policy and parameters do not enter the hash; pin valid ones so
+	// Validate checks only the identity fields.
+	req.Policy = "lazy"
+	req.PolicyValue = nil
+	req.Params = core.Params{}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	n := req.Normalized()
+	return hashCanonical(canonical{
+		V:        AddressVersion,
+		Kind:     "baseline",
+		Workload: n.Workload,
+		Arch:     n.Arch,
+		Threads:  n.Threads,
+		Scale:    formatFloat(n.Scale),
+		Seed:     n.Seed,
+	}), nil
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"taskpoint/internal/core"
+	"taskpoint/internal/engine"
+)
+
+// TestGoldenContentAddresses pins the address scheme: the SHA-256
+// addresses of a representative table of requests (Table I benchmarks and
+// gen: scenarios, every policy family, both architectures and the native
+// machine) are committed as literals. ANY change to the canonical
+// serialization — field order, a renamed field, float formatting, a new
+// hashed dimension — fails here loudly. That is the point: a silently
+// drifted address scheme would fork every persistent store in the fleet
+// into unreachable halves (old entries never hit again) or, far worse,
+// alias distinct cells. If the scheme must change, bump AddressVersion
+// and re-pin these literals in the same commit.
+func TestGoldenContentAddresses(t *testing.T) {
+	table := []struct {
+		req          engine.Request
+		report, base string
+	}{
+		{
+			req:    engine.Request{Workload: "cholesky"},
+			report: "34c59025bf3c47babdbcf1dd343260091bb2f6a6a697c3056167435ce3f47342",
+			base:   "24931d11fd6ea3a907871773b0e4dd1a01f8307cdbb01fdb98327c7956ff65a2",
+		},
+		{
+			req:    engine.Request{Workload: "cholesky", Arch: "lp", Threads: 8, Scale: 0.25, Seed: 42, Policy: "periodic(250)"},
+			report: "71aefffe93bbd2fbd278cb4e955ffb21d9fb6168af5487007907d519d380d6a7",
+			base:   "7188ed9820981b29091c9b728379f745448fbd7adb9f0eb4330cc962468cb1e0",
+		},
+		{
+			req:    engine.Request{Workload: "3d-stencil", Arch: "hp", Threads: 2, Policy: "stratified(400)"},
+			report: "3a875598d6e87a1ec8e95181e9fbe0a85c76accd96d4b0cfcf6f54731ec61526",
+			base:   "1672789f4a6c62868901bde8a33345c13024b9b6ac0ce7d0fdfb7573ccc31976",
+		},
+		{
+			req:    engine.Request{Workload: "knn", Arch: "native", Threads: 4, Seed: 7, Policy: "periodic:1000"},
+			report: "91d076d0a428eca9091d3b840eb4f09d7f9501bfba895981fe5c5a8ea51c1d63",
+			base:   "468378650501955d3832d6d2e9a0b7b27543d47eb8b70c8536442dc5ff1bf74d",
+		},
+		{
+			req:    engine.Request{Workload: "vector-operation", Threads: 16, Seed: 11, Policy: "periodic(1000)"},
+			report: "707706256fe0210751ff9aa5e210be5e67cbd768f4bf491b2207f94e69a8c0c0",
+			base:   "5d60bf06f4bb712596435f4e6d3f1061b43dd4274644b5137e0b8270d081b697",
+		},
+		{
+			req:    engine.Request{Workload: "gen:forkjoin(tasks=96,mean=600)", Threads: 2, Policy: "lazy"},
+			report: "7849f11d9f9d60874b868a8bbc58349593754ed1763ec33d6b3d2001e2a29511",
+			base:   "e56427e6c6c15ad50feacbe5cd014399d7f20f9960526d7049f75038e2edb7a7",
+		},
+		{
+			req:    engine.Request{Workload: "gen:pipeline(depth=6,cv=0.5)", Arch: "lp", Threads: 8, Seed: 3, Policy: "stratified:96"},
+			report: "d3db7ec627644080cccb5b0fae0f7e6b15c61666b1164be76d37cdf7be4cd575",
+			base:   "3d771223c93046492adafeadaf1e081d60b3f8c7a042e11468fe3b68d07d339f",
+		},
+	}
+	for _, tc := range table {
+		got, err := ContentAddress(tc.req)
+		if err != nil {
+			t.Fatalf("ContentAddress(%+v): %v", tc.req, err)
+		}
+		if got != tc.report {
+			t.Errorf("ContentAddress(%s|%s) = %s, pinned %s — the address scheme drifted; bump AddressVersion and re-pin",
+				tc.req.Workload, tc.req.Policy, got, tc.report)
+		}
+		gotB, err := BaselineAddress(tc.req)
+		if err != nil {
+			t.Fatalf("BaselineAddress(%+v): %v", tc.req, err)
+		}
+		if gotB != tc.base {
+			t.Errorf("BaselineAddress(%s) = %s, pinned %s — the address scheme drifted; bump AddressVersion and re-pin",
+				tc.req.Workload, gotB, tc.base)
+		}
+	}
+}
+
+// TestContentAddressEquivalentSpellings: the address inherits the
+// normalizer's canonicalization — every accepted spelling of one cell is
+// one address.
+func TestContentAddressEquivalentSpellings(t *testing.T) {
+	base := engine.Request{Workload: "cholesky", Arch: "high-performance", Threads: 8, Policy: "periodic(250)"}
+	want, err := ContentAddress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []engine.Request{
+		{Workload: "cholesky", Arch: "hp", Threads: 8, Policy: "periodic(250)"},
+		{Workload: "cholesky", Arch: "hp", Threads: 8, Policy: "periodic( 250 )"},
+		{Workload: "cholesky", Arch: "high-performance", Threads: 8, Scale: 1, Policy: "periodic:250"},
+	} {
+		got, err := ContentAddress(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("equivalent spelling %+v addressed %s, want %s", req, got, want)
+		}
+	}
+}
+
+// TestContentAddressDistinctCells: changing any hashed dimension changes
+// the address, and report/baseline addresses never collide.
+func TestContentAddressDistinctCells(t *testing.T) {
+	base := engine.Request{Workload: "cholesky", Threads: 8, Policy: "periodic(250)"}
+	variants := []engine.Request{
+		{Workload: "knn", Threads: 8, Policy: "periodic(250)"},
+		{Workload: "cholesky", Threads: 4, Policy: "periodic(250)"},
+		{Workload: "cholesky", Threads: 8, Policy: "periodic(251)"},
+		{Workload: "cholesky", Threads: 8, Policy: "lazy"},
+		{Workload: "cholesky", Threads: 8, Scale: 0.5, Policy: "periodic(250)"},
+		{Workload: "cholesky", Threads: 8, Seed: 1, Policy: "periodic(250)"},
+		{Workload: "cholesky", Arch: "lp", Threads: 8, Policy: "periodic(250)"},
+		{Workload: "cholesky", Threads: 8, Policy: "periodic(250)", Params: differentParams()},
+	}
+	seen := map[string]string{}
+	add := func(label, addr string) {
+		if prev, dup := seen[addr]; dup && prev != label {
+			t.Errorf("address collision: %s and %s both hash to %s", prev, label, addr)
+		}
+		seen[addr] = label
+	}
+	want, err := ContentAddress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("base", want)
+	bAddr, err := BaselineAddress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("base/baseline", bAddr)
+	for i, v := range variants {
+		got, err := ContentAddress(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want && v.Key() != base.Key() {
+			t.Errorf("variant %d (%+v) collides with base", i, v)
+		}
+		add(v.Key(), got)
+	}
+}
+
+// TestContentAddressRejectsPolicyValue: in-memory policy values carry
+// configuration their name cannot express, so they are not addressable.
+func TestContentAddressRejectsPolicyValue(t *testing.T) {
+	req := engine.Request{Workload: "cholesky", PolicyValue: fakePolicy{}}
+	if _, err := ContentAddress(req); err == nil || !strings.Contains(err.Error(), "PolicyValue") {
+		t.Fatalf("want PolicyValue rejection, got %v", err)
+	}
+}
+
+type fakePolicy struct{}
+
+func (fakePolicy) Name() string                 { return "fake" }
+func (fakePolicy) ShouldResample(_, _ int) bool { return false }
+
+// differentParams returns non-default sampling parameters — a distinct
+// cell even when every name matches.
+func differentParams() core.Params {
+	p := core.DefaultParams()
+	p.W = 5
+	p.H = 9
+	return p
+}

@@ -1,0 +1,352 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"taskpoint/internal/engine"
+	"taskpoint/internal/obs"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/sweep"
+)
+
+// ErrNotFound reports a load of an address the store has no (valid)
+// entry for. Quarantined entries report it too: a corrupt entry is
+// recomputed, never served.
+var ErrNotFound = errors.New("store: entry not found")
+
+// Store metrics in the default registry. Hits and misses count logical
+// lookups by outcome and kind; quarantined counts entries renamed aside
+// because their checksum, length or header failed verification.
+var (
+	metricBaselineHits   = obs.Default().Counter("store.baseline.hits")
+	metricBaselineMisses = obs.Default().Counter("store.baseline.misses")
+	metricReportHits     = obs.Default().Counter("store.report.hits")
+	metricReportMisses   = obs.Default().Counter("store.report.misses")
+	metricWrites         = obs.Default().Counter("store.writes")
+	metricQuarantined    = obs.Default().Counter("store.quarantined")
+)
+
+// Store is the persistent result layer the campaign server and the
+// baseline cache share: detailed baseline results and finished cell
+// reports, keyed by content address. Implementations must be safe for
+// concurrent use. DiskStore is the local implementation; the interface
+// is the seam a remote backend (shared object storage, a cache service)
+// slots into later.
+type Store interface {
+	// Baseline loads the detailed reference stored at addr
+	// (BaselineAddress), or ErrNotFound.
+	Baseline(addr string) (*sim.Result, error)
+	// PutBaseline stores a detailed reference at addr. Storing an
+	// address that already holds a valid entry is a no-op.
+	PutBaseline(addr string, res *sim.Result) error
+	// Report loads the finished cell report stored at addr
+	// (ContentAddress), or ErrNotFound.
+	Report(addr string) (*sweep.Record, error)
+	// PutReport stores a finished cell report at addr.
+	PutReport(addr string, rec *sweep.Record) error
+}
+
+// entry kinds as written into the on-disk header.
+const (
+	kindBaseline = "baseline"
+	kindReport   = "report"
+)
+
+// header is the first line of every entry file: a plain-JSON description
+// of the gzipped payload that follows, carrying enough to verify the
+// entry byte-for-byte before anything is decoded.
+type header struct {
+	V             int    `json:"v"`
+	Kind          string `json:"kind"`
+	Addr          string `json:"addr"`
+	PayloadSHA256 string `json:"payload_sha256"`
+	PayloadBytes  int64  `json:"payload_bytes"`
+	Encoding      string `json:"encoding"`
+}
+
+const entryEncoding = "gzip+json"
+
+// Stats is a point-in-time view of one DiskStore's traffic.
+type Stats struct {
+	BaselineHits, BaselineMisses int64
+	ReportHits, ReportMisses     int64
+	Writes, Quarantined          int64
+}
+
+// DiskStore is the local, sharded, content-addressed store: every entry
+// lives at <root>/<addr[:2]>/<addr[2:]>, written via an exclusive temp
+// file plus atomic rename (a kill mid-write leaves no visible partial
+// entry), and verified on read against the header's checksum and length
+// (a torn or corrupted entry is renamed aside — quarantined — and
+// reported as ErrNotFound so the caller recomputes). It is safe for
+// concurrent use by any number of goroutines and processes sharing the
+// directory.
+type DiskStore struct {
+	root string
+
+	baselineHits, baselineMisses atomic.Int64
+	reportHits, reportMisses     atomic.Int64
+	writes, quarantined          atomic.Int64
+}
+
+// Open opens (creating if needed) a disk store rooted at dir.
+func Open(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *DiskStore) Root() string { return s.root }
+
+// Stats returns the store's lookup/write/quarantine tallies.
+func (s *DiskStore) Stats() Stats {
+	return Stats{
+		BaselineHits:   s.baselineHits.Load(),
+		BaselineMisses: s.baselineMisses.Load(),
+		ReportHits:     s.reportHits.Load(),
+		ReportMisses:   s.reportMisses.Load(),
+		Writes:         s.writes.Load(),
+		Quarantined:    s.quarantined.Load(),
+	}
+}
+
+// path maps an address to its sharded entry path.
+func (s *DiskStore) path(addr string) (string, error) {
+	if len(addr) != 64 || !isHex(addr) {
+		return "", fmt.Errorf("store: malformed address %q", addr)
+	}
+	return filepath.Join(s.root, addr[:2], addr[2:]), nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Baseline implements Store.
+func (s *DiskStore) Baseline(addr string) (*sim.Result, error) {
+	var res sim.Result
+	if err := s.load(addr, kindBaseline, &res); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			s.baselineMisses.Add(1)
+			metricBaselineMisses.Inc()
+		}
+		return nil, err
+	}
+	s.baselineHits.Add(1)
+	metricBaselineHits.Inc()
+	return &res, nil
+}
+
+// PutBaseline implements Store.
+func (s *DiskStore) PutBaseline(addr string, res *sim.Result) error {
+	return s.save(addr, kindBaseline, res)
+}
+
+// Report implements Store.
+func (s *DiskStore) Report(addr string) (*sweep.Record, error) {
+	var rec sweep.Record
+	if err := s.load(addr, kindReport, &rec); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			s.reportMisses.Add(1)
+			metricReportMisses.Inc()
+		}
+		return nil, err
+	}
+	s.reportHits.Add(1)
+	metricReportHits.Inc()
+	return &rec, nil
+}
+
+// PutReport implements Store.
+func (s *DiskStore) PutReport(addr string, rec *sweep.Record) error {
+	return s.save(addr, kindReport, rec)
+}
+
+// save writes one entry: header line + gzipped JSON payload, staged in an
+// exclusive temp file in the shard directory and renamed into place, so
+// a concurrent reader sees either nothing or the complete entry and a
+// kill mid-write leaves only an invisible temp file.
+func (s *DiskStore) save(addr, kind string, payload any) error {
+	path, err := s.path(addr)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s %s: %w", kind, addr[:12], err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		return fmt.Errorf("store: compressing %s %s: %w", kind, addr[:12], err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("store: compressing %s %s: %w", kind, addr[:12], err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	hdr, err := json.Marshal(header{
+		V:             AddressVersion,
+		Kind:          kind,
+		Addr:          addr,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		PayloadBytes:  int64(buf.Len()),
+		Encoding:      entryEncoding,
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(hdr, '\n')); err == nil {
+		_, err = tmp.Write(buf.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	metricWrites.Inc()
+	return nil
+}
+
+// load reads and verifies one entry into out. Every verification failure
+// — unparseable or wrong-version header, kind or address mismatch, short
+// or overlong payload, checksum mismatch, undecodable payload — is
+// treated identically: the entry is quarantined and ErrNotFound returned,
+// so corruption costs a recomputation, never a wrong result.
+func (s *DiskStore) load(addr, kind string, out any) error {
+	path, err := s.path(addr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s %s", ErrNotFound, kind, addr[:12])
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return s.quarantine(path, addr, kind, fmt.Errorf("truncated header: %w", err))
+	}
+	var hdr header
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return s.quarantine(path, addr, kind, fmt.Errorf("unparseable header: %w", err))
+	}
+	if hdr.V != AddressVersion || hdr.Kind != kind || hdr.Addr != addr || hdr.Encoding != entryEncoding {
+		return s.quarantine(path, addr, kind, fmt.Errorf("header mismatch (v=%d kind=%q addr=%q)", hdr.V, hdr.Kind, hdr.Addr))
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	if int64(len(payload)) != hdr.PayloadBytes {
+		return s.quarantine(path, addr, kind, fmt.Errorf("payload length %d, header says %d", len(payload), hdr.PayloadBytes))
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.PayloadSHA256 {
+		return s.quarantine(path, addr, kind, errors.New("payload checksum mismatch"))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return s.quarantine(path, addr, kind, fmt.Errorf("payload not gzip: %w", err))
+	}
+	raw, err := io.ReadAll(zr)
+	if err == nil {
+		err = zr.Close()
+	}
+	if err != nil {
+		return s.quarantine(path, addr, kind, fmt.Errorf("decompressing payload: %w", err))
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return s.quarantine(path, addr, kind, fmt.Errorf("decoding payload: %w", err))
+	}
+	return nil
+}
+
+// quarantine renames a failed entry aside (<entry>.quarantine — kept for
+// post-mortem, invisible to path lookup), counts it, and reports
+// ErrNotFound so the caller recomputes.
+func (s *DiskStore) quarantine(path, addr, kind string, cause error) error {
+	if err := os.Rename(path, path+".quarantine"); err != nil && !os.IsNotExist(err) {
+		// The entry could not be moved aside; leave it, but still refuse
+		// to serve it.
+		fmt.Fprintf(os.Stderr, "store: quarantining %s: %v\n", path, err)
+	}
+	s.quarantined.Add(1)
+	metricQuarantined.Inc()
+	return fmt.Errorf("%w: %s %s quarantined (%v)", ErrNotFound, kind, addr[:12], cause)
+}
+
+// tier adapts the store to engine.BaselineTier, translating the engine's
+// baseline identity into a content address. Load failures of any kind
+// are a plain miss — the engine recomputes and the write-behind save
+// repopulates the entry.
+type tier struct{ s *DiskStore }
+
+// Tier returns the store as the baseline cache's persistent layer, for
+// engine.BaselineCache.SetTier.
+func (s *DiskStore) Tier() engine.BaselineTier { return tier{s} }
+
+func baselineRequest(id engine.BaselineID) engine.Request {
+	return engine.Request{Workload: id.Workload, Arch: id.Arch, Threads: id.Threads, Scale: id.Scale, Seed: id.Seed}
+}
+
+func (t tier) LoadBaseline(id engine.BaselineID) (*sim.Result, bool) {
+	addr, err := BaselineAddress(baselineRequest(id))
+	if err != nil {
+		return nil, false
+	}
+	res, err := t.s.Baseline(addr)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+func (t tier) SaveBaseline(id engine.BaselineID, res *sim.Result) {
+	addr, err := BaselineAddress(baselineRequest(id))
+	if err != nil {
+		return
+	}
+	if err := t.s.PutBaseline(addr, res); err != nil {
+		fmt.Fprintf(os.Stderr, "store: write-behind baseline save failed: %v\n", err)
+	}
+}

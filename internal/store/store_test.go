@@ -1,0 +1,281 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taskpoint/internal/engine"
+	"taskpoint/internal/sim"
+	"taskpoint/internal/sweep"
+	"taskpoint/internal/trace"
+)
+
+func testResult() *sim.Result {
+	return &sim.Result{
+		Cycles:               12345.5,
+		TotalInstructions:    100000,
+		DetailedInstructions: 2500,
+		DetailedTasks:        3,
+		FastTasks:            97,
+		PerInstance: []sim.InstanceRecord{
+			{Type: trace.TypeID(1), Thread: 0, Start: 0, End: 100.25, Instr: 1000, IPC: 1.5, Mode: sim.ModeDetailed},
+			{Type: trace.TypeID(2), Thread: 1, Start: 50, End: 90, Instr: 800, IPC: 2.0, Mode: sim.ModeFast},
+		},
+		Events:       42,
+		MaxHeapDepth: 2,
+	}
+}
+
+func testRecord() *sweep.Record {
+	return &sweep.Record{
+		Key:            "cholesky|high-performance|8|periodic(250)|42",
+		Bench:          "cholesky",
+		Arch:           "high-performance",
+		Threads:        8,
+		Policy:         "periodic(250)",
+		Seed:           42,
+		Scale:          0.25,
+		W:              2,
+		H:              4,
+		ErrPct:         1.25,
+		SpeedupDetail:  40,
+		DetailFraction: 0.025,
+	}
+}
+
+func addrs(t *testing.T) (report, baseline string) {
+	t.Helper()
+	req := engine.Request{Workload: "cholesky", Threads: 8, Scale: 0.25, Seed: 42, Policy: "periodic(250)"}
+	report, err := ContentAddress(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err = BaselineAddress(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report, baseline
+}
+
+// TestStoreRoundTrip: baseline and report entries survive a store
+// round trip bit-for-bit in every field that matters, land in the
+// sharded layout, and re-opening the directory serves them.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAddr, bAddr := addrs(t)
+
+	if _, err := s.Baseline(bAddr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store: want ErrNotFound, got %v", err)
+	}
+	if err := s.PutBaseline(bAddr, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutReport(rAddr, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded layout: <root>/<addr[:2]>/<addr[2:]>.
+	for _, addr := range []string{rAddr, bAddr} {
+		if _, err := os.Stat(filepath.Join(dir, addr[:2], addr[2:])); err != nil {
+			t.Errorf("entry %s not in sharded layout: %v", addr[:12], err)
+		}
+	}
+
+	// A fresh handle over the same directory (a restarted server).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Baseline(bAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult()
+	if res.Cycles != want.Cycles || res.TotalInstructions != want.TotalInstructions ||
+		len(res.PerInstance) != len(want.PerInstance) || res.PerInstance[0] != want.PerInstance[0] {
+		t.Fatalf("baseline round trip mutated the result: %+v", res)
+	}
+	rec, err := s2.Report(rAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *rec != *testRecord() {
+		t.Fatalf("report round trip mutated the record: %+v", rec)
+	}
+	st := s2.Stats()
+	if st.BaselineHits != 1 || st.ReportHits != 1 || st.Quarantined != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestStoreQuarantinesTruncatedEntry: a torn entry (interrupted disk, bad
+// sector) is renamed aside, counted, and reported as ErrNotFound — and a
+// recomputed entry can be stored at the same address afterwards.
+func TestStoreQuarantinesTruncatedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bAddr := addrs(t)
+	if err := s.PutBaseline(bAddr, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, bAddr[:2], bAddr[2:])
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Baseline(bAddr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("truncated entry: want ErrNotFound, got %v", err)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("truncated entry not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("truncated entry still visible at %s", path)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("want 1 quarantined, got %+v", st)
+	}
+
+	// Recompute path: the address is writable again and serves cleanly.
+	if err := s.PutBaseline(bAddr, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Baseline(bAddr); err != nil {
+		t.Fatalf("recomputed entry unreadable: %v", err)
+	}
+}
+
+// TestStoreQuarantinesCorruptPayload: flipped payload bytes fail the
+// checksum and are never decoded into a result.
+func TestStoreQuarantinesCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAddr, _ := addrs(t)
+	if err := s.PutReport(rAddr, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, rAddr[:2], rAddr[2:])
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[len(full)-3] ^= 0xff
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Report(rAddr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt payload: want ErrNotFound, got %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("want 1 quarantined, got %+v", st)
+	}
+}
+
+// TestStoreQuarantinesKindMismatch: an entry served under the wrong kind
+// (a baseline address colliding with a report lookup can only happen
+// through corruption or a tampered file) is quarantined, not decoded.
+func TestStoreQuarantinesKindMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAddr, bAddr := addrs(t)
+	if err := s.PutBaseline(bAddr, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the baseline entry over the report address: addr and kind in
+	// its header both mismatch.
+	data, err := os.ReadFile(filepath.Join(dir, bAddr[:2], bAddr[2:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, rAddr[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, rAddr[:2], rAddr[2:]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Report(rAddr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("kind/addr mismatch: want ErrNotFound, got %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("want 1 quarantined, got %+v", st)
+	}
+}
+
+// TestStoreAtomicWriteContract: a writer killed mid-write must leave no
+// visible partial entry. The staging discipline (exclusive temp file +
+// rename) guarantees it; this test pins the two observable halves of the
+// contract — temp files are invisible to readers, and a crash before
+// rename leaves the address absent rather than torn.
+func TestStoreAtomicWriteContract(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bAddr := addrs(t)
+	// Simulate the kill: a stale temp file in the shard directory, the
+	// rename never issued.
+	shard := filepath.Join(dir, bAddr[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard, ".tmp-1234"), []byte("half an ent"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Baseline(bAddr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale temp file must stay invisible: got %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("stale temp file must not quarantine anything: %+v", st)
+	}
+	// A completed write over the same shard serves normally.
+	if err := s.PutBaseline(bAddr, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Baseline(bAddr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreTierIntegration: the engine-facing tier adapter persists a
+// computed baseline and serves it back across a cold cache — the
+// read-through/write-behind loop the server relies on, without HTTP.
+func TestStoreTierIntegration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := engine.BaselineID{Workload: "gen:forkjoin(tasks=16,mean=200)", Scale: 1, Seed: 9, Arch: "high-performance", Threads: 2}
+	tier := s.Tier()
+	if _, ok := tier.LoadBaseline(id); ok {
+		t.Fatal("empty store claims a baseline")
+	}
+	tier.SaveBaseline(id, testResult())
+	res, ok := tier.LoadBaseline(id)
+	if !ok {
+		t.Fatal("saved baseline not served back")
+	}
+	if res.Cycles != testResult().Cycles {
+		t.Fatalf("tier round trip mutated the result: %v", res.Cycles)
+	}
+}

@@ -68,7 +68,10 @@ type Record struct {
 	CICovered          bool    `json:"ci_covered,omitempty"`
 }
 
-func recordOf(cell Cell, spec Spec, rep engine.Report) Record {
+// RecordOf flattens a finished engine report into the durable Record form
+// for a cell of the given spec — the JSONL row sweeps stream and the
+// payload the campaign store persists under a cell's content address.
+func RecordOf(cell Cell, spec Spec, rep engine.Report) Record {
 	params := spec.Params()
 	row := results.RowOf(rep)
 	rec := Record{
@@ -220,7 +223,7 @@ func (e *Engine) RunContext(ctx context.Context, out io.Writer, completed map[st
 			outcomes[idx] = outcome{err: fmt.Errorf("sweep: %w", err)}
 			continue
 		}
-		rec := recordOf(cells[idx], e.spec, rep)
+		rec := RecordOf(cells[idx], e.spec, rep)
 		outcomes[idx] = outcome{rec: rec}
 		if enc != nil {
 			if werr := enc.Encode(rec); werr != nil {

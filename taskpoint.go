@@ -56,6 +56,7 @@ import (
 	"taskpoint/internal/results"
 	"taskpoint/internal/sim"
 	"taskpoint/internal/stats"
+	"taskpoint/internal/store"
 	"taskpoint/internal/strata"
 	"taskpoint/internal/sweep"
 	"taskpoint/internal/trace"
@@ -189,6 +190,24 @@ type (
 	// purely from trace content, so the same trace always yields the
 	// byte-identical report.
 	ObsqReport = query.Report
+	// Store is the content-addressed persistent result store behind the
+	// campaign service (cmd/taskpointd): detailed baseline results and
+	// finished cell reports keyed by the SHA-256 of their request's
+	// canonical form. DiskStore is the local implementation; the
+	// interface is the seam for a remote backend.
+	Store = store.Store
+	// DiskStore is the local sharded store (<root>/ab/cdef..., atomic
+	// rename writes, checksum-verified reads that quarantine corrupt
+	// entries). Open one with OpenStore.
+	DiskStore = store.DiskStore
+	// StoreStats is a point-in-time view of one DiskStore's traffic
+	// (hits, misses, writes, quarantined entries).
+	StoreStats = store.Stats
+	// BaselineTier is the persistence seam under a BaselineCache: a
+	// read-through/write-behind layer detailed references survive in
+	// across processes. DiskStore.Tier() adapts a store into one;
+	// install it with BaselineCache.SetTier.
+	BaselineTier = engine.BaselineTier
 )
 
 // Detailed returns the decision that simulates an instance cycle-level.
@@ -394,6 +413,35 @@ func WithRecorder(r *Recorder) EngineOption { return engine.WithRecorder(r) }
 
 // NewBaselineCache returns an empty baseline cache for WithBaselineCache.
 func NewBaselineCache() *BaselineCache { return engine.NewBaselineCache() }
+
+// OpenStore opens (creating if needed) a content-addressed result store
+// rooted at dir. Wire it under an engine's baseline cache to persist
+// detailed references across processes:
+//
+//	st, _ := taskpoint.OpenStore("taskpoint-store")
+//	cache := taskpoint.NewBaselineCache()
+//	cache.SetTier(st.Tier())
+//	eng := taskpoint.NewEngine(taskpoint.WithBaselineCache(cache))
+func OpenStore(dir string) (*DiskStore, error) { return store.Open(dir) }
+
+// ErrStoreNotFound reports a store lookup of an address with no valid
+// entry; quarantined (corrupt) entries report it too. Test with
+// errors.Is.
+var ErrStoreNotFound = store.ErrNotFound
+
+// ContentAddress returns the content address of an experiment cell: the
+// SHA-256 (hex) of the canonical serialization of the request's
+// normalized form. Every accepted spelling of one cell yields the same
+// address; any semantic difference yields a different one. It is the key
+// finished cell reports are stored under and the cross-campaign
+// deduplication identity of the campaign server.
+func ContentAddress(req Request) (string, error) { return store.ContentAddress(req) }
+
+// BaselineAddress returns the content address of the request's detailed
+// reference simulation: only workload, architecture, threads, scale and
+// seed enter the hash, so every policy sweeping one cell shares its
+// baseline entry.
+func BaselineAddress(req Request) (string, error) { return store.BaselineAddress(req) }
 
 // OpenRecorder opens (or creates) a flight-recorder trace file for
 // appending, truncating a torn trailing line left by an interrupted run
