@@ -12,6 +12,13 @@
 // and the final machine-parseable summary line goes to stdout:
 //
 //	campaign <id> done: total=16 computed=0 store_hits=16 joined=0 errors=0 hit_pct=100.0
+//
+// The client is resilient to a flaky or restarting server: transient
+// HTTP failures (connection errors, 429/502/503/504) are retried with
+// jittered exponential backoff honouring Retry-After, and a dropped
+// event stream is resumed from the last seen sequence number (?from=N)
+// — including across a server drain/restart, so `submit -wait` rides
+// through a rolling restart and still prints the final summary.
 package main
 
 import (
@@ -21,8 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"taskpoint/internal/server"
 	"taskpoint/internal/sweep"
@@ -50,6 +60,71 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// Retry policy for transient server failures.
+const (
+	retryAttempts = 8
+	retryBase     = 200 * time.Millisecond
+	retryMax      = 5 * time.Second
+)
+
+// transientStatus reports whether an HTTP status is worth retrying: the
+// server is overloaded (429), draining (503) or behind a sick proxy.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// nextDelay doubles the backoff and jitters it to 50–150% of nominal,
+// capped, so a herd of clients retrying against one recovering server
+// spreads out instead of stampeding.
+func nextDelay(prev time.Duration) time.Duration {
+	next := prev * 2
+	if next <= 0 {
+		next = retryBase
+	}
+	if next > retryMax {
+		next = retryMax
+	}
+	return next/2 + time.Duration(rand.Int64N(int64(next)))
+}
+
+// doRetry issues req until it yields a non-transient outcome, sleeping a
+// jittered exponential backoff (or the server's Retry-After, whichever
+// is longer) between attempts. The caller owns the returned response
+// body.
+func doRetry(op string, req func() (*http.Response, error)) (*http.Response, error) {
+	var delay time.Duration
+	for attempt := 1; ; attempt++ {
+		resp, err := req()
+		if err == nil && !transientStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		var retryAfter time.Duration
+		if err == nil {
+			if sec, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && sec > 0 {
+				retryAfter = time.Duration(sec) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			err = fmt.Errorf("%s: server answered %s", op, resp.Status)
+		}
+		if attempt >= retryAttempts {
+			return nil, fmt.Errorf("%w (after %d attempts)", err, attempt)
+		}
+		delay = nextDelay(delay)
+		wait := delay
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "taskpointc: %v; retrying in %v\n", err, wait.Round(time.Millisecond))
+		time.Sleep(wait)
 	}
 }
 
@@ -84,7 +159,9 @@ func cmdSubmit(serverURL string, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(serverURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	resp, err := doRetry("submit", func() (*http.Response, error) {
+		return http.Post(serverURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return err
 	}
@@ -111,49 +188,44 @@ func cmdEvents(serverURL string, args []string) error {
 	return stream(serverURL, args[0], false)
 }
 
-// stream tails a campaign's JSONL events. Pretty mode renders per-cell
-// progress on stderr and the final summary line on stdout; raw mode
-// copies the JSONL verbatim to stdout.
+// stream tails a campaign's JSONL events until campaign.done, resuming a
+// dropped (or drained) stream from the last seen sequence number. Pretty
+// mode renders per-cell progress on stderr and the final summary line on
+// stdout; raw mode copies the JSONL lines verbatim to stdout.
 func stream(serverURL, id string, pretty bool) error {
-	resp, err := http.Get(serverURL + "/v1/campaigns/" + id + "/events")
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return httpError("events", resp)
-	}
-	if !pretty {
-		_, err := io.Copy(os.Stdout, resp.Body)
-		return err
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := 0
+	drops := 0
 	var done *server.Event
-	for sc.Scan() {
-		var ev server.Event
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return fmt.Errorf("bad event %q: %w", sc.Text(), err)
+	for done == nil {
+		resp, err := doRetry("events", func() (*http.Response, error) {
+			return http.Get(serverURL + "/v1/campaigns/" + id + "/events?from=" + strconv.Itoa(next))
+		})
+		if err != nil {
+			return err
 		}
-		switch ev.Type {
-		case "cell.done":
-			var metrics string
-			if ev.Record != nil {
-				metrics = fmt.Sprintf("  err %6.2f%%  %5.1fx detail", ev.Record.ErrPct, ev.Record.SpeedupDetail)
-			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s %-8s%s\n", ev.Done, ev.Total, ev.Cell, ev.Source, metrics)
-		case "cell.error":
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-55s FAILED: %s\n", ev.Done, ev.Total, ev.Cell, ev.Error)
-		case "campaign.done":
-			e := ev
-			done = &e
+		if resp.StatusCode != http.StatusOK {
+			return httpError("events", resp)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if done == nil {
-		return fmt.Errorf("stream ended without campaign.done")
+		var consumeErr error
+		done, consumeErr = consume(resp.Body, pretty, &next)
+		resp.Body.Close()
+		if done != nil {
+			break
+		}
+		// The stream ended without campaign.done: the connection dropped
+		// mid-campaign, or the server drained (campaign.interrupted) and
+		// will resume the campaign on its next start. Reconnect from the
+		// cursor; doRetry above rides out the restart window.
+		drops++
+		if drops > retryAttempts {
+			return fmt.Errorf("events: stream for %s kept dropping (last: %v)", id, consumeErr)
+		}
+		cause := "stream ended early"
+		if consumeErr != nil {
+			cause = consumeErr.Error()
+		}
+		fmt.Fprintf(os.Stderr, "taskpointc: %s; resuming %s from seq %d\n", cause, id, next)
+		time.Sleep(nextDelay(0))
 	}
 	hitPct := 0.0
 	if done.Total > 0 {
@@ -167,11 +239,56 @@ func stream(serverURL, id string, pretty bool) error {
 	return nil
 }
 
+// consume reads one event-stream connection, advancing the resume cursor
+// past every parsed event. It returns the campaign.done event if the
+// stream reached it, nil if the stream ended early (drop or interrupt).
+func consume(body io.Reader, pretty bool, next *int) (*server.Event, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad event %q: %w", sc.Text(), err)
+		}
+		if ev.Seq >= *next {
+			*next = ev.Seq + 1
+		}
+		if !pretty {
+			fmt.Println(sc.Text())
+		}
+		switch ev.Type {
+		case "cell.done":
+			if pretty {
+				var metrics string
+				if ev.Record != nil {
+					metrics = fmt.Sprintf("  err %6.2f%%  %5.1fx detail", ev.Record.ErrPct, ev.Record.SpeedupDetail)
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-55s %-8s%s\n", ev.Done, ev.Total, ev.Cell, ev.Source, metrics)
+			}
+		case "cell.error":
+			if pretty {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-55s FAILED: %s\n", ev.Done, ev.Total, ev.Cell, ev.Error)
+			}
+		case "campaign.interrupted":
+			if pretty {
+				fmt.Fprintf(os.Stderr, "campaign %s interrupted at %d/%d (server draining); it resumes on the next server start\n",
+					ev.Campaign, ev.Done, ev.Total)
+			}
+		case "campaign.done":
+			e := ev
+			return &e, sc.Err()
+		}
+	}
+	return nil, sc.Err()
+}
+
 func cmdStatus(serverURL string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: taskpointc status <campaign-id>")
 	}
-	resp, err := http.Get(serverURL + "/v1/campaigns/" + args[0])
+	resp, err := doRetry("status", func() (*http.Response, error) {
+		return http.Get(serverURL + "/v1/campaigns/" + args[0])
+	})
 	if err != nil {
 		return err
 	}
@@ -184,7 +301,9 @@ func cmdStatus(serverURL string, args []string) error {
 }
 
 func cmdList(serverURL string) error {
-	resp, err := http.Get(serverURL + "/v1/campaigns")
+	resp, err := doRetry("list", func() (*http.Response, error) {
+		return http.Get(serverURL + "/v1/campaigns")
+	})
 	if err != nil {
 		return err
 	}

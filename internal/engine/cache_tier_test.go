@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"taskpoint/internal/sim"
 )
@@ -87,6 +88,61 @@ func TestBaselineCacheWriteBehind(t *testing.T) {
 	}
 	if stats := cold.Stats(); stats.Hits != 1 || stats.Misses != 0 {
 		t.Fatalf("tier hit should count as a cache hit: %+v", stats)
+	}
+}
+
+// slowTier blocks every SaveBaseline until release is closed, exposing
+// the write-behind window Sync must cover.
+type slowTier struct {
+	fakeTier
+	gate chan struct{}
+}
+
+func (t *slowTier) SaveBaseline(id BaselineID, res *sim.Result) {
+	<-t.gate
+	t.fakeTier.SaveBaseline(id, res)
+}
+
+// TestBaselineCacheSyncWaitsForWriteBehind: Sync must not return while a
+// write-behind save is still in flight — a server draining on shutdown
+// relies on it to make every computed baseline durable.
+func TestBaselineCacheSyncWaitsForWriteBehind(t *testing.T) {
+	tier := &slowTier{fakeTier: fakeTier{data: map[BaselineID]*sim.Result{}}, gate: make(chan struct{})}
+	cache := NewBaselineCache()
+	cache.SetTier(tier)
+	eng := New(WithBaselineCache(cache), WithWorkers(1))
+	if _, err := eng.Baseline(context.Background(), tierReq); err != nil {
+		t.Fatal(err)
+	}
+
+	synced := make(chan struct{})
+	go func() { cache.Sync(); close(synced) }()
+	select {
+	case <-synced:
+		t.Fatal("Sync returned while the write-behind save was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(tier.gate)
+	select {
+	case <-synced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Sync never returned after the save completed")
+	}
+	if _, _, saves := tier.counts(); saves != 1 {
+		t.Fatalf("want the save durably recorded after Sync, got %d", saves)
+	}
+}
+
+// TestBaselineCacheSyncNoTier: Sync on a memory-only cache (and on one
+// with nothing pending) is an immediate no-op.
+func TestBaselineCacheSyncNoTier(t *testing.T) {
+	cache := NewBaselineCache()
+	done := make(chan struct{})
+	go func() { cache.Sync(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sync blocked on an empty cache")
 	}
 }
 

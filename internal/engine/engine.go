@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -89,11 +90,12 @@ type confidencePolicy interface {
 // one worker slot per CPU and a private cache. Engines are safe for
 // concurrent use.
 type Engine struct {
-	workers  int
-	cache    *BaselineCache
-	progress func(done, total int, rep Report)
-	rec      *obs.Recorder
-	prof     *obs.SlowProfiler
+	workers   int
+	cache     *BaselineCache
+	progress  func(done, total int, rep Report)
+	rec       *obs.Recorder
+	prof      *obs.SlowProfiler
+	cellFault func(key string) error
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -105,6 +107,7 @@ type Engine struct {
 var (
 	metricCellsCompleted = obs.Default().Counter("engine.cells.completed")
 	metricCellsFailed    = obs.Default().Counter("engine.cells.failed")
+	metricCellsPanicked  = obs.Default().Counter("engine.cells.panicked")
 	metricCellWallMS     = obs.Default().Histogram("engine.cell.wall_ms")
 	metricWorkersBusy    = obs.Default().Gauge("engine.workers.busy")
 	metricBaselineRuns   = obs.Default().Counter("engine.baseline.computed")
@@ -157,6 +160,32 @@ func WithRecorder(r *obs.Recorder) Option {
 // free disabled path.
 func WithSlowProfiler(p *obs.SlowProfiler) Option {
 	return func(e *Engine) { e.prof = p }
+}
+
+// WithCellFault installs a fault hook invoked with the cell key at the
+// start of every Run, inside the engine's panic-recovery boundary. It is
+// the per-cell seam of internal/fault: the hook may return an error (the
+// cell fails cleanly) or panic (the cell fails as a PanicError, like any
+// other poisoned cell). A nil hook (the default) costs nothing.
+func WithCellFault(fn func(key string) error) Option {
+	return func(e *Engine) { e.cellFault = fn }
+}
+
+// PanicError is the structured error a recovered per-cell panic turns
+// into: a poisoned scenario fails its own cell — with the panic value
+// and stack preserved for diagnosis — instead of killing the campaign
+// that contains it (or the server running that campaign).
+type PanicError struct {
+	// Key is the panicking cell's identity (Request.Key()).
+	Key string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: cell %s panicked: %v", p.Key, p.Value)
 }
 
 // New builds an engine. Defaults: one worker slot per CPU, a fresh
@@ -235,8 +264,12 @@ func (e *Engine) detailedFor(ctx context.Context, key detKey, se *sim.Engine) (r
 		sp.End(obs.String("status", "error"))
 		return nil, false, err
 	}
-	res, err = se.RunContext(ctx, sim.DetailedController{})
-	release()
+	// The slot is released by defer so a panicking simulation unwinds
+	// through the engine's recovery boundary without leaking a worker.
+	func() {
+		defer release()
+		res, err = se.RunContext(ctx, sim.DetailedController{})
+	}()
 	if err != nil {
 		sp.End(obs.String("status", "error"))
 		return nil, false, err
@@ -291,7 +324,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 		obs.Uint64("seed", n.Seed))
 	ctx = obs.ContextWithSpan(ctx, sp)
 	cellDone := e.prof.CellStarted(key)
-	rep, err := e.run(ctx, req)
+	rep, err := e.runSafe(ctx, req, key)
 	cellDone()
 	if err != nil {
 		metricCellsFailed.Inc()
@@ -308,6 +341,27 @@ func (e *Engine) Run(ctx context.Context, req Request) (Report, error) {
 		obs.Float("detail_fraction", rep.DetailFraction),
 		obs.Float("wall_ms", wallMS))
 	return rep, nil
+}
+
+// runSafe is the engine's panic boundary: a panic anywhere in the cell
+// body — a poisoned generated scenario, a simulator bug on a pathological
+// configuration, an injected fault — is recovered into a structured
+// PanicError so the cell fails and the campaign continues. The cellFault
+// hook fires first, inside the boundary, so injected panics take the
+// same recovery path as organic ones.
+func (e *Engine) runSafe(ctx context.Context, req Request, key string) (rep Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			metricCellsPanicked.Inc()
+			err = &PanicError{Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if e.cellFault != nil {
+		if ferr := e.cellFault(key); ferr != nil {
+			return Report{}, ferr
+		}
+	}
+	return e.run(ctx, req)
 }
 
 func (e *Engine) run(ctx context.Context, req Request) (Report, error) {
@@ -364,8 +418,11 @@ func (e *Engine) run(ctx context.Context, req Request) (Report, error) {
 		ssp.End(obs.String("status", "error"))
 		return Report{}, err
 	}
-	res, err := se.RunContext(ctx, sampler)
-	release()
+	var res *sim.Result
+	func() {
+		defer release()
+		res, err = se.RunContext(ctx, sampler)
+	}()
 	if err != nil {
 		ssp.End(obs.String("status", "error"))
 		return Report{}, err

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var faultReq = Request{Workload: "gen:forkjoin(tasks=16,mean=200)", Threads: 2, Scale: 1, Seed: 11}
+
+// TestCellPanicRecovered: a panic inside the cell body becomes a
+// structured PanicError — the engine survives and keeps serving cells on
+// the same (single) worker slot afterwards.
+func TestCellPanicRecovered(t *testing.T) {
+	panicked := metricCellsPanicked.Value()
+	failed := metricCellsFailed.Value()
+	var calls int
+	eng := New(WithWorkers(1), WithCellFault(func(key string) error {
+		calls++
+		if calls == 1 {
+			panic(fmt.Sprintf("poisoned cell %s", key))
+		}
+		return nil
+	}))
+
+	_, err := eng.Run(context.Background(), faultReq)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+	if pe.Key != faultReq.normalized().Key() {
+		t.Fatalf("PanicError key %q, want %q", pe.Key, faultReq.normalized().Key())
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "poisoned cell") || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack not preserved: %v / %d bytes", pe.Value, len(pe.Stack))
+	}
+	if got := metricCellsPanicked.Value() - panicked; got != 1 {
+		t.Fatalf("engine.cells.panicked delta %d, want 1", got)
+	}
+	if got := metricCellsFailed.Value() - failed; got != 1 {
+		t.Fatalf("a panicking cell must count as failed; delta %d", got)
+	}
+
+	// The worker slot was not leaked: the next cell completes on the same
+	// 1-worker engine well within the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := eng.Run(ctx, faultReq); err != nil {
+		t.Fatalf("engine unusable after recovered panic: %v", err)
+	}
+}
+
+// TestCellFaultErrorPropagates: a hook error fails the cell cleanly — no
+// panic accounting, ordinary error path.
+func TestCellFaultErrorPropagates(t *testing.T) {
+	panicked := metricCellsPanicked.Value()
+	errInjected := errors.New("injected cell error")
+	eng := New(WithWorkers(1), WithCellFault(func(string) error { return errInjected }))
+	_, err := eng.Run(context.Background(), faultReq)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatal("hook error must not be a PanicError")
+	}
+	if got := metricCellsPanicked.Value() - panicked; got != 0 {
+		t.Fatalf("clean hook error counted as panic: delta %d", got)
+	}
+}
+
+// TestRunAllContinuesPastPanickingCell: one poisoned cell in a campaign
+// fails alone; every other cell still completes and yields in order.
+func TestRunAllContinuesPastPanickingCell(t *testing.T) {
+	reqs := []Request{
+		{Workload: "gen:forkjoin(tasks=16,mean=200)", Threads: 2, Scale: 1, Seed: 1},
+		{Workload: "gen:forkjoin(tasks=16,mean=200)", Threads: 2, Scale: 1, Seed: 2},
+		{Workload: "gen:forkjoin(tasks=16,mean=200)", Threads: 2, Scale: 1, Seed: 3},
+	}
+	poison := reqs[1].Key()
+	eng := New(WithWorkers(2), WithCellFault(func(key string) error {
+		if key == poison {
+			panic("poisoned")
+		}
+		return nil
+	}))
+	var ok, failed int
+	for rep, err := range eng.RunAll(context.Background(), reqs) {
+		if err != nil {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			failed++
+			continue
+		}
+		if rep.Sampled == nil {
+			t.Fatal("completed cell missing result")
+		}
+		ok++
+	}
+	if ok != 2 || failed != 1 {
+		t.Fatalf("want 2 completed / 1 panicked, got %d/%d", ok, failed)
+	}
+}

@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"net/http"
+	"time"
+)
+
+// Middleware applies the injector's HTTP-seam faults in front of next:
+// every request is delayed by the injected latency, and a fault.injected
+// request is answered 503 with a Retry-After hint before reaching its
+// handler — the shape of an overloaded or half-dead server a resilient
+// client must retry through. A nil or HTTP-quiet injector returns next
+// unchanged.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	if !inj.HTTPFaultsEnabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delay, fail := inj.HTTPFault()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fail {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"fault: injected server error"}` + "\n")) //nolint:errcheck
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -25,10 +25,13 @@ import (
 // Event is one line of a campaign's JSONL progress stream. Type selects
 // which fields are meaningful:
 //
-//	campaign.accepted — Total
-//	cell.done         — Cell, Addr, Source, Done/Total, Record
-//	cell.error        — Cell, Error, Done/Total
-//	campaign.done     — State, Done/Total, Computed/StoreHits/Joined/Errors
+//	campaign.accepted    — Total
+//	cell.done            — Cell, Addr, Source, Done/Total, Record
+//	cell.error           — Cell, Error, Done/Total
+//	campaign.done        — State, Done/Total, Computed/StoreHits/Joined/Errors
+//	campaign.interrupted — same as campaign.done; a drain stopped the
+//	                       campaign with cells left, and a later process
+//	                       will resume it
 type Event struct {
 	Type     string `json:"type"`
 	Campaign string `json:"campaign"`
@@ -62,12 +65,22 @@ type Counts struct {
 	Errors    int `json:"errors"`
 }
 
-// Campaign states.
+// Campaign states. Queued and running are live; done, failed and
+// interrupted are terminal for this process — though an interrupted
+// campaign's manifest makes the next process resume it.
 const (
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
 )
+
+// terminalState reports whether a campaign in state s emits no further
+// events in this process.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateInterrupted
+}
 
 // Summary is the client-facing view of one campaign, returned by the
 // list and status endpoints.
@@ -106,8 +119,33 @@ func newCampaign(id string, spec sweep.Spec, total int, submitted time.Time) *ca
 		total:     total,
 		submitted: submitted,
 		notify:    make(chan struct{}),
-		state:     StateRunning,
+		state:     StateQueued,
 	}
+}
+
+// start transitions queued → running when the campaign wins an admission
+// slot. No event is emitted, so replayed streams are identical whether or
+// not the campaign ever waited in the queue.
+func (c *campaign) start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateQueued {
+		c.state = StateRunning
+	}
+}
+
+// stateNow returns the campaign's current state.
+func (c *campaign) stateNow() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// incomplete reports whether cells remain unresolved.
+func (c *campaign) incomplete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done < c.total
 }
 
 // append records an event (stamping Seq and Time) and wakes every
@@ -170,11 +208,30 @@ func (c *campaign) finish() Counts {
 	return counts
 }
 
+// interrupt transitions the campaign to the interrupted terminal state —
+// a drain stopped it with cells left — and emits the terminal event so
+// live subscribers get an explicit end of stream instead of a dropped
+// connection. No outcome marker is written for an interrupted campaign:
+// its manifest alone makes the next process resume it, and every cell it
+// did finish is already in the store.
+func (c *campaign) interrupt() {
+	c.mu.Lock()
+	c.state = StateInterrupted
+	done := c.done
+	counts := c.counts
+	c.mu.Unlock()
+	c.append(Event{
+		Type: "campaign.interrupted", State: StateInterrupted, Done: done, Total: c.total,
+		Computed: counts.Computed, StoreHits: counts.StoreHits,
+		Joined: counts.Joined, Errors: counts.Errors,
+	})
+}
+
 // finished reports whether the campaign reached a terminal state.
 func (c *campaign) finished() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.state != StateRunning
+	return terminalState(c.state)
 }
 
 // eventsFrom returns the events at index >= from, plus the channel that
@@ -188,7 +245,7 @@ func (c *campaign) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
 	if from < len(c.events) {
 		evs = c.events[from:len(c.events):len(c.events)]
 	}
-	return evs, c.notify, c.state != StateRunning
+	return evs, c.notify, terminalState(c.state)
 }
 
 // summary returns the campaign's client-facing view.

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"taskpoint/internal/fault"
+	"taskpoint/internal/obs"
+	"taskpoint/internal/store"
+)
+
+func newFaultServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// streamTerminal reads a campaign's event stream from the given cursor
+// until the server closes it, returning the events and the terminal
+// (campaign.done or campaign.interrupted) event.
+func streamTerminal(t *testing.T, baseURL, id string, from int) ([]Event, Event) {
+	t.Helper()
+	url := baseURL + "/v1/campaigns/" + id + "/events"
+	if from > 0 {
+		url += "?from=" + strconv.Itoa(from)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	var evs []Event
+	var term Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+		if ev.Type == "campaign.done" || ev.Type == "campaign.interrupted" {
+			term = ev
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Type == "" {
+		t.Fatalf("stream for %s ended without a terminal event (%d events)", id, len(evs))
+	}
+	return evs, term
+}
+
+// TestDegradedModeFullyFailingStore is the ISSUE's degraded-mode
+// acceptance scenario: with every store operation failing, a campaign
+// still completes — every cell computed, zero errors — while the circuit
+// breaker trips (store.degraded) and the store errors are counted, never
+// silently dropped.
+func TestDegradedModeFullyFailingStore(t *testing.T) {
+	degradedBefore := obs.Default().Counter("store.degraded").Value()
+	storeErrsBefore := obs.Default().Counter("server.cells.store_errors").Value()
+
+	inj := fault.NewInjector(fault.Spec{Seed: 5, StoreErr: 1})
+	_, ts := newFaultServer(t, t.TempDir(), Config{Faults: inj})
+	spec := testSpec()
+	total := len(spec.Cells())
+
+	sum := submit(t, ts.URL, spec)
+	_, done := streamEvents(t, ts.URL, sum.ID)
+	if done.State != StateDone || done.Done != total || done.Errors != 0 {
+		t.Fatalf("campaign over a dead store did not finish cleanly: %+v", done)
+	}
+	if done.Computed != total {
+		t.Fatalf("degraded mode must compute every cell: %+v", done)
+	}
+	if got := obs.Default().Counter("store.degraded").Value() - degradedBefore; got < 1 {
+		t.Errorf("breaker never tripped: store.degraded delta %d", got)
+	}
+	if got := obs.Default().Counter("server.cells.store_errors").Value() - storeErrsBefore; got < 1 {
+		t.Errorf("store failures not surfaced: server.cells.store_errors delta %d", got)
+	}
+}
+
+// TestAdmissionQueueBoundsAndRejects: with the single admission slot
+// held, one submission queues; the next overflows the bounded queue and
+// is answered 429 with a Retry-After hint. Releasing the slot lets the
+// queued campaign run to completion.
+func TestAdmissionQueueBoundsAndRejects(t *testing.T) {
+	rejectedBefore := metricCampaignsRejected.Value()
+	srv, ts := newFaultServer(t, t.TempDir(), Config{MaxActive: 1, MaxQueued: 1})
+	srv.campSem <- struct{}{} // occupy the only slot
+
+	spec := testSpec()
+	sum := submit(t, ts.URL, spec)
+	if sum.State != StateQueued {
+		t.Fatalf("campaign with the slot held should be queued, got %q", sum.State)
+	}
+
+	spec2 := testSpec()
+	spec2.Seeds = []uint64{43}
+	body, err := json.Marshal(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue overflow: want 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := metricCampaignsRejected.Value() - rejectedBefore; got != 1 {
+		t.Errorf("server.campaigns.rejected delta %d, want 1", got)
+	}
+
+	<-srv.campSem // release: the queued campaign starts
+	_, done := streamEvents(t, ts.URL, sum.ID)
+	if done.State != StateDone || done.Done != len(spec.Cells()) {
+		t.Fatalf("queued campaign did not finish after release: %+v", done)
+	}
+}
+
+// TestDrainInterruptsAndResumes: a drain mid-campaign lets in-flight
+// cells finish, ends live event streams with a terminal
+// campaign.interrupted event, refuses new submissions, and leaves the
+// manifest (without a completion marker) for the next process to resume
+// — which finishes the campaign without recomputing the finished cells.
+func TestDrainInterruptsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	spec.Seeds = []uint64{1, 2, 3} // 12 cells
+	total := len(spec.Cells())
+	// Store latency paces the campaign so the drain lands mid-flight.
+	inj := fault.NewInjector(fault.Spec{Seed: 2, StoreLatency: 50 * time.Millisecond})
+	srv, ts := newFaultServer(t, dir, Config{Workers: 1, Faults: inj})
+	sum := submit(t, ts.URL, spec)
+
+	type result struct {
+		evs  []Event
+		term Event
+	}
+	ch := make(chan result, 1)
+	go func() {
+		evs, term := streamTerminal(t, ts.URL, sum.ID, 0)
+		ch <- result{evs, term}
+	}()
+
+	// Wait for the first resolved cell, then drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := status(t, ts.URL, sum.ID)
+		if s.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never made progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submissions during/after a drain are refused 503.
+	body, _ := json.Marshal(testSpec())
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: want 503, got %d", resp.StatusCode)
+	}
+
+	res := <-ch
+	if res.term.Type != "campaign.interrupted" {
+		t.Fatalf("live stream ended with %q, want campaign.interrupted", res.term.Type)
+	}
+	if res.term.Done >= total {
+		t.Fatalf("interrupted campaign reports done=%d of %d", res.term.Done, total)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "campaigns", sum.ID+".done.json")); !os.IsNotExist(err) {
+		t.Fatalf("interrupted campaign must not have a completion marker (err=%v)", err)
+	}
+
+	// A fresh process over the same store resumes and completes it; the
+	// cells finished before the drain come back as store hits.
+	preDone := res.term.Done
+	_, ts2 := newFaultServer(t, dir, Config{Workers: 4})
+	_, done2 := streamTerminal(t, ts2.URL, sum.ID, 0)
+	if done2.Type != "campaign.done" || done2.State != StateDone || done2.Done != total {
+		t.Fatalf("resumed campaign did not finish: %+v", done2)
+	}
+	if done2.StoreHits < preDone {
+		t.Errorf("resume recomputed finished cells: %d store hits < %d finished before drain", done2.StoreHits, preDone)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "campaigns", sum.ID+".done.json")); err != nil {
+		t.Fatalf("no completion marker after resume: %v", err)
+	}
+}
+
+func status(t *testing.T, baseURL, id string) Summary {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestEventStreamResumeCursor: ?from=N replays only events with seq >= N
+// — the cursor a client uses to resume a dropped stream without
+// re-reading history — and invalid cursors are rejected.
+func TestEventStreamResumeCursor(t *testing.T) {
+	_, ts := newFaultServer(t, t.TempDir(), Config{})
+	spec := testSpec()
+	sum := submit(t, ts.URL, spec)
+	full, _ := streamEvents(t, ts.URL, sum.ID)
+
+	from := len(full) / 2
+	tail, term := streamTerminal(t, ts.URL, sum.ID, from)
+	if len(tail) != len(full)-from {
+		t.Fatalf("from=%d replayed %d events, want %d", from, len(tail), len(full)-from)
+	}
+	if tail[0].Seq != from {
+		t.Fatalf("first resumed event has seq %d, want %d", tail[0].Seq, from)
+	}
+	if term.Type != "campaign.done" {
+		t.Fatalf("resumed stream ended with %q", term.Type)
+	}
+
+	for _, bad := range []string{"x", "-1", "1.5"} {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + sum.ID + "/events?from=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("from=%s: want 400, got %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestInjectedCellPanicFailsCellNotCampaign: a cell-level injected panic
+// is recovered into a cell.error; the rest of the campaign completes.
+func TestInjectedCellPanicFailsCellNotCampaign(t *testing.T) {
+	inj := fault.NewInjector(fault.Spec{Seed: 9, CellPanic: 1})
+	_, ts := newFaultServer(t, t.TempDir(), Config{Faults: inj})
+	spec := testSpec()
+	total := len(spec.Cells())
+	sum := submit(t, ts.URL, spec)
+	_, done := streamTerminal(t, ts.URL, sum.ID, 0)
+	if done.Type != "campaign.done" {
+		t.Fatalf("campaign with panicking cells never terminated: %+v", done)
+	}
+	if done.State != StateFailed || done.Errors != total || done.Done != total {
+		t.Fatalf("every cell should fail cleanly (panic=1): %+v", done)
+	}
+}

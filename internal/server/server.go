@@ -9,11 +9,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"taskpoint/internal/engine"
+	"taskpoint/internal/fault"
 	"taskpoint/internal/obs"
 	"taskpoint/internal/obs/query"
 	"taskpoint/internal/store"
@@ -22,13 +24,25 @@ import (
 
 // Server metrics in the default obs registry.
 var (
-	metricCampaignsAccepted = obs.Default().Counter("server.campaigns.accepted")
-	metricCampaignsResumed  = obs.Default().Counter("server.campaigns.resumed")
-	metricCellsComputed     = obs.Default().Counter("server.cells.computed")
-	metricCellsStoreHits    = obs.Default().Counter("server.cells.store_hits")
-	metricCellsJoined       = obs.Default().Counter("server.cells.joined")
-	metricCellsFailed       = obs.Default().Counter("server.cells.failed")
+	metricCampaignsAccepted    = obs.Default().Counter("server.campaigns.accepted")
+	metricCampaignsResumed     = obs.Default().Counter("server.campaigns.resumed")
+	metricCampaignsInterrupted = obs.Default().Counter("server.campaigns.interrupted")
+	metricCampaignsRejected    = obs.Default().Counter("server.campaigns.rejected")
+	metricCellsComputed        = obs.Default().Counter("server.cells.computed")
+	metricCellsStoreHits       = obs.Default().Counter("server.cells.store_hits")
+	metricCellsJoined          = obs.Default().Counter("server.cells.joined")
+	metricCellsFailed          = obs.Default().Counter("server.cells.failed")
+	metricCellsStoreErrors     = obs.Default().Counter("server.cells.store_errors")
 )
+
+// ErrBusy reports a submission rejected because the admission queue is
+// full; clients should retry after a delay (the HTTP layer answers 429
+// with Retry-After).
+var ErrBusy = errors.New("server: busy (admission queue full)")
+
+// ErrDraining reports a submission refused because the server is
+// shutting down gracefully.
+var ErrDraining = errors.New("server: draining (shutting down)")
 
 // Config configures a Server.
 type Config struct {
@@ -42,6 +56,23 @@ type Config struct {
 	// TracePath, when set, mounts the /debug/obs/campaign report over
 	// the flight-recorder trace at that path.
 	TracePath string
+	// Faults is the optional fault injector: store faults wrap the disk
+	// store (under the circuit breaker, so injected failures exercise the
+	// real degradation path), cell faults hook the engine, HTTP faults
+	// wrap Handler, and crash points arm the server's crash sites. Nil
+	// means no injection, at zero cost.
+	Faults *fault.Injector
+	// MaxActive bounds concurrently running campaigns; submissions beyond
+	// it queue. <=0 selects the default (4).
+	MaxActive int
+	// MaxQueued bounds campaigns waiting for an admission slot;
+	// submissions beyond it are rejected with ErrBusy (HTTP 429). <=0
+	// selects the default (64).
+	MaxQueued int
+	// RequestTimeout bounds the handling of every non-streaming request
+	// (submit, list, status, debug); the event stream is exempt. 0
+	// selects the default (30s), negative disables the deadline.
+	RequestTimeout time.Duration
 }
 
 // flight is one in-progress computation of a cell, shared by every
@@ -57,14 +88,23 @@ type flight struct {
 // single-flight per content address so no cell is ever simulated twice —
 // not by two concurrent campaigns, and not again after a restart.
 type Server struct {
-	st    *store.DiskStore
-	eng   *engine.Engine
-	cache *engine.BaselineCache
-	mux   *http.ServeMux
+	st      *store.DiskStore
+	backend store.Store    // breaker (over the optionally fault-wrapped disk store)
+	breaker *store.Breaker // same object, for Degraded()
+	faults  *fault.Injector
+	eng     *engine.Engine
+	cache   *engine.BaselineCache
+	mux     *http.ServeMux
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	campSem    chan struct{} // admission slots: MaxActive concurrently running campaigns
+	maxQueued  int
+	reqTimeout time.Duration
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed when a graceful drain begins
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -83,22 +123,51 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("server: Config.Store is required")
 	}
+	// The store stack under the server: disk store, optionally wrapped
+	// with injected faults, always wrapped in the circuit breaker. Every
+	// server-side store access — baseline tier reads/writes and report
+	// lookups alike — goes through the breaker, so a sick (or
+	// fault-injected) backend degrades to compute-without-store instead
+	// of failing campaigns.
+	backend := store.NewBreaker(fault.WrapDisk(cfg.Store, cfg.Faults))
 	cache := engine.NewBaselineCache()
-	cache.SetTier(cfg.Store.Tier())
+	cache.SetTier(store.Tier(backend))
 	opts := []engine.Option{engine.WithBaselineCache(cache)}
 	if cfg.Workers > 1 {
 		opts = append(opts, engine.WithWorkers(cfg.Workers))
 	}
+	if cfg.Faults.CellFaultsEnabled() {
+		opts = append(opts, engine.WithCellFault(cfg.Faults.CellFault))
+	}
+	maxActive := cfg.MaxActive
+	if maxActive <= 0 {
+		maxActive = 4
+	}
+	maxQueued := cfg.MaxQueued
+	if maxQueued <= 0 {
+		maxQueued = 64
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = 30 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		st:        cfg.Store,
-		eng:       engine.New(opts...),
-		cache:     cache,
-		ctx:       ctx,
-		cancel:    cancel,
-		campaigns: map[string]*campaign{},
-		finished:  map[string]outcome{},
-		flights:   map[string]*flight{},
+		st:         cfg.Store,
+		backend:    backend,
+		breaker:    backend,
+		faults:     cfg.Faults,
+		eng:        engine.New(opts...),
+		cache:      cache,
+		campSem:    make(chan struct{}, maxActive),
+		maxQueued:  maxQueued,
+		reqTimeout: reqTimeout,
+		ctx:        ctx,
+		cancel:     cancel,
+		drainCh:    make(chan struct{}),
+		campaigns:  map[string]*campaign{},
+		finished:   map[string]outcome{},
+		flights:    map[string]*flight{},
 	}
 	s.buildMux(cfg.TracePath)
 	if err := s.resume(); err != nil {
@@ -116,17 +185,56 @@ func (s *Server) Close() {
 	s.cache.Sync()
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Drain begins a graceful shutdown: new submissions are refused with
+// ErrDraining, queued campaigns are interrupted before starting, and
+// running campaigns stop dispatching cells once the in-flight ones
+// finish. Every interrupted campaign emits a terminal
+// campaign.interrupted event, so live event subscribers' streams end
+// cleanly (and an http.Server.Shutdown after Drain returns promptly —
+// no stream outlives its campaign). Drain returns once every campaign
+// goroutine has exited and write-behind baseline saves are on disk, or
+// with ctx's error if the deadline passes first. It is idempotent and
+// safe to combine with a later Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.cache.Sync()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// draining reports whether a graceful drain has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Degraded reports whether the store circuit breaker is currently open.
+func (s *Server) Degraded() bool { return s.breaker.Degraded() }
+
+// Handler returns the server's HTTP handler, wrapped with the fault
+// injector's HTTP middleware when HTTP faults are armed.
+func (s *Server) Handler() http.Handler { return fault.Middleware(s.faults, s.mux) }
 
 // Engine exposes the shared engine (for tests and embedding callers).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
 func (s *Server) buildMux(tracePath string) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.Handle("POST /v1/campaigns", s.timed(http.HandlerFunc(s.handleSubmit)))
+	mux.Handle("GET /v1/campaigns", s.timed(http.HandlerFunc(s.handleList)))
+	mux.Handle("GET /v1/campaigns/{id}", s.timed(http.HandlerFunc(s.handleStatus)))
+	// The event stream is the one intentionally long-lived endpoint; it
+	// ends with its campaign (or the client), never on a deadline.
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -145,6 +253,16 @@ func (s *Server) buildMux(tracePath string) {
 		mux.Handle("GET "+ep.Pattern, ep.Handler)
 	}
 	s.mux = mux
+}
+
+// timed bounds a non-streaming handler with the server's per-request
+// deadline: a handler that overruns it is answered 503 and its writes
+// are discarded, so one stuck request cannot hold a connection forever.
+func (s *Server) timed(h http.Handler) http.Handler {
+	if s.reqTimeout <= 0 {
+		return h
+	}
+	return http.TimeoutHandler(h, s.reqTimeout, `{"error":"server: request deadline exceeded"}`+"\n")
 }
 
 // --- HTTP handlers ---
@@ -171,7 +289,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	c, err := s.accept(spec, "")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, ErrBusy):
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, c.summary())
@@ -208,11 +335,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
 }
 
-// handleEvents streams a campaign's event log as JSONL: full replay from
-// the beginning, then live tail until the campaign finishes or the
-// client disconnects. Any number of clients can stream one campaign.
+// handleEvents streams a campaign's event log as JSONL: replay from the
+// beginning (or from the ?from=N sequence number, the client's resume
+// cursor after a dropped connection), then live tail until the campaign
+// reaches a terminal state or the client disconnects. Any number of
+// clients can stream one campaign.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid from=%q", q))
+			return
+		}
+		from = n
+	}
 	s.mu.Lock()
 	c := s.campaigns[id]
 	out, wasFinished := s.finished[id]
@@ -236,7 +374,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	next := 0
+	next := from
 	for {
 		evs, notify, done := c.eventsFrom(next)
 		for _, ev := range evs {
@@ -268,7 +406,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // accept validates a spec, registers the campaign, persists its manifest
 // and launches the runner. A non-empty id reuses an existing manifest
-// (the resume path); an empty one allocates the next ID and persists.
+// (the resume path, exempt from admission rejection — resumed work was
+// already accepted once); an empty one allocates the next ID and
+// persists, subject to the admission bound.
 func (s *Server) accept(spec sweep.Spec, id string) (*campaign, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -277,6 +417,15 @@ func (s *Server) accept(spec sweep.Spec, id string) (*campaign, error) {
 	s.mu.Lock()
 	fresh := id == ""
 	if fresh {
+		if s.draining() {
+			s.mu.Unlock()
+			return nil, ErrDraining
+		}
+		if s.queuedLocked() >= s.maxQueued {
+			s.mu.Unlock()
+			metricCampaignsRejected.Inc()
+			return nil, ErrBusy
+		}
 		s.nextSeq++
 		id = campaignID(s.nextSeq, spec)
 	}
@@ -296,21 +445,51 @@ func (s *Server) accept(spec sweep.Spec, id string) (*campaign, error) {
 	return c, nil
 }
 
-// runCampaign drives one campaign's cells over a bounded worker group on
-// the shared engine, then records the durable outcome.
+// queuedLocked counts campaigns still waiting for an admission slot.
+// Caller holds s.mu.
+func (s *Server) queuedLocked() int {
+	n := 0
+	for _, id := range s.order {
+		if s.campaigns[id].stateNow() == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// runCampaign waits for an admission slot, drives the campaign's cells
+// over a bounded worker group on the shared engine, then records the
+// durable outcome. A drain mid-campaign lets in-flight cells finish,
+// then interrupts; a hard Close abandons silently. Either way the
+// manifest without an outcome marker makes the next process resume.
 func (s *Server) runCampaign(c *campaign, cells []sweep.Cell) {
 	defer s.wg.Done()
+	select {
+	case s.campSem <- struct{}{}:
+		defer func() { <-s.campSem }()
+	case <-s.drainCh:
+		metricCampaignsInterrupted.Inc()
+		c.interrupt()
+		return
+	case <-s.ctx.Done():
+		return
+	}
+	c.start()
 	workers := s.eng.Workers()
 	if workers > len(cells) {
 		workers = len(cells)
 	}
 	sem := make(chan struct{}, workers)
 	var cellWG sync.WaitGroup
+dispatch:
 	for _, cell := range cells {
-		if s.ctx.Err() != nil {
-			break
+		select {
+		case sem <- struct{}{}:
+		case <-s.drainCh:
+			break dispatch
+		case <-s.ctx.Done():
+			break dispatch
 		}
-		sem <- struct{}{}
 		cellWG.Add(1)
 		go func(cell sweep.Cell) {
 			defer cellWG.Done()
@@ -319,10 +498,20 @@ func (s *Server) runCampaign(c *campaign, cells []sweep.Cell) {
 		}(cell)
 	}
 	cellWG.Wait()
-	if s.ctx.Err() != nil {
-		return // interrupted: no outcome written, next start resumes it
+	if s.ctx.Err() != nil && !s.draining() {
+		return // hard stop: no outcome written, next start resumes it
+	}
+	if c.incomplete() {
+		metricCampaignsInterrupted.Inc()
+		c.interrupt()
+		return
 	}
 	counts := s.finish(c)
+	// Crash point between the terminal event and the durable outcome
+	// marker: a process killed here restarts with the manifest present
+	// and the marker absent, so the campaign resumes — entirely from the
+	// store — instead of being forgotten or double-run.
+	s.faults.Crash("server.outcome")
 	if err := s.writeOutcome(c, counts); err != nil {
 		fmt.Fprintf(os.Stderr, "server: recording outcome of %s: %v\n", c.id, err)
 	}
@@ -342,14 +531,16 @@ func (s *Server) runCell(c *campaign, cell sweep.Cell) {
 		c.cellError(cell.Key(), err)
 		return
 	}
-	if rec, err := s.st.Report(addr); err == nil {
+	if rec, err := s.backend.Report(addr); err == nil {
 		metricCellsStoreHits.Inc()
 		c.cellDone(cell.Key(), addr, "store", rec)
 		return
 	} else if !errors.Is(err, store.ErrNotFound) {
-		metricCellsFailed.Inc()
-		c.cellError(cell.Key(), err)
-		return
+		// A sick store must not fail the cell: count the error and treat
+		// it as a miss, computing the result without the store. While the
+		// breaker is open these misses are immediate (ErrUnavailable), so
+		// degraded mode costs deduplication, never correctness.
+		metricCellsStoreErrors.Inc()
 	}
 
 	s.flightMu.Lock()
@@ -394,7 +585,7 @@ func (s *Server) runCell(c *campaign, cell sweep.Cell) {
 // same address — without the re-check that window would simulate the
 // cell twice.
 func (s *Server) compute(addr string, req engine.Request, cell sweep.Cell, spec sweep.Spec) (*sweep.Record, error) {
-	if rec, err := s.st.Report(addr); err == nil {
+	if rec, err := s.backend.Report(addr); err == nil {
 		return rec, nil
 	}
 	rep, err := s.eng.Run(s.ctx, req)
@@ -402,9 +593,10 @@ func (s *Server) compute(addr string, req engine.Request, cell sweep.Cell, spec 
 		return nil, err
 	}
 	rec := sweep.RecordOf(cell, spec, rep)
-	if err := s.st.PutReport(addr, &rec); err != nil {
-		// The result is good; only its persistence failed. Serve it and
-		// let a later campaign recompute.
+	if err := s.backend.PutReport(addr, &rec); err != nil {
+		// The result is good; only its persistence failed. Count it,
+		// serve it, and let a later campaign recompute.
+		metricCellsStoreErrors.Inc()
 		fmt.Fprintf(os.Stderr, "server: persisting %s: %v\n", addr[:12], err)
 	}
 	return &rec, nil

@@ -35,6 +35,11 @@ var (
 	metricReportMisses   = obs.Default().Counter("store.report.misses")
 	metricWrites         = obs.Default().Counter("store.writes")
 	metricQuarantined    = obs.Default().Counter("store.quarantined")
+	// metricWriteBehindErrors counts write-behind baseline saves that
+	// failed to reach the tier. Write-behind failures cost a later
+	// recomputation, never a wrong result, but they must be visible:
+	// a store that silently drops every write is a sick store.
+	metricWriteBehindErrors = obs.Default().Counter("store.writebehind.errors")
 )
 
 // Store is the persistent result layer the campaign server and the
@@ -125,6 +130,12 @@ func (s *DiskStore) Stats() Stats {
 		Quarantined:    s.quarantined.Load(),
 	}
 }
+
+// EntryPath returns the on-disk path an address's entry occupies under
+// the store root. It exists for fault-injection tooling and post-mortem
+// inspection; normal access goes through Baseline/Report, which verify
+// before decoding.
+func (s *DiskStore) EntryPath(addr string) (string, error) { return s.path(addr) }
 
 // path maps an address to its sharded entry path.
 func (s *DiskStore) path(addr string) (string, error) {
@@ -315,15 +326,21 @@ func (s *DiskStore) quarantine(path, addr, kind string, cause error) error {
 	return fmt.Errorf("%w: %s %s quarantined (%v)", ErrNotFound, kind, addr[:12], cause)
 }
 
-// tier adapts the store to engine.BaselineTier, translating the engine's
+// tier adapts any Store to engine.BaselineTier, translating the engine's
 // baseline identity into a content address. Load failures of any kind
 // are a plain miss — the engine recomputes and the write-behind save
-// repopulates the entry.
-type tier struct{ s *DiskStore }
+// repopulates the entry. Save failures are counted
+// (store.writebehind.errors) and logged, never silently dropped.
+type tier struct{ s Store }
+
+// Tier adapts s into the baseline cache's persistent layer, for
+// engine.BaselineCache.SetTier. It works over any Store — the raw disk
+// store, a Breaker around it, or a fault-injecting wrapper.
+func Tier(s Store) engine.BaselineTier { return tier{s} }
 
 // Tier returns the store as the baseline cache's persistent layer, for
 // engine.BaselineCache.SetTier.
-func (s *DiskStore) Tier() engine.BaselineTier { return tier{s} }
+func (s *DiskStore) Tier() engine.BaselineTier { return Tier(s) }
 
 func baselineRequest(id engine.BaselineID) engine.Request {
 	return engine.Request{Workload: id.Workload, Arch: id.Arch, Threads: id.Threads, Scale: id.Scale, Seed: id.Seed}
@@ -347,6 +364,7 @@ func (t tier) SaveBaseline(id engine.BaselineID, res *sim.Result) {
 		return
 	}
 	if err := t.s.PutBaseline(addr, res); err != nil {
+		metricWriteBehindErrors.Inc()
 		fmt.Fprintf(os.Stderr, "store: write-behind baseline save failed: %v\n", err)
 	}
 }
